@@ -1,0 +1,66 @@
+// Command rawbench measures raw RDMA verb throughput on the simulated
+// cluster — the microbenchmarks behind Figures 1(b), 3(a) and 3(b).
+//
+// Examples:
+//
+//	rawbench -verb outbound -clients 10,40,150,400,800
+//	rawbench -verb inbound -block 2048 -clients 400
+//	rawbench -verb udsend -clients 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"scalerpc/internal/bench"
+	"scalerpc/internal/sim"
+)
+
+func main() {
+	verb := flag.String("verb", "outbound", "outbound | inbound | udsend")
+	clientList := flag.String("clients", "10,40,150,400", "comma-separated client counts")
+	block := flag.Int("block", 64, "inbound message block size (bytes)")
+	ms := flag.Float64("ms", 2, "measurement window (virtual ms)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	opts := bench.DefaultOptions()
+	opts.Seed = *seed
+	opts.Duration = sim.Duration(*ms * float64(sim.Millisecond))
+
+	var counts []int
+	for _, s := range strings.Split(*clientList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "bad client count %q\n", s)
+			os.Exit(2)
+		}
+		counts = append(counts, n)
+	}
+
+	switch *verb {
+	case "outbound":
+		fmt.Printf("%-8s  %-12s  %-14s\n", "clients", "Mops/s", "PCIeRd Mev/s")
+		for _, n := range counts {
+			tput, rd := bench.MeasureOutboundWrite(n, opts)
+			fmt.Printf("%-8d  %-12.3f  %-14.3f\n", n, tput, rd)
+		}
+	case "inbound":
+		fmt.Printf("%-8s  %-12s  %-14s  (block=%d)\n", "clients", "Mops/s", "alloc-frac", *block)
+		for _, n := range counts {
+			tput, frac := bench.MeasureInboundWrite(n, *block, opts)
+			fmt.Printf("%-8d  %-12.3f  %-14.3f\n", n, tput, frac)
+		}
+	case "udsend":
+		fmt.Printf("%-8s  %-12s\n", "clients", "Mops/s")
+		for _, n := range counts {
+			fmt.Printf("%-8d  %-12.3f\n", n, bench.MeasureInboundUDSend(n, opts))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown verb %q\n", *verb)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,108 @@
+// Command scalebench regenerates the paper's evaluation tables and
+// figures on the simulated cluster.
+//
+// Usage:
+//
+//	scalebench list                 # show experiment ids
+//	scalebench run fig8 [fig9 ...]  # run selected experiments
+//	scalebench all                  # run everything
+//
+// Flags:
+//
+//	-quick        shrunken sweeps (CI-sized)
+//	-csv DIR      also write <id>.csv files into DIR
+//	-seed N       simulation seed (default 1)
+//	-duration MS  measurement window per data point, in virtual ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"scalerpc/internal/bench"
+	"scalerpc/internal/sim"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrunken sweeps (CI-sized)")
+	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	durMS := flag.Float64("duration", 0, "measurement window per point (virtual ms); 0 = default")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	opts := bench.DefaultOptions()
+	if *quick {
+		opts = bench.QuickOptions()
+	}
+	opts.Seed = *seed
+	if *durMS > 0 {
+		opts.Duration = sim.Duration(*durMS * float64(sim.Millisecond))
+	}
+
+	switch args[0] {
+	case "list":
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	case "all":
+		var ids []string
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+		runAll(ids, opts, *csvDir)
+		return
+	case "run":
+		if len(args) < 2 {
+			usage()
+			os.Exit(2)
+		}
+		runAll(args[1:], opts, *csvDir)
+		return
+	default:
+		// Bare experiment ids also work: `scalebench fig8`.
+		runAll(args, opts, *csvDir)
+	}
+}
+
+func runAll(ids []string, opts bench.Options, csvDir string) {
+	for _, id := range ids {
+		e, ok := bench.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try `scalebench list`)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		res := e.Run(opts)
+		fmt.Println(res.Render())
+		fmt.Printf("(%s wall time: %.1fs)\n\n", id, time.Since(start).Seconds())
+		if csvDir != "" {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(csvDir, id+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  scalebench list
+  scalebench run <id> [<id>...]
+  scalebench all
+  scalebench [-quick] [-csv DIR] [-seed N] [-duration MS] <id>...`)
+}

@@ -1,0 +1,103 @@
+// Filesystem example: an Octopus-like metadata server exported over
+// ScaleRPC (the §4.1 deployment), exercised by concurrent clients that
+// build and inspect a small namespace, followed by an mdtest burst.
+//
+//	go run ./examples/filesystem
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scalerpc/internal/cluster"
+	"scalerpc/internal/host"
+	"scalerpc/internal/mdtest"
+	"scalerpc/internal/octofs"
+	"scalerpc/internal/rpccore"
+	"scalerpc/internal/scalerpc"
+	"scalerpc/internal/sim"
+)
+
+func main() {
+	c := cluster.New(cluster.Default(4))
+	defer c.Close()
+
+	mds := octofs.NewMDS(c.Hosts[0], octofs.DefaultConfig())
+	srv := scalerpc.NewServer(c.Hosts[0], scalerpc.DefaultServerConfig())
+	mds.RegisterHandlers(srv)
+	srv.Start()
+
+	// Part 1: one client builds and lists a directory tree.
+	sig := sim.NewSignal(c.Env)
+	conn := srv.Connect(c.Hosts[1], sig)
+	c.Hosts[1].Spawn("fs-client", func(t *host.Thread) {
+		id := uint64(0)
+		call := func(h uint8, path string) []byte {
+			id++
+			return syncCall(t, conn, sig, h, []byte(path), id)
+		}
+		call(octofs.HMkdir, "/projects")
+		call(octofs.HMkdir, "/projects/scalerpc")
+		for _, f := range []string{"design.md", "server.go", "client.go"} {
+			call(octofs.HMknod, "/projects/scalerpc/"+f)
+		}
+		r := call(octofs.HStat, "/projects/scalerpc/server.go")
+		fmt.Printf("[%6.2fus] stat server.go: status=%d isDir=%d\n",
+			float64(t.P.Now())/1000, r[0], r[1])
+		r = call(octofs.HReaddir, "/projects/scalerpc")
+		n := binary.LittleEndian.Uint32(r[1:])
+		fmt.Printf("[%6.2fus] readdir /projects/scalerpc: %d entries:", float64(t.P.Now())/1000, n)
+		off := 5
+		for i := uint32(0); i < n; i++ {
+			l := int(r[off])
+			fmt.Printf(" %s", r[off+1:off+1+l])
+			off += 1 + l
+		}
+		fmt.Println()
+		call(octofs.HRmnod, "/projects/scalerpc/design.md")
+		r = call(octofs.HStat, "/projects/scalerpc/design.md")
+		fmt.Printf("[%6.2fus] stat after rmnod: status=%d (2 = not found)\n",
+			float64(t.P.Now())/1000, r[0])
+	})
+	c.Env.RunUntil(5 * sim.Millisecond)
+
+	// Part 2: an mdtest Stat burst from 12 clients over preloaded dirs.
+	mds.Preload(12, 200)
+	horizon := c.Env.Now() + 2*sim.Millisecond
+	var completed uint64
+	for i := 0; i < 12; i++ {
+		i := i
+		ch := c.Hosts[1+i%3]
+		s := sim.NewSignal(c.Env)
+		cn := srv.Connect(ch, s)
+		w := mdtest.NewWorkload(mdtest.Stat, i, 200, uint64(i))
+		ch.Spawn("mdtest", func(t *host.Thread) {
+			st := rpccore.RunDriver(t, []rpccore.Conn{cn}, w.DriverConfig(4, uint64(i)), s,
+				func() bool { return t.P.Now() >= horizon })
+			completed += st.Completed
+		})
+	}
+	c.Env.RunUntil(horizon + sim.Millisecond)
+	fmt.Printf("\nmdtest: %d stats in 2ms from 12 clients (%.0f kops/s)\n",
+		completed, float64(completed)/2)
+	fmt.Printf("MDS counters: %+v\n", mds.Stats)
+}
+
+func syncCall(t *host.Thread, conn rpccore.Conn, sig *sim.Signal, h uint8, payload []byte, reqID uint64) []byte {
+	for !conn.TrySend(t, h, payload, reqID) {
+		conn.Poll(t, func(rpccore.Response) {})
+		sig.WaitTimeout(t.P, 10*sim.Microsecond)
+	}
+	var resp []byte
+	for resp == nil {
+		conn.Poll(t, func(r rpccore.Response) {
+			if r.ReqID == reqID {
+				resp = append([]byte(nil), r.Payload...)
+			}
+		})
+		if resp == nil {
+			sig.WaitTimeout(t.P, 10*sim.Microsecond)
+		}
+	}
+	return resp
+}

@@ -1,0 +1,3 @@
+module scalerpc
+
+go 1.22

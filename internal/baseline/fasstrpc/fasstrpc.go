@@ -1,0 +1,327 @@
+// Package fasstrpc implements the FaSST RPC baseline (Kalia et al.,
+// OSDI'16; Table 2 of the paper): both requests and responses travel as UD
+// sends. The server needs only one UD QP per worker thread — no per-client
+// connections, no per-client buffers (incoming requests land wherever the
+// posted recv ring points) — which is why FaSST's throughput is flat in
+// the number of clients (Figure 8). The price: no one-sided verbs, a 4 KB
+// MTU, and clients that must pre-post receives and poll completion queues,
+// making client CPU the bottleneck (§3.6.2).
+package fasstrpc
+
+import (
+	"fmt"
+
+	"scalerpc/internal/host"
+	"scalerpc/internal/memory"
+	"scalerpc/internal/nic"
+	"scalerpc/internal/rpccore"
+	"scalerpc/internal/rpcwire"
+	"scalerpc/internal/sim"
+)
+
+// ServerConfig sizes a FaSST server.
+type ServerConfig struct {
+	Workers     int
+	BlockSize   int // ≤ UD MTU
+	RecvDepth   int // posted receives per worker QP
+	PollTimeout sim.Duration
+	ParseCost   sim.Duration
+	// ClientOverhead is extra per-operation client CPU (recv reposting,
+	// CQ polling, doorbells — the UD client tax).
+	ClientOverhead sim.Duration
+	// ClientWindow is the per-client request window.
+	ClientWindow int
+}
+
+// DefaultServerConfig mirrors the paper's setup.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		Workers:        10,
+		BlockSize:      4096,
+		RecvDepth:      512,
+		PollTimeout:    20 * sim.Microsecond,
+		ParseCost:      60,
+		ClientOverhead: 350,
+		ClientWindow:   16,
+	}
+}
+
+const scratchRing = 64
+
+type worker struct {
+	s          *Server
+	idx        int
+	qp         *nic.QP
+	cq         *nic.CQ
+	recv       *memory.Region
+	scratch    *memory.Region
+	scratchIdx int
+	buf        []byte
+	toRepost   []nic.RecvWR
+	Served     uint64
+}
+
+// Server is a FaSST RPC server.
+type Server struct {
+	Cfg      ServerConfig
+	Host     *host.Host
+	handlers [256]rpccore.Handler
+	workers  []*worker
+	nextCli  uint16
+	started  bool
+}
+
+// NewServer builds per-worker UD QPs and recv rings.
+func NewServer(h *host.Host, cfg ServerConfig) *Server {
+	s := &Server{Cfg: cfg, Host: h}
+	for i := 0; i < cfg.Workers; i++ {
+		cq := h.NIC.CreateCQ()
+		w := &worker{
+			s:       s,
+			idx:     i,
+			cq:      cq,
+			qp:      h.NIC.CreateQP(nic.UD, cq, cq),
+			recv:    h.Mem.Register(cfg.BlockSize*cfg.RecvDepth, memory.PageSize2M, memory.LocalWrite),
+			scratch: h.Mem.Register(cfg.BlockSize*scratchRing, memory.PageSize2M, memory.LocalWrite),
+			buf:     make([]byte, cfg.BlockSize),
+		}
+		s.workers = append(s.workers, w)
+	}
+	return s
+}
+
+// Register installs a handler.
+func (s *Server) Register(id uint8, fn rpccore.Handler) { s.handlers[id] = fn }
+
+// Start launches the worker threads and posts the initial recv rings.
+func (s *Server) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	for i, w := range s.workers {
+		w := w
+		// Initial recv ring, posted with one doorbell.
+		var wrs []nic.RecvWR
+		for r := 0; r < s.Cfg.RecvDepth; r++ {
+			wrs = append(wrs, nic.RecvWR{
+				WRID: uint64(r),
+				LKey: w.recv.LKey, LAddr: w.recv.Base + uint64(r*s.Cfg.BlockSize), Len: s.Cfg.BlockSize,
+			})
+		}
+		w.qp.PostRecvBatch(wrs)
+		s.Host.Spawn(fmt.Sprintf("fasst-w%d", i), w.run)
+	}
+}
+
+func (w *worker) run(t *host.Thread) {
+	for {
+		cqes := t.PollCQ(w.cq, 16)
+		if len(cqes) == 0 {
+			// Batch-repost consumed receives before sleeping.
+			w.repost(t)
+			w.cq.Sig.WaitTimeout(t.P, w.s.Cfg.PollTimeout)
+			continue
+		}
+		for _, e := range cqes {
+			if e.Status != nic.CQOK {
+				continue
+			}
+			addr := w.recv.Base + e.WRID*uint64(w.s.Cfg.BlockSize)
+			t.ReadMem(addr, e.ByteLen)
+			buf := w.recv.Bytes()[e.WRID*uint64(w.s.Cfg.BlockSize):]
+			t.Work(w.s.Cfg.ParseCost)
+			w.serve(t, e, buf[:e.ByteLen])
+			w.toRepost = append(w.toRepost, nic.RecvWR{
+				WRID: e.WRID, LKey: w.recv.LKey, LAddr: addr, Len: w.s.Cfg.BlockSize,
+			})
+			w.Served++
+		}
+		if len(w.toRepost) >= 16 {
+			w.repost(t)
+		}
+	}
+}
+
+func (w *worker) repost(t *host.Thread) {
+	if len(w.toRepost) == 0 {
+		return
+	}
+	t.PostRecvBatch(w.qp, w.toRepost)
+	w.toRepost = w.toRepost[:0]
+}
+
+// serve executes the handler and UD-sends the response back to the
+// requesting QP (taken from the recv completion's source address).
+func (w *worker) serve(t *host.Thread, e nic.CQE, req []byte) {
+	s := w.s
+	hdr, body, err := rpcwire.ParseHeader(req)
+	var errFlag uint32
+	n := rpcwire.PutHeader(w.buf, rpcwire.Header{ReqID: hdr.ReqID, Handler: hdr.Handler, ClientID: hdr.ClientID})
+	respLen := n
+	if err == nil && s.handlers[hdr.Handler] != nil {
+		respLen = n + s.handlers[hdr.Handler](t, hdr.ClientID, body, w.buf[n:])
+	} else {
+		errFlag = 1
+	}
+	blockOff := w.scratchIdx * s.Cfg.BlockSize
+	w.scratchIdx = (w.scratchIdx + 1) % scratchRing
+	copy(w.scratch.Bytes()[blockOff:], w.buf[:respLen])
+	t.WriteMem(w.scratch.Base+uint64(blockOff), respLen)
+	wr := nic.SendWR{
+		Op:     nic.OpSend,
+		LKey:   w.scratch.LKey,
+		LAddr:  w.scratch.Base + uint64(blockOff),
+		Len:    respLen,
+		DstNIC: e.SrcNIC,
+		DstQPN: e.SrcQPN,
+		Imm:    errFlag,
+	}
+	if respLen <= s.Host.NIC.Cfg.MaxInline {
+		wr.Inline = true
+	}
+	t.PostSend(w.qp, wr)
+}
+
+// Served returns total requests processed.
+func (s *Server) Served() uint64 {
+	var n uint64
+	for _, w := range s.workers {
+		n += w.Served
+	}
+	return n
+}
+
+// Conn is a FaSST client endpoint: one UD QP, a recv ring, a send window.
+type Conn struct {
+	id    uint16
+	h     *host.Host
+	s     *Server
+	qp    *nic.QP
+	cq    *nic.CQ
+	stage *memory.Region
+	recv  *memory.Region
+	slots []slot
+	nfree int
+	// Target server worker QP (clients are spread over workers).
+	dstNIC int
+	dstQPN uint32
+}
+
+type slot struct {
+	busy  bool
+	reqID uint64
+}
+
+// Connect admits a client (no connection state on the server: it only
+// assigns an id and a worker QP to address).
+func (s *Server) Connect(ch *host.Host, sig *sim.Signal) *Conn {
+	id := s.nextCli
+	s.nextCli++
+	cq := ch.NIC.CreateCQ()
+	cq.Sig = sig
+	qp := ch.NIC.CreateQP(nic.UD, cq, cq)
+	w := s.workers[int(id)%len(s.workers)]
+	window := s.Cfg.ClientWindow
+	conn := &Conn{
+		id:     id,
+		h:      ch,
+		s:      s,
+		qp:     qp,
+		cq:     cq,
+		stage:  ch.Mem.Register(s.Cfg.BlockSize*window, memory.PageSize2M, memory.LocalWrite),
+		recv:   ch.Mem.Register(s.Cfg.BlockSize*window*2, memory.PageSize2M, memory.LocalWrite),
+		slots:  make([]slot, window),
+		nfree:  window,
+		dstNIC: s.Host.NIC.ID(),
+		dstQPN: w.qp.QPN,
+	}
+	for i := 0; i < window*2; i++ {
+		qp.PostRecv(nic.RecvWR{
+			WRID: uint64(i),
+			LKey: conn.recv.LKey, LAddr: conn.recv.Base + uint64(i*s.Cfg.BlockSize), Len: s.Cfg.BlockSize,
+		})
+	}
+	return conn
+}
+
+// SlotCount returns the request window size.
+func (c *Conn) SlotCount() int { return len(c.slots) }
+
+// Outstanding returns in-flight requests.
+func (c *Conn) Outstanding() int { return len(c.slots) - c.nfree }
+
+// TrySend UD-sends one request to the client's assigned server worker.
+func (c *Conn) TrySend(t *host.Thread, handler uint8, payload []byte, reqID uint64) bool {
+	if c.nfree == 0 {
+		return false
+	}
+	b := -1
+	for i := range c.slots {
+		if !c.slots[i].busy {
+			b = i
+			break
+		}
+	}
+	msgLen := rpcwire.HeaderSize + len(payload)
+	if msgLen > c.s.Cfg.BlockSize {
+		return false
+	}
+	blockOff := b * c.s.Cfg.BlockSize
+	buf := c.stage.Bytes()[blockOff:]
+	rpcwire.PutHeader(buf, rpcwire.Header{ReqID: reqID, Handler: handler, ClientID: c.id})
+	copy(buf[rpcwire.HeaderSize:], payload)
+	t.WriteMem(c.stage.Base+uint64(blockOff), msgLen)
+	t.Work(c.s.Cfg.ClientOverhead)
+	wr := nic.SendWR{
+		Op:     nic.OpSend,
+		LKey:   c.stage.LKey,
+		LAddr:  c.stage.Base + uint64(blockOff),
+		Len:    msgLen,
+		DstNIC: c.dstNIC,
+		DstQPN: c.dstQPN,
+	}
+	if msgLen <= c.h.NIC.Cfg.MaxInline {
+		wr.Inline = true
+	}
+	if err := t.PostSend(c.qp, wr); err != nil {
+		return false
+	}
+	c.slots[b] = slot{busy: true, reqID: reqID}
+	c.nfree--
+	return true
+}
+
+// Poll drains the response CQ, reposting receives.
+func (c *Conn) Poll(t *host.Thread, fn func(rpccore.Response)) int {
+	t.Work(c.s.Cfg.ClientOverhead)
+	cqes := t.PollCQ(c.cq, 16)
+	got := 0
+	for _, e := range cqes {
+		if e.Status != nic.CQOK {
+			continue
+		}
+		addr := c.recv.Base + e.WRID*uint64(c.s.Cfg.BlockSize)
+		t.ReadMem(addr, e.ByteLen)
+		buf := c.recv.Bytes()[e.WRID*uint64(c.s.Cfg.BlockSize):]
+		hdr, body, err := rpcwire.ParseHeader(buf[:e.ByteLen])
+		t.PostRecv(c.qp, nic.RecvWR{WRID: e.WRID, LKey: c.recv.LKey, LAddr: addr, Len: c.s.Cfg.BlockSize})
+		if err != nil {
+			continue
+		}
+		// Find the matching slot by request id.
+		for b := range c.slots {
+			if c.slots[b].busy && c.slots[b].reqID == hdr.ReqID {
+				c.slots[b] = slot{}
+				c.nfree++
+				fn(rpccore.Response{ReqID: hdr.ReqID, Payload: body, Err: e.ImmValid && e.Imm == 1})
+				got++
+				break
+			}
+		}
+	}
+	return got
+}
+
+var _ rpccore.Server = (*Server)(nil)
+var _ rpccore.Conn = (*Conn)(nil)

@@ -1,0 +1,366 @@
+// Package rawrpc implements the paper's RawWrite baseline (Table 2): a
+// FaRM-style RPC over RC one-sided writes with every ScaleRPC optimization
+// disabled. Each client gets its own statically mapped message zone in one
+// big server pool, and its own RC connection; the server polls all zones
+// and answers with RC writes into the client's response zone.
+//
+// This is exactly the design whose scalability collapses in Figures 1(b),
+// 8 and 10: the pool footprint grows linearly with clients (CPU-cache
+// thrash on inbound) and response writes fan out over every client QP
+// (NIC-cache thrash on outbound).
+package rawrpc
+
+import (
+	"fmt"
+
+	"scalerpc/internal/host"
+	"scalerpc/internal/memory"
+	"scalerpc/internal/nic"
+	"scalerpc/internal/rpccore"
+	"scalerpc/internal/rpcwire"
+	"scalerpc/internal/sim"
+)
+
+// ServerConfig sizes a RawWrite server.
+type ServerConfig struct {
+	Workers         int
+	BlockSize       int
+	BlocksPerClient int
+	MaxClients      int
+	// PollTimeout bounds worker sleep when idle.
+	PollTimeout sim.Duration
+	// ParseCost is CPU time to parse/dispatch one request.
+	ParseCost sim.Duration
+}
+
+// DefaultServerConfig mirrors the paper's setup: 10 worker threads, 4 KB
+// message blocks.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		Workers:         10,
+		BlockSize:       4096,
+		BlocksPerClient: 16,
+		MaxClients:      512,
+		PollTimeout:     20 * sim.Microsecond,
+		ParseCost:       60,
+	}
+}
+
+// Server is a RawWrite RPC server.
+type Server struct {
+	Cfg  ServerConfig
+	Host *host.Host
+
+	pool     *rpcwire.Pool
+	handlers [256]rpccore.Handler
+	clients  []*clientState
+	workers  []*worker
+	started  bool
+}
+
+// clientState is the server-side view of one connected client.
+type clientState struct {
+	id       uint16
+	qp       *nic.QP
+	zone     int
+	respAddr uint64 // base of the client's response zone
+	respRKey uint32
+}
+
+// scratchRing is the number of response staging blocks per worker; the
+// ring must be deep enough that the NIC has gathered a block before it is
+// reused.
+const scratchRing = 64
+
+type worker struct {
+	s          *Server
+	idx        int
+	sig        *sim.Signal
+	scratch    *memory.Region // scratchRing × BlockSize response staging
+	scratchIdx int
+	buf        []byte // response assembly buffer (no memory-model cost)
+	// Served counts requests this worker processed.
+	Served uint64
+}
+
+// NewServer allocates the pool and worker bookkeeping.
+func NewServer(h *host.Host, cfg ServerConfig) *Server {
+	poolReg := h.Mem.Register(cfg.BlockSize*cfg.BlocksPerClient*cfg.MaxClients,
+		memory.PageSize2M, memory.LocalWrite|memory.RemoteWrite)
+	s := &Server{
+		Cfg:  cfg,
+		Host: h,
+		pool: rpcwire.NewPool(poolReg, cfg.BlockSize, cfg.BlocksPerClient, cfg.MaxClients),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{
+			s:       s,
+			idx:     i,
+			sig:     sim.NewSignal(h.Env),
+			scratch: h.Mem.Register(cfg.BlockSize*scratchRing, memory.PageSize2M, memory.LocalWrite),
+			buf:     make([]byte, cfg.BlockSize),
+		}
+		h.NIC.WatchRegion(poolReg.RKey, w.sig)
+		s.workers = append(s.workers, w)
+	}
+	return s
+}
+
+// Register installs a handler.
+func (s *Server) Register(id uint8, fn rpccore.Handler) { s.handlers[id] = fn }
+
+// Start launches worker threads. Zone ranges are fixed at start from
+// MaxClients (static mapping: the pool is fully formatted up front, which
+// is precisely the design the paper criticizes).
+func (s *Server) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	for i, w := range s.workers {
+		w := w
+		s.Host.Spawn(fmt.Sprintf("rawrpc-w%d", i), w.run)
+	}
+}
+
+func (w *worker) run(t *host.Thread) {
+	for {
+		n := w.sweep(t)
+		if n == 0 {
+			w.sig.WaitTimeout(t.P, w.s.Cfg.PollTimeout)
+		}
+	}
+}
+
+// sweep scans this worker's zones once, serving every valid request.
+func (w *worker) sweep(t *host.Thread) int {
+	// Zones are striped across workers so server CPU engages evenly even
+	// when few clients are connected, and the scan is block-major (all
+	// clients' slot 0, then slot 1, ...) so responses to different clients
+	// interleave — the order a fair scanner produces, and the reason
+	// RawWrite's response path cannot hide its QP-cache misses behind
+	// per-client response bursts.
+	s := w.s
+	served := 0
+	for b := 0; b < s.Cfg.BlocksPerClient; b++ {
+		for z := w.idx; z < s.Cfg.MaxClients; z += s.Cfg.Workers {
+			if z >= len(s.clients) || s.clients[z] == nil {
+				continue
+			}
+			cs := s.clients[z]
+			t.ReadMem(s.pool.ValidAddr(z, b), 1)
+			block := s.pool.Block(z, b)
+			if !rpcwire.Valid(block) {
+				continue
+			}
+			payload, _, err := rpcwire.Decode(block)
+			if err != nil {
+				rpcwire.Clear(block)
+				continue
+			}
+			t.ReadMem(s.pool.BlockAddr(z, b)+uint64(s.Cfg.BlockSize-rpcwire.TrailerSize-len(payload)),
+				len(payload)+rpcwire.TrailerSize)
+			t.Work(s.Cfg.ParseCost)
+			s.serve(t, w, cs, b, payload)
+			rpcwire.Clear(block)
+			t.WriteMem(s.pool.ValidAddr(z, b), 1)
+			served++
+			w.Served++
+		}
+	}
+	return served
+}
+
+// serve runs the handler and writes the response into the client's
+// response block for the same slot.
+func (s *Server) serve(t *host.Thread, w *worker, cs *clientState, slot int, req []byte) {
+	hdr, body, err := rpcwire.ParseHeader(req)
+	var flags byte
+	n := rpcwire.PutHeader(w.buf, rpcwire.Header{ReqID: hdr.ReqID, Handler: hdr.Handler, ClientID: uint16(cs.zone)})
+	respLen := n
+	if err == nil && s.handlers[hdr.Handler] != nil {
+		respLen = n + s.handlers[hdr.Handler](t, cs.id, body, w.buf[n:len(w.buf)-rpcwire.TrailerSize])
+	} else {
+		flags = rpcwire.FlagError
+	}
+	s.respond(t, w, cs, slot, w.buf[:respLen], flags)
+}
+
+// respond encodes the response into the worker's next scratch ring block
+// and RDMA-writes it to the client's response slot.
+func (s *Server) respond(t *host.Thread, w *worker, cs *clientState, slot int, msg []byte, flags byte) {
+	blockOff := w.scratchIdx * s.Cfg.BlockSize
+	w.scratchIdx = (w.scratchIdx + 1) % scratchRing
+	block := w.scratch.Bytes()[blockOff : blockOff+s.Cfg.BlockSize]
+	if err := rpcwire.Encode(block, msg, flags); err != nil {
+		return
+	}
+	off, span := rpcwire.EncodedSpan(s.Cfg.BlockSize, len(msg))
+	t.WriteMem(w.scratch.Base+uint64(blockOff+off), span)
+	wr := nic.SendWR{
+		Op:    nic.OpWrite,
+		LKey:  w.scratch.LKey,
+		LAddr: w.scratch.Base + uint64(blockOff+off),
+		Len:   span,
+		RKey:  cs.respRKey,
+		RAddr: cs.respAddr + uint64(slot*s.Cfg.BlockSize+off),
+	}
+	if span <= s.Host.NIC.Cfg.MaxInline {
+		wr.Inline = true
+	}
+	t.PostSend(cs.qp, wr)
+}
+
+// Served returns the total number of requests processed.
+func (s *Server) Served() uint64 {
+	var n uint64
+	for _, w := range s.workers {
+		n += w.Served
+	}
+	return n
+}
+
+// Conn is a RawWrite client endpoint.
+type Conn struct {
+	id    uint16
+	h     *host.Host
+	s     *Server
+	qp    *nic.QP
+	zone  int
+	stage *memory.Region
+	resp  *rpcwire.Pool
+	sig   *sim.Signal
+	slots []slot
+	nfree int
+}
+
+type slot struct {
+	busy  bool
+	reqID uint64
+}
+
+// Connect registers a new client on the server and builds its endpoint.
+// sig is the client thread's activity signal (woken on response arrival).
+func (s *Server) Connect(ch *host.Host, sig *sim.Signal) *Conn {
+	if len(s.clients) >= s.Cfg.MaxClients {
+		panic("rawrpc: server full")
+	}
+	id := uint16(len(s.clients))
+	// RC QP pair; both directions unsignaled (completion is the response).
+	scq := s.Host.NIC.CreateCQ()
+	ccq := ch.NIC.CreateCQ()
+	sqp := s.Host.NIC.CreateQP(nic.RC, scq, scq)
+	cqp := ch.NIC.CreateQP(nic.RC, ccq, ccq)
+	if err := nic.Connect(sqp, cqp); err != nil {
+		panic(err)
+	}
+	stage := ch.Mem.Register(s.Cfg.BlockSize*s.Cfg.BlocksPerClient,
+		memory.PageSize2M, memory.LocalWrite|memory.RemoteRead)
+	respReg := ch.Mem.Register(s.Cfg.BlockSize*(s.Cfg.BlocksPerClient+1),
+		memory.PageSize2M, memory.LocalWrite|memory.RemoteWrite)
+	cs := &clientState{
+		id:       id,
+		qp:       sqp,
+		zone:     int(id),
+		respAddr: respReg.Base,
+		respRKey: respReg.RKey,
+	}
+	s.clients = append(s.clients, cs)
+	conn := &Conn{
+		id:    id,
+		h:     ch,
+		s:     s,
+		qp:    cqp,
+		zone:  int(id),
+		stage: stage,
+		resp:  rpcwire.NewPool(respReg, s.Cfg.BlockSize, s.Cfg.BlocksPerClient+1, 1),
+		sig:   sig,
+		slots: make([]slot, s.Cfg.BlocksPerClient),
+		nfree: s.Cfg.BlocksPerClient,
+	}
+	ch.NIC.WatchRegion(respReg.RKey, sig)
+	return conn
+}
+
+// SlotCount returns the request window size.
+func (c *Conn) SlotCount() int { return len(c.slots) }
+
+// Outstanding returns in-flight requests.
+func (c *Conn) Outstanding() int { return len(c.slots) - c.nfree }
+
+// TrySend posts one request into a free slot of the client's server zone.
+func (c *Conn) TrySend(t *host.Thread, handler uint8, payload []byte, reqID uint64) bool {
+	if c.nfree == 0 {
+		return false
+	}
+	b := -1
+	for i := range c.slots {
+		if !c.slots[i].busy {
+			b = i
+			break
+		}
+	}
+	msg := make([]byte, rpcwire.HeaderSize+len(payload))
+	rpcwire.PutHeader(msg, rpcwire.Header{ReqID: reqID, Handler: handler, ClientID: c.id})
+	copy(msg[rpcwire.HeaderSize:], payload)
+
+	blockOff := b * c.s.Cfg.BlockSize
+	block := c.stage.Bytes()[blockOff : blockOff+c.s.Cfg.BlockSize]
+	if err := rpcwire.Encode(block, msg, 0); err != nil {
+		return false
+	}
+	off, span := rpcwire.EncodedSpan(c.s.Cfg.BlockSize, len(msg))
+	t.WriteMem(c.stage.Base+uint64(blockOff+off), span)
+	wr := nic.SendWR{
+		Op:    nic.OpWrite,
+		LKey:  c.stage.LKey,
+		LAddr: c.stage.Base + uint64(blockOff+off),
+		Len:   span,
+		RKey:  c.s.pool.RKey(),
+		RAddr: c.s.pool.BlockAddr(c.zone, b) + uint64(off),
+	}
+	if span <= c.h.NIC.Cfg.MaxInline {
+		wr.Inline = true
+	}
+	if err := t.PostSend(c.qp, wr); err != nil {
+		return false
+	}
+	c.slots[b] = slot{busy: true, reqID: reqID}
+	c.nfree--
+	return true
+}
+
+// Poll scans this connection's in-flight response slots.
+func (c *Conn) Poll(t *host.Thread, fn func(rpccore.Response)) int {
+	got := 0
+	for b := range c.slots {
+		if !c.slots[b].busy {
+			continue
+		}
+		t.ReadMem(c.resp.ValidAddr(0, b), 1)
+		block := c.resp.Block(0, b)
+		if !rpcwire.Valid(block) {
+			continue
+		}
+		payload, flags, err := rpcwire.Decode(block)
+		if err != nil {
+			rpcwire.Clear(block)
+			continue
+		}
+		t.ReadMem(c.resp.BlockAddr(0, b), len(payload)+rpcwire.TrailerSize)
+		hdr, body, herr := rpcwire.ParseHeader(payload)
+		rpcwire.Clear(block)
+		t.WriteMem(c.resp.ValidAddr(0, b), 1)
+		c.slots[b].busy = false
+		c.nfree++
+		if herr != nil {
+			continue
+		}
+		fn(rpccore.Response{ReqID: hdr.ReqID, Payload: body, Err: flags&rpcwire.FlagError != 0})
+		got++
+	}
+	return got
+}
+
+var _ rpccore.Server = (*Server)(nil)
+var _ rpccore.Conn = (*Conn)(nil)

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"scalerpc/internal/sim"
+)
+
+func TestAddPointCreatesAndAppends(t *testing.T) {
+	r := &Result{}
+	r.AddPoint("a", 1, 10)
+	r.AddPoint("a", 2, 20)
+	r.AddPoint("b", 1, 5)
+	if len(r.Series) != 2 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	if len(r.Series[0].X) != 2 || r.Series[0].Y[1] != 20 {
+		t.Fatalf("series a = %+v", r.Series[0])
+	}
+}
+
+func TestRenderAlignsSeriesByX(t *testing.T) {
+	r := &Result{ID: "t", Title: "test", XLabel: "x", YLabel: "y"}
+	r.AddPoint("a", 1, 10)
+	r.AddPoint("a", 2, 20)
+	r.AddPoint("b", 2, 200)
+	out := r.Render()
+	if !strings.Contains(out, "== t: test ==") {
+		t.Fatal("missing header")
+	}
+	// x=1 row has '-' for series b.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "1 ") && !strings.Contains(line, "-") {
+			t.Fatalf("missing placeholder in row: %q", line)
+		}
+	}
+}
+
+func TestCSVLongFormat(t *testing.T) {
+	r := &Result{}
+	r.AddPoint("s1", 40, 1.5)
+	csv := r.CSV()
+	if !strings.Contains(csv, "series,x,y\n") || !strings.Contains(csv, "s1,40,1.5\n") {
+		t.Fatalf("csv = %q", csv)
+	}
+}
+
+func TestRegistryCoversEveryPaperExperiment(t *testing.T) {
+	want := []string{
+		"fig1a", "fig1b", "fig3a", "fig3b", "fig8", "fig9", "fig10",
+		"fig11a", "fig11b", "fig12", "fig13", "fig16a", "fig16b",
+		"sec51", "ablate",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(Experiments()) < len(want) {
+		t.Fatalf("registry has %d entries, want ≥ %d", len(Experiments()), len(want))
+	}
+}
+
+func TestMopsMath(t *testing.T) {
+	if got := mops(1000, sim.Millisecond); got != 1 {
+		t.Fatalf("mops(1000, 1ms) = %f, want 1", got)
+	}
+	if got := mops(0, 0); got != 0 {
+		t.Fatalf("mops(0,0) = %f", got)
+	}
+}
+
+func TestNotes(t *testing.T) {
+	r := &Result{}
+	r.Note("has 50% literal")
+	r.Notef("x=%d", 7)
+	if r.Notes[0] != "has 50% literal" || r.Notes[1] != "x=7" {
+		t.Fatalf("notes = %v", r.Notes)
+	}
+}

@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+
+	"scalerpc/internal/baseline/fasstrpc"
+	"scalerpc/internal/baseline/herdrpc"
+	"scalerpc/internal/baseline/rawrpc"
+	"scalerpc/internal/cluster"
+	"scalerpc/internal/host"
+	"scalerpc/internal/mica"
+	"scalerpc/internal/objstore"
+	"scalerpc/internal/rpccore"
+	"scalerpc/internal/scalerpc"
+	"scalerpc/internal/sim"
+	"scalerpc/internal/smallbank"
+	"scalerpc/internal/txn"
+)
+
+func init() {
+	register("fig16a", "Object-store transactions: 5 systems", runFig16a)
+	register("fig16b", "SmallBank transactions: 5 systems", runFig16b)
+}
+
+// txnSystems in presentation order. ScaleTX-O is ScaleRPC without
+// one-sided verbs; ScaleTX co-uses them (§4.2).
+var txnSystems = []string{"RawWrite", "HERD", "FaSST", "ScaleTX-O", "ScaleTX"}
+
+const txnParticipants = 3
+
+// buildTxnDeployment builds participants on hosts[0:3] with the named
+// transport and returns a per-client connect function plus the
+// participants.
+func buildTxnDeployment(c *cluster.Cluster, system string, storeCfg mica.Config) ([]*txn.Participant, func(ch *host.Host, sig *sim.Signal) []rpccore.Conn, bool) {
+	parts := make([]*txn.Participant, txnParticipants)
+	oneSided := false
+	var connFns []func(*host.Host, *sim.Signal) rpccore.Conn
+	var scaleSrvs []*scalerpc.Server
+	for i := 0; i < txnParticipants; i++ {
+		h := c.Hosts[i]
+		parts[i] = txn.NewParticipant(h, storeCfg)
+		switch system {
+		case "RawWrite":
+			s := rawrpc.NewServer(h, rawrpc.DefaultServerConfig())
+			parts[i].RegisterHandlers(s)
+			s.Start()
+			connFns = append(connFns, func(ch *host.Host, sig *sim.Signal) rpccore.Conn { return s.Connect(ch, sig) })
+		case "HERD":
+			s := herdrpc.NewServer(h, herdrpc.DefaultServerConfig())
+			parts[i].RegisterHandlers(s)
+			s.Start()
+			connFns = append(connFns, func(ch *host.Host, sig *sim.Signal) rpccore.Conn { return s.Connect(ch, sig) })
+		case "FaSST":
+			s := fasstrpc.NewServer(h, fasstrpc.DefaultServerConfig())
+			parts[i].RegisterHandlers(s)
+			s.Start()
+			connFns = append(connFns, func(ch *host.Host, sig *sim.Signal) rpccore.Conn { return s.Connect(ch, sig) })
+		case "ScaleTX-O", "ScaleTX":
+			oneSided = system == "ScaleTX"
+			cfg := scalerpc.DefaultServerConfig()
+			// Multi-server deployments need identical group membership on
+			// every server, so the per-server dynamic scheduler is off and
+			// clients group statically by join order; the NTP-like sync
+			// keeps the switch phases aligned (§4.2).
+			cfg.Dynamic = false
+			cfg.SyncPeriod = 2 * sim.Millisecond
+			s := scalerpc.NewServer(h, cfg)
+			parts[i].RegisterHandlers(s)
+			s.Start()
+			scaleSrvs = append(scaleSrvs, s)
+			connFns = append(connFns, func(ch *host.Host, sig *sim.Signal) rpccore.Conn { return s.Connect(ch, sig) })
+		default:
+			panic("bench: unknown txn system " + system)
+		}
+	}
+	if len(scaleSrvs) > 1 {
+		// Multi-server ScaleRPC needs global synchronization (§4.2).
+		scalerpc.NewSyncGroup(scaleSrvs)
+	}
+	connect := func(ch *host.Host, sig *sim.Signal) []rpccore.Conn {
+		conns := make([]rpccore.Conn, txnParticipants)
+		for i, fn := range connFns {
+			conns[i] = fn(ch, sig)
+		}
+		return conns
+	}
+	return parts, connect, oneSided
+}
+
+// runTxnPoint runs nCoords coordinators of the given system against a
+// generator factory and returns committed Mtxns/s plus abort statistics.
+func runTxnPoint(system string, nCoords int, storeCfg mica.Config,
+	load func([]*txn.Participant) error,
+	genFor func(i int) func() *txn.Txn, opts Options) (float64, txn.CoordinatorStats) {
+
+	c := cluster.New(cluster.Default(12))
+	defer c.Close()
+	parts, connect, oneSided := buildTxnDeployment(c, system, storeCfg)
+	if err := load(parts); err != nil {
+		panic(err)
+	}
+
+	horizon := opts.Warmup + opts.Duration
+	commits := make([]uint64, nCoords)
+	coords := make([]*txn.Coordinator, nCoords)
+	clientHosts := 9 // hosts 3..11
+	for i := 0; i < nCoords; i++ {
+		i := i
+		ch := c.Hosts[txnParticipants+i%clientHosts]
+		sig := sim.NewSignal(c.Env)
+		co := txn.NewCoordinator(ch, uint64(i+1), parts, connect(ch, sig), oneSided, sig)
+		coords[i] = co
+		gen := genFor(i)
+		co.Spawn(func(t *host.Thread, cc *txn.Coordinator) {
+			t.P.Sleep(sim.Duration(i%64) * 311)
+			var measured uint64
+			started := false
+			n, _ := txn.RunLoop(t, cc, gen, func() bool {
+				now := t.P.Now()
+				if !started && now >= opts.Warmup {
+					started = true
+					measured = cc.Stats.Commits
+				}
+				return now >= horizon
+			})
+			_ = n
+			if started {
+				commits[i] = cc.Stats.Commits - measured
+			}
+		})
+	}
+	c.Env.RunUntil(horizon + 500*sim.Microsecond)
+	var total uint64
+	var agg txn.CoordinatorStats
+	for i, co := range coords {
+		total += commits[i]
+		agg.Commits += co.Stats.Commits
+		agg.LockAborts += co.Stats.LockAborts
+		agg.ValidationAborts += co.Stats.ValidationAborts
+		agg.OneSidedReads += co.Stats.OneSidedReads
+		agg.OneSidedWrites += co.Stats.OneSidedWrites
+	}
+	return mops(total, opts.Duration), agg
+}
+
+func txnStoreCfg(quick bool) mica.Config {
+	if quick {
+		return mica.Config{Buckets: 1 << 15, Items: 1 << 17, SlotSize: 128}
+	}
+	return mica.Config{Buckets: 1 << 18, Items: 1 << 21, SlotSize: 128}
+}
+
+func objKeys(quick bool) int {
+	if quick {
+		return 50_000
+	}
+	return 1 << 20
+}
+
+func runFig16a(opts Options) *Result {
+	r := &Result{
+		ID: "fig16a", Title: "Object-store transactions ((r,w) read/write sets)",
+		XLabel: "clients", YLabel: "Mtxns/s",
+	}
+	mixes := []struct {
+		name string
+		r, w int
+	}{{"r4w0", 4, 0}, {"r3w1", 3, 1}}
+	counts := []int{80, 160}
+	if opts.Quick {
+		counts = []int{80}
+	}
+	for _, mix := range mixes {
+		ocfg := objstore.Config{Keys: objKeys(opts.Quick), ValueSize: 40, ReadSet: mix.r, WriteSet: mix.w}
+		for _, n := range counts {
+			for _, sys := range txnSystems {
+				tput, _ := runTxnPoint(sys, n, txnStoreCfg(opts.Quick),
+					func(p []*txn.Participant) error { return objstore.Load(p, ocfg) },
+					func(i int) func() *txn.Txn {
+						g := objstore.NewGen(ocfg, opts.Seed*131+uint64(i))
+						return g.Next
+					}, opts)
+				r.AddPoint(fmt.Sprintf("%s/%s", sys, mix.name), float64(n), tput)
+			}
+		}
+	}
+	r.Note("paper: read-only (a.1) ScaleTX == ScaleTX-O; read-write (a.2) ScaleTX beats RawWrite/HERD/FaSST/ScaleTX-O by 131%/60%/51%/10% at 160 clients")
+	return r
+}
+
+func runFig16b(opts Options) *Result {
+	r := &Result{
+		ID: "fig16b", Title: "SmallBank transactions",
+		XLabel: "clients", YLabel: "Mtxns/s",
+	}
+	sbCfg := smallbank.DefaultConfig()
+	if opts.Quick {
+		sbCfg.Accounts = 20_000
+	} else {
+		sbCfg.Accounts = 1_000_000
+	}
+	counts := []int{80, 160}
+	if opts.Quick {
+		counts = []int{80}
+	}
+	for _, n := range counts {
+		for _, sys := range txnSystems {
+			tput, agg := runTxnPoint(sys, n, txnStoreCfg(opts.Quick),
+				func(p []*txn.Participant) error { return smallbank.Load(p, sbCfg) },
+				func(i int) func() *txn.Txn {
+					g := smallbank.NewGen(sbCfg, opts.Seed*733+uint64(i))
+					return g.Next
+				}, opts)
+			r.AddPoint(sys, float64(n), tput)
+			if sys == "ScaleTX" {
+				r.Notef("ScaleTX@%d aborts: lock=%d validation=%d (one-sided reads=%d writes=%d)",
+					n, agg.LockAborts, agg.ValidationAborts, agg.OneSidedReads, agg.OneSidedWrites)
+			}
+		}
+	}
+	r.Note("paper: at 160 clients ScaleTX beats RawWrite/HERD/FaSST/ScaleTX-O by 160%/73%/79%/26%")
+	return r
+}

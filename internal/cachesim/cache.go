@@ -1,0 +1,263 @@
+// Package cachesim implements a set-associative last-level-cache simulator
+// with an Intel DDIO-style DMA write path.
+//
+// The model distinguishes two agents:
+//
+//   - CPU accesses (Read/Write) may allocate in any way of a set.
+//   - DMA writes from the NIC follow DDIO: if the target line is already
+//     resident it is updated in place ("Write Update"); otherwise the line
+//     is allocated ("Write Allocate"), but DDIO-allocated lines may occupy
+//     at most DDIOWays ways of each set — the "10% of the LLC" restriction
+//     the paper cites from the Intel DDIO primer. When that budget is
+//     exhausted the allocation evicts the oldest DDIO line of the set,
+//     which is exactly the churn that shows up as PCIeItoM traffic and CPU
+//     read misses in Figures 3(b) and 10.
+//
+// A CPU read hit on a DDIO-allocated line "adopts" it: the line is then
+// ordinary cached data and no longer counts against the DDIO budget.
+package cachesim
+
+import "fmt"
+
+// Stats counts cache events. All counters are cumulative.
+type Stats struct {
+	CPUReadHits    uint64
+	CPUReadMisses  uint64
+	CPUWriteHits   uint64
+	CPUWriteMisses uint64
+	DMAUpdates     uint64 // DMA write hit: in-place update (Write Update)
+	DMAAllocs      uint64 // DMA write miss: Write Allocate
+	DMAEvictions   uint64 // DDIO allocations that displaced another DDIO line
+	Evictions      uint64 // all line replacements
+}
+
+// MissRate returns the CPU read miss ratio in [0,1].
+func (s Stats) MissRate() float64 {
+	total := s.CPUReadHits + s.CPUReadMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CPUReadMisses) / float64(total)
+}
+
+type line struct {
+	tag   uint64 // tag+1; 0 means invalid
+	stamp uint64 // per-set LRU clock value at last touch
+	ddio  bool   // allocated by DMA and not yet read by the CPU
+}
+
+// Cache is a set-associative LRU cache. It is not safe for concurrent use;
+// in the simulator all accesses happen on the single scheduler goroutine.
+type Cache struct {
+	Stats
+	lineSize uint64
+	sets     uint64
+	ways     int
+	ddioWays int
+	lines    []line // sets × ways
+	clock    uint64
+}
+
+// Config describes a cache geometry.
+type Config struct {
+	SizeBytes int // total capacity
+	Ways      int // associativity
+	LineSize  int // bytes per line (typically 64)
+	DDIOWays  int // max ways per set occupied by unread DMA data
+}
+
+// New builds a cache. Size must be divisible by Ways*LineSize; the set
+// count is rounded down to a power of two for cheap indexing.
+func New(cfg Config) *Cache {
+	if cfg.LineSize <= 0 || cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		panic("cachesim: invalid config")
+	}
+	if cfg.DDIOWays <= 0 || cfg.DDIOWays > cfg.Ways {
+		panic(fmt.Sprintf("cachesim: DDIOWays %d out of range (ways=%d)", cfg.DDIOWays, cfg.Ways))
+	}
+	sets := uint64(cfg.SizeBytes / (cfg.Ways * cfg.LineSize))
+	if sets == 0 {
+		sets = 1
+	}
+	// Round down to a power of two.
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1
+	}
+	return &Cache{
+		lineSize: uint64(cfg.LineSize),
+		sets:     sets,
+		ways:     cfg.Ways,
+		ddioWays: cfg.DDIOWays,
+		lines:    make([]line, int(sets)*cfg.Ways),
+	}
+}
+
+// SizeBytes returns the effective capacity after set rounding.
+func (c *Cache) SizeBytes() int { return int(c.sets) * c.ways * int(c.lineSize) }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return int(c.lineSize) }
+
+func (c *Cache) set(addr uint64) (setBase int, tag uint64) {
+	lineNo := addr / c.lineSize
+	return int(lineNo&(c.sets-1)) * c.ways, lineNo/c.sets + 1
+}
+
+// lookup returns the way index holding tag in the set, or -1.
+func (c *Cache) lookup(setBase int, tag uint64) int {
+	for w := 0; w < c.ways; w++ {
+		if c.lines[setBase+w].tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// victim returns the way to replace for a CPU allocation: an invalid way if
+// any, else the LRU way.
+func (c *Cache) victim(setBase int) int {
+	best, bestStamp := 0, ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[setBase+w]
+		if l.tag == 0 {
+			return w
+		}
+		if l.stamp < bestStamp {
+			best, bestStamp = w, l.stamp
+		}
+	}
+	return best
+}
+
+// CPURead touches [addr, addr+size) as CPU loads and returns the number of
+// lines that hit and missed.
+func (c *Cache) CPURead(addr, size uint64) (hits, misses int) {
+	c.forEachLine(addr, size, func(setBase int, tag uint64) {
+		c.clock++
+		if w := c.lookup(setBase, tag); w >= 0 {
+			l := &c.lines[setBase+w]
+			l.stamp = c.clock
+			l.ddio = false // adopted by the CPU
+			hits++
+			c.CPUReadHits++
+			return
+		}
+		misses++
+		c.CPUReadMisses++
+		w := c.victim(setBase)
+		l := &c.lines[setBase+w]
+		if l.tag != 0 {
+			c.Evictions++
+		}
+		*l = line{tag: tag, stamp: c.clock}
+	})
+	return hits, misses
+}
+
+// CPUWrite touches [addr, addr+size) as CPU stores (write-allocate policy).
+func (c *Cache) CPUWrite(addr, size uint64) (hits, misses int) {
+	c.forEachLine(addr, size, func(setBase int, tag uint64) {
+		c.clock++
+		if w := c.lookup(setBase, tag); w >= 0 {
+			l := &c.lines[setBase+w]
+			l.stamp = c.clock
+			l.ddio = false
+			hits++
+			c.CPUWriteHits++
+			return
+		}
+		misses++
+		c.CPUWriteMisses++
+		w := c.victim(setBase)
+		l := &c.lines[setBase+w]
+		if l.tag != 0 {
+			c.Evictions++
+		}
+		*l = line{tag: tag, stamp: c.clock}
+	})
+	return hits, misses
+}
+
+// DMAWrite performs a DDIO write of [addr, addr+size) and returns how many
+// lines were updated in place versus write-allocated.
+func (c *Cache) DMAWrite(addr, size uint64) (updates, allocs int) {
+	c.forEachLine(addr, size, func(setBase int, tag uint64) {
+		c.clock++
+		if w := c.lookup(setBase, tag); w >= 0 {
+			// Write Update: in-place, keeps current DDIO status.
+			l := &c.lines[setBase+w]
+			l.stamp = c.clock
+			updates++
+			c.DMAUpdates++
+			return
+		}
+		allocs++
+		c.DMAAllocs++
+		// Write Allocate, restricted to the DDIO way budget: prefer an
+		// invalid way; otherwise, if the set already holds DDIOWays dma
+		// lines, replace the oldest of those; otherwise replace global LRU.
+		invalid, oldestDDIO, ddioCount := -1, -1, 0
+		var oldestDDIOStamp uint64 = ^uint64(0)
+		for w := 0; w < c.ways; w++ {
+			l := &c.lines[setBase+w]
+			if l.tag == 0 {
+				if invalid < 0 {
+					invalid = w
+				}
+				continue
+			}
+			if l.ddio {
+				ddioCount++
+				if l.stamp < oldestDDIOStamp {
+					oldestDDIO, oldestDDIOStamp = w, l.stamp
+				}
+			}
+		}
+		var w int
+		switch {
+		case invalid >= 0:
+			w = invalid
+		case ddioCount >= c.ddioWays:
+			w = oldestDDIO
+			c.DMAEvictions++
+			c.Evictions++
+		default:
+			w = c.victim(setBase)
+			c.Evictions++
+		}
+		c.lines[setBase+w] = line{tag: tag, stamp: c.clock, ddio: true}
+	})
+	return updates, allocs
+}
+
+// Contains reports whether the line holding addr is resident (no LRU touch).
+func (c *Cache) Contains(addr uint64) bool {
+	setBase, tag := c.set(addr)
+	return c.lookup(setBase, tag) >= 0
+}
+
+// Flush invalidates the whole cache but keeps statistics.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() { c.Stats = Stats{} }
+
+// Snapshot returns a copy of the counters.
+func (c *Cache) Snapshot() Stats { return c.Stats }
+
+func (c *Cache) forEachLine(addr, size uint64, fn func(setBase int, tag uint64)) {
+	if size == 0 {
+		return
+	}
+	first := addr / c.lineSize
+	last := (addr + size - 1) / c.lineSize
+	for lineNo := first; lineNo <= last; lineNo++ {
+		a := lineNo * c.lineSize
+		setBase, tag := c.set(a)
+		fn(setBase, tag)
+	}
+}

@@ -1,0 +1,82 @@
+// Package cluster assembles a simulated testbed: N hosts attached to one
+// switch, with a single Config controlling every model parameter. The
+// default configuration mirrors the paper's evaluation platform (§3.6.1):
+// 12 nodes, dual Xeon E5-2650 v4 (24 cores, 30 MB LLC), ConnectX-3 FDR
+// HCAs on a 56 Gbps Mellanox SX-1012 switch.
+package cluster
+
+import (
+	"scalerpc/internal/fabric"
+	"scalerpc/internal/host"
+	"scalerpc/internal/nic"
+	"scalerpc/internal/pcie"
+	"scalerpc/internal/sim"
+	"scalerpc/internal/stats"
+)
+
+// Config is the complete description of a simulated cluster.
+type Config struct {
+	Hosts  int
+	Seed   uint64
+	Fabric fabric.Config
+	NIC    nic.Config
+	Host   host.Config
+	PCIe   pcie.CostModel
+}
+
+// Default returns the paper-testbed configuration with n hosts.
+func Default(n int) Config {
+	return Config{
+		Hosts:  n,
+		Seed:   1,
+		Fabric: fabric.DefaultConfig(),
+		NIC:    nic.DefaultConfig(),
+		Host:   host.DefaultConfig(),
+		PCIe:   pcie.DefaultCostModel(),
+	}
+}
+
+// Cluster is a running testbed.
+type Cluster struct {
+	Cfg    Config
+	Env    *sim.Env
+	Fabric *fabric.Fabric
+	Hosts  []*host.Host
+	RNG    *stats.RNG
+}
+
+// New builds a cluster from cfg.
+func New(cfg Config) *Cluster {
+	env := sim.NewEnv()
+	fab := fabric.New(env, cfg.Fabric, cfg.Hosts)
+	rng := stats.NewRNG(cfg.Seed)
+	c := &Cluster{Cfg: cfg, Env: env, Fabric: fab, RNG: rng}
+	for i := 0; i < cfg.Hosts; i++ {
+		c.Hosts = append(c.Hosts, host.New(env, i, cfg.Host, cfg.NIC, cfg.PCIe, fab, rng.Split()))
+	}
+	return c
+}
+
+// Close tears down the simulation, terminating all live processes.
+func (c *Cluster) Close() { c.Env.Close() }
+
+// ConnectRC creates and connects an RC QP pair between hosts a and b using
+// the given CQs (out-of-band setup).
+func (c *Cluster) ConnectRC(a, b *host.Host, aSend, aRecv, bSend, bRecv *nic.CQ) (*nic.QP, *nic.QP) {
+	qa := a.NIC.CreateQP(nic.RC, aSend, aRecv)
+	qb := b.NIC.CreateQP(nic.RC, bSend, bRecv)
+	if err := nic.Connect(qa, qb); err != nil {
+		panic(err)
+	}
+	return qa, qb
+}
+
+// ConnectUC creates and connects a UC QP pair.
+func (c *Cluster) ConnectUC(a, b *host.Host, aSend, aRecv, bSend, bRecv *nic.CQ) (*nic.QP, *nic.QP) {
+	qa := a.NIC.CreateQP(nic.UC, aSend, aRecv)
+	qb := b.NIC.CreateQP(nic.UC, bSend, bRecv)
+	if err := nic.Connect(qa, qb); err != nil {
+		panic(err)
+	}
+	return qa, qb
+}

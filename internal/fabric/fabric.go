@@ -1,0 +1,141 @@
+// Package fabric models the cluster interconnect: one switch with a
+// full-duplex port per host, matching the paper's testbed (a Mellanox
+// SX-1012 with 56 Gbps FDR links).
+//
+// Each port serializes transmissions at link bandwidth in each direction
+// independently; messages between a port pair are delivered in FIFO order
+// (InfiniBand links are lossless and ordered thanks to link-level flow
+// control, which is why RC retransmission logic in the NIC model never
+// fires outside fault-injection tests).
+package fabric
+
+import (
+	"fmt"
+
+	"scalerpc/internal/sim"
+)
+
+// Config describes the interconnect.
+type Config struct {
+	// BandwidthGbps is per-port bandwidth in each direction.
+	BandwidthGbps float64
+	// SwitchLatency is propagation plus switching delay applied once per
+	// message between tx completion and rx start.
+	SwitchLatency sim.Duration
+	// WireOverheadBytes is per-message header overhead on the wire
+	// (LRH+GRH+BTH+ICRC etc. for IB).
+	WireOverheadBytes int
+}
+
+// DefaultConfig matches the paper's 56 Gbps FDR fabric.
+func DefaultConfig() Config {
+	return Config{
+		BandwidthGbps:     56,
+		SwitchLatency:     300,
+		WireOverheadBytes: 38,
+	}
+}
+
+// Message is one unit of delivery between NICs. Payload is opaque to the
+// fabric.
+type Message struct {
+	Src, Dst int
+	Bytes    int // payload size for wire-time purposes
+	Payload  interface{}
+}
+
+// PortStats counts per-port traffic.
+type PortStats struct {
+	TxMessages uint64
+	TxBytes    uint64
+	RxMessages uint64
+	RxBytes    uint64
+}
+
+// Port is one host's attachment point.
+type Port struct {
+	ID      int
+	fab     *Fabric
+	txFree  sim.Time
+	rxFree  sim.Time
+	deliver func(*Message)
+	Stats   PortStats
+}
+
+// OnDeliver installs the receive handler (called inline from the scheduler;
+// must not block).
+func (p *Port) OnDeliver(fn func(*Message)) { p.deliver = fn }
+
+// Fabric is the switch plus all ports.
+type Fabric struct {
+	env   *sim.Env
+	cfg   Config
+	ports []*Port
+	// bytesPerNs is the per-direction port bandwidth.
+	bytesPerNs float64
+}
+
+// New creates a fabric with n ports.
+func New(env *sim.Env, cfg Config, n int) *Fabric {
+	if cfg.BandwidthGbps <= 0 {
+		panic("fabric: bandwidth must be positive")
+	}
+	f := &Fabric{env: env, cfg: cfg, bytesPerNs: cfg.BandwidthGbps / 8.0}
+	for i := 0; i < n; i++ {
+		f.ports = append(f.ports, &Port{ID: i, fab: f})
+	}
+	return f
+}
+
+// Port returns port i.
+func (f *Fabric) Port(i int) *Port { return f.ports[i] }
+
+// NumPorts returns the number of ports.
+func (f *Fabric) NumPorts() int { return len(f.ports) }
+
+// wireTime returns serialization time for a message of size payload bytes.
+func (f *Fabric) wireTime(payload int) sim.Duration {
+	bytes := payload + f.cfg.WireOverheadBytes
+	d := sim.Duration(float64(bytes) / f.bytesPerNs)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Send transmits msg from its Src port to its Dst port, modelling
+// serialization on the source uplink, switch latency, and serialization on
+// the destination downlink. Delivery invokes the destination port's handler.
+func (f *Fabric) Send(msg *Message) {
+	if msg.Src < 0 || msg.Src >= len(f.ports) || msg.Dst < 0 || msg.Dst >= len(f.ports) {
+		panic(fmt.Sprintf("fabric: bad ports src=%d dst=%d", msg.Src, msg.Dst))
+	}
+	src, dst := f.ports[msg.Src], f.ports[msg.Dst]
+	now := f.env.Now()
+	wt := f.wireTime(msg.Bytes)
+
+	txStart := now
+	if src.txFree > txStart {
+		txStart = src.txFree
+	}
+	txEnd := txStart + wt
+	src.txFree = txEnd
+
+	rxStart := txEnd + f.cfg.SwitchLatency
+	if dst.rxFree > rxStart {
+		rxStart = dst.rxFree
+	}
+	rxEnd := rxStart + wt
+	dst.rxFree = rxEnd
+
+	src.Stats.TxMessages++
+	src.Stats.TxBytes += uint64(msg.Bytes + f.cfg.WireOverheadBytes)
+
+	f.env.At(rxEnd-now, func() {
+		dst.Stats.RxMessages++
+		dst.Stats.RxBytes += uint64(msg.Bytes + f.cfg.WireOverheadBytes)
+		if dst.deliver != nil {
+			dst.deliver(msg)
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package fabric
+
+import (
+	"testing"
+
+	"scalerpc/internal/sim"
+)
+
+func testFabric(e *sim.Env, n int) *Fabric {
+	return New(e, Config{BandwidthGbps: 56, SwitchLatency: 300, WireOverheadBytes: 38}, n)
+}
+
+func TestDeliveryLatency(t *testing.T) {
+	e := sim.NewEnv()
+	f := testFabric(e, 2)
+	var at sim.Time
+	f.Port(1).OnDeliver(func(m *Message) { at = e.Now() })
+	f.Send(&Message{Src: 0, Dst: 1, Bytes: 32})
+	e.Run()
+	// wire time = (32+38)/7 = 10ns per direction, +300 switch = 320.
+	if at != 320 {
+		t.Fatalf("delivered at %d, want 320", at)
+	}
+}
+
+func TestFIFOBetweenPortPair(t *testing.T) {
+	e := sim.NewEnv()
+	f := testFabric(e, 2)
+	var got []int
+	f.Port(1).OnDeliver(func(m *Message) { got = append(got, m.Payload.(int)) })
+	for i := 0; i < 10; i++ {
+		f.Send(&Message{Src: 0, Dst: 1, Bytes: 64, Payload: i})
+	}
+	e.Run()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d messages, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: %v", i, got)
+		}
+	}
+}
+
+func TestSerializationLimitsThroughput(t *testing.T) {
+	e := sim.NewEnv()
+	f := testFabric(e, 2)
+	count := 0
+	f.Port(1).OnDeliver(func(m *Message) { count++ })
+	// 1000 × 4 KB messages from one port: limited by 7 B/ns uplink.
+	for i := 0; i < 1000; i++ {
+		f.Send(&Message{Src: 0, Dst: 1, Bytes: 4096})
+	}
+	end := e.Run()
+	if count != 1000 {
+		t.Fatalf("count = %d", count)
+	}
+	wirePerMsg := (4096 + 38) * 1000 / 7 / 1000 // ns
+	min := sim.Time(wirePerMsg * 1000)
+	if end < min {
+		t.Fatalf("finished at %d, faster than line rate allows (%d)", end, min)
+	}
+	if end > min*12/10+1000 {
+		t.Fatalf("finished at %d, much slower than line rate (%d)", end, min)
+	}
+}
+
+func TestIndependentPortsDontSerialize(t *testing.T) {
+	e := sim.NewEnv()
+	f := testFabric(e, 4)
+	var t1, t2 sim.Time
+	f.Port(1).OnDeliver(func(m *Message) { t1 = e.Now() })
+	f.Port(3).OnDeliver(func(m *Message) { t2 = e.Now() })
+	f.Send(&Message{Src: 0, Dst: 1, Bytes: 4096})
+	f.Send(&Message{Src: 2, Dst: 3, Bytes: 4096})
+	e.Run()
+	if t1 != t2 {
+		t.Fatalf("disjoint flows interfered: %d vs %d", t1, t2)
+	}
+}
+
+func TestIncastSerializesOnReceiverDownlink(t *testing.T) {
+	e := sim.NewEnv()
+	f := testFabric(e, 5)
+	var last sim.Time
+	n := 0
+	f.Port(0).OnDeliver(func(m *Message) { last = e.Now(); n++ })
+	for src := 1; src < 5; src++ {
+		f.Send(&Message{Src: src, Dst: 0, Bytes: 4096})
+	}
+	e.Run()
+	if n != 4 {
+		t.Fatalf("n = %d", n)
+	}
+	// Four 4 KB messages through one downlink: ≥ 4 × 590ns serialization.
+	if last < 4*590 {
+		t.Fatalf("incast finished at %d, receiver downlink not modelled", last)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	e := sim.NewEnv()
+	f := testFabric(e, 2)
+	f.Port(1).OnDeliver(func(m *Message) {})
+	f.Send(&Message{Src: 0, Dst: 1, Bytes: 100})
+	e.Run()
+	if f.Port(0).Stats.TxMessages != 1 || f.Port(1).Stats.RxMessages != 1 {
+		t.Fatalf("stats: %+v %+v", f.Port(0).Stats, f.Port(1).Stats)
+	}
+	if f.Port(0).Stats.TxBytes != 138 {
+		t.Fatalf("TxBytes = %d, want 138", f.Port(0).Stats.TxBytes)
+	}
+}

@@ -1,0 +1,165 @@
+// Package host models one machine: a pool of CPU cores, a last-level cache
+// shared with the NIC via DDIO, a PCIe root complex, registered memory, and
+// one RNIC. It also provides the Thread abstraction simulated software runs
+// on: threads charge CPU time against the core pool and pay LLC-modelled
+// costs for the memory they touch, which is how message-pool footprint
+// turns into real slowdown (Figure 3(b)).
+package host
+
+import (
+	"fmt"
+
+	"scalerpc/internal/cachesim"
+	"scalerpc/internal/fabric"
+	"scalerpc/internal/memory"
+	"scalerpc/internal/nic"
+	"scalerpc/internal/pcie"
+	"scalerpc/internal/sim"
+	"scalerpc/internal/stats"
+)
+
+// Config describes a machine.
+type Config struct {
+	Cores int
+	LLC   cachesim.Config
+
+	// CPU memory access costs (per cacheline).
+	LLCHitCost  sim.Duration
+	MemReadCost sim.Duration
+
+	// BaseOpCost approximates the instruction overhead of one software
+	// operation (function call, branch, small compute) and is used by
+	// upper layers as the unit of "handler work".
+	BaseOpCost sim.Duration
+}
+
+// DefaultConfig matches the paper's dual E5-2650 v4 nodes: 24 cores and a
+// 30 MB LLC (2×12-core sockets modelled as one pool), with DDIO limited to
+// 10% of ways.
+func DefaultConfig() Config {
+	return Config{
+		Cores: 24,
+		LLC: cachesim.Config{
+			SizeBytes: 30 << 20,
+			Ways:      20,
+			LineSize:  64,
+			DDIOWays:  2,
+		},
+		LLCHitCost:  15,
+		MemReadCost: 85,
+		BaseOpCost:  25,
+	}
+}
+
+// Host is one simulated machine.
+type Host struct {
+	ID    int
+	Env   *sim.Env
+	Cfg   Config
+	Cores *sim.Resource
+	LLC   *cachesim.Cache
+	Bus   *pcie.Bus
+	Mem   *memory.Registry
+	NIC   *nic.NIC
+	RNG   *stats.RNG
+}
+
+// New assembles a host attached to fabric port id.
+func New(env *sim.Env, id int, cfg Config, nicCfg nic.Config, cost pcie.CostModel, fab *fabric.Fabric, rng *stats.RNG) *Host {
+	h := &Host{
+		ID:    id,
+		Env:   env,
+		Cfg:   cfg,
+		Cores: sim.NewResource(env, cfg.Cores),
+		LLC:   cachesim.New(cfg.LLC),
+		Bus:   pcie.NewBus(),
+		Mem:   memory.NewRegistry(),
+		RNG:   rng,
+	}
+	h.NIC = nic.New(nicCfg, nic.Deps{
+		Env:  env,
+		Port: fab.Port(id),
+		Fab:  fab,
+		Mem:  h.Mem,
+		Bus:  h.Bus,
+		LLC:  h.LLC,
+		Cost: cost,
+		RNG:  rng.Split(),
+	})
+	return h
+}
+
+// Thread is a software thread running on a host. All simulated software
+// (RPC clients, server workers, transaction coordinators) runs as Threads.
+type Thread struct {
+	P    *sim.Proc
+	Host *Host
+}
+
+// Spawn starts a thread on the host.
+func (h *Host) Spawn(name string, fn func(*Thread)) *Thread {
+	t := &Thread{Host: h}
+	t.P = h.Env.Spawn(fmt.Sprintf("h%d/%s", h.ID, name), func(p *sim.Proc) {
+		fn(t)
+	})
+	return t
+}
+
+// Work charges d of CPU time on the host's core pool.
+func (t *Thread) Work(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.Host.Cores.Use(t.P, d)
+}
+
+// ReadMem models the CPU reading [addr, addr+size): it runs the access
+// through the LLC and charges hit/miss costs.
+func (t *Thread) ReadMem(addr uint64, size int) {
+	h, m := t.Host.LLC.CPURead(addr, uint64(size))
+	t.Work(sim.Duration(h)*t.Host.Cfg.LLCHitCost + sim.Duration(m)*t.Host.Cfg.MemReadCost)
+}
+
+// WriteMem models the CPU writing [addr, addr+size).
+func (t *Thread) WriteMem(addr uint64, size int) {
+	h, m := t.Host.LLC.CPUWrite(addr, uint64(size))
+	t.Work(sim.Duration(h)*t.Host.Cfg.LLCHitCost + sim.Duration(m)*t.Host.Cfg.MemReadCost)
+}
+
+// PostSend charges the CPU cost of assembling and doorbelling one work
+// request (MMIO write) and posts it.
+func (t *Thread) PostSend(qp *nic.QP, wr nic.SendWR) error {
+	t.Work(t.Host.Cfg.BaseOpCost + 100) // WQE build + MMIO
+	return qp.PostSend(wr)
+}
+
+// PostRecv charges CPU cost and posts a receive.
+func (t *Thread) PostRecv(qp *nic.QP, wr nic.RecvWR) error {
+	t.Work(t.Host.Cfg.BaseOpCost + 100)
+	return qp.PostRecv(wr)
+}
+
+// PostRecvBatch posts a batch of receives with one doorbell.
+func (t *Thread) PostRecvBatch(qp *nic.QP, wrs []nic.RecvWR) error {
+	t.Work(t.Host.Cfg.BaseOpCost*sim.Duration(len(wrs)) + 100)
+	return qp.PostRecvBatch(wrs)
+}
+
+// PollCQ polls up to max completions, charging the poll cost: one ring
+// check plus an LLC-modelled read per returned CQE.
+func (t *Thread) PollCQ(cq *nic.CQ, max int) []nic.CQE {
+	t.Work(t.Host.Cfg.BaseOpCost)
+	cqes := cq.Poll(max)
+	if len(cqes) > 0 {
+		t.ReadMem(cq.RingBase(), len(cqes)*64)
+	}
+	return cqes
+}
+
+// WaitCQ blocks until the CQ has completions or d elapses, then polls.
+func (t *Thread) WaitCQ(cq *nic.CQ, max int, d sim.Duration) []nic.CQE {
+	if cq.Len() == 0 {
+		cq.Sig.WaitTimeout(t.P, d)
+	}
+	return t.PollCQ(cq, max)
+}

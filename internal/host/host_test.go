@@ -1,0 +1,139 @@
+package host_test
+
+import (
+	"testing"
+
+	"scalerpc/internal/cluster"
+	"scalerpc/internal/host"
+	"scalerpc/internal/memory"
+	"scalerpc/internal/nic"
+	"scalerpc/internal/sim"
+)
+
+func newHost(t *testing.T) (*cluster.Cluster, *host.Host) {
+	t.Helper()
+	c := cluster.New(cluster.Default(2))
+	t.Cleanup(c.Close)
+	return c, c.Hosts[0]
+}
+
+func TestWorkChargesCoreTime(t *testing.T) {
+	c, h := newHost(t)
+	h.Spawn("w", func(th *host.Thread) {
+		th.Work(1000)
+	})
+	if end := c.Env.Run(); end != 1000 {
+		t.Fatalf("end = %d, want 1000", end)
+	}
+}
+
+func TestWorkZeroOrNegativeFree(t *testing.T) {
+	c, h := newHost(t)
+	h.Spawn("w", func(th *host.Thread) {
+		th.Work(0)
+		th.Work(-5)
+	})
+	if end := c.Env.Run(); end != 0 {
+		t.Fatalf("end = %d, want 0", end)
+	}
+}
+
+func TestCoreContentionSerializes(t *testing.T) {
+	// More runnable threads than cores: total time = work / cores.
+	cfg := cluster.Default(1)
+	cfg.Host.Cores = 2
+	c := cluster.New(cfg)
+	defer c.Close()
+	h := c.Hosts[0]
+	for i := 0; i < 6; i++ {
+		h.Spawn("w", func(th *host.Thread) { th.Work(100) })
+	}
+	if end := c.Env.Run(); end != 300 {
+		t.Fatalf("end = %d, want 300 (6×100ns on 2 cores)", end)
+	}
+}
+
+func TestReadMemColdVsWarm(t *testing.T) {
+	c, h := newHost(t)
+	reg := h.Mem.Register(4096, memory.PageSize4K, memory.LocalWrite)
+	var cold, warm sim.Time
+	h.Spawn("w", func(th *host.Thread) {
+		start := th.P.Now()
+		th.ReadMem(reg.Base, 512) // 8 cold lines
+		cold = th.P.Now() - start
+		start = th.P.Now()
+		th.ReadMem(reg.Base, 512) // 8 warm lines
+		warm = th.P.Now() - start
+	})
+	c.Env.Run()
+	if cold != 8*h.Cfg.MemReadCost {
+		t.Fatalf("cold = %d, want %d", cold, 8*h.Cfg.MemReadCost)
+	}
+	if warm != 8*h.Cfg.LLCHitCost {
+		t.Fatalf("warm = %d, want %d", warm, 8*h.Cfg.LLCHitCost)
+	}
+}
+
+func TestPollCQChargesAndDrains(t *testing.T) {
+	c, h := newHost(t)
+	b := c.Hosts[1]
+	cqA := h.NIC.CreateCQ()
+	qa := h.NIC.CreateQP(nic.RC, cqA, cqA)
+	cqB := b.NIC.CreateCQ()
+	qb := b.NIC.CreateQP(nic.RC, cqB, cqB)
+	nic.Connect(qa, qb)
+	src := h.Mem.Register(64, memory.PageSize4K, memory.LocalWrite)
+	dst := b.Mem.Register(64, memory.PageSize4K, memory.LocalWrite|memory.RemoteWrite)
+
+	var got int
+	h.Spawn("w", func(th *host.Thread) {
+		th.PostSend(qa, nic.SendWR{Op: nic.OpWrite, Signaled: true,
+			LKey: src.LKey, LAddr: src.Base, Len: 32, RKey: dst.RKey, RAddr: dst.Base})
+		cqes := th.WaitCQ(cqA, 8, sim.Millisecond)
+		got = len(cqes)
+	})
+	c.Env.RunUntil(10 * sim.Millisecond)
+	if got != 1 {
+		t.Fatalf("got %d completions", got)
+	}
+}
+
+func TestWaitCQTimesOutEmpty(t *testing.T) {
+	c, h := newHost(t)
+	cq := h.NIC.CreateCQ()
+	var n int
+	var at sim.Time
+	h.Spawn("w", func(th *host.Thread) {
+		n = len(th.WaitCQ(cq, 8, 100*sim.Microsecond))
+		at = th.P.Now()
+	})
+	c.Env.Run()
+	if n != 0 {
+		t.Fatalf("n = %d", n)
+	}
+	if at < 100*sim.Microsecond {
+		t.Fatalf("returned early at %d", at)
+	}
+}
+
+func TestPostRecvBatchSingleDoorbell(t *testing.T) {
+	c, h := newHost(t)
+	cq := h.NIC.CreateCQ()
+	qp := h.NIC.CreateQP(nic.UD, cq, cq)
+	buf := h.Mem.Register(4096, memory.PageSize4K, memory.LocalWrite)
+	before := h.Bus.Snapshot().MMIOWr
+	h.Spawn("w", func(th *host.Thread) {
+		var wrs []nic.RecvWR
+		for i := 0; i < 16; i++ {
+			wrs = append(wrs, nic.RecvWR{LKey: buf.LKey, LAddr: buf.Base, Len: 64})
+		}
+		th.PostRecvBatch(qp, wrs)
+	})
+	c.Env.Run()
+	if d := h.Bus.Snapshot().MMIOWr - before; d != 1 {
+		t.Fatalf("batch posted %d doorbells, want 1", d)
+	}
+	if qp.RecvQueueLen() != 16 {
+		t.Fatalf("RecvQueueLen = %d", qp.RecvQueueLen())
+	}
+}

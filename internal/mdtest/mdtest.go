@@ -1,0 +1,93 @@
+// Package mdtest generates mdtest-style metadata workloads against an
+// octofs MDS, as the paper uses for Figures 1(a) and 13: each client owns a
+// private directory of files and issues a stream of one metadata operation
+// type (Mknod, Rmnod, Stat or Readdir).
+package mdtest
+
+import (
+	"scalerpc/internal/octofs"
+	"scalerpc/internal/rpccore"
+	"scalerpc/internal/stats"
+)
+
+// Op selects the metadata operation a workload phase issues.
+type Op int
+
+// Workload phases.
+const (
+	Mknod Op = iota
+	Rmnod
+	Stat
+	Readdir
+)
+
+func (o Op) String() string {
+	return [...]string{"Mknod", "Rmnod", "Stat", "Readdir"}[o]
+}
+
+// Handler returns the octofs handler id for the op.
+func (o Op) Handler() uint8 {
+	switch o {
+	case Mknod:
+		return octofs.HMknod
+	case Rmnod:
+		return octofs.HRmnod
+	case Stat:
+		return octofs.HStat
+	default:
+		return octofs.HReaddir
+	}
+}
+
+// Workload emits request payloads (paths) for one client.
+type Workload struct {
+	op       Op
+	clientID int
+	files    int
+	rng      *stats.RNG
+	seq      int
+}
+
+// NewWorkload builds a per-client workload of the given op over the
+// client's preloaded directory of `files` files.
+func NewWorkload(op Op, clientID, files int, seed uint64) *Workload {
+	return &Workload{op: op, clientID: clientID, files: files, rng: stats.NewRNG(seed)}
+}
+
+// PayloadFn adapts the workload to the benchmark driver: it writes the
+// next request path into buf and returns its length.
+func (w *Workload) PayloadFn() func(rng *stats.RNG, buf []byte) int {
+	return func(_ *stats.RNG, buf []byte) int {
+		return copy(buf, w.nextPath())
+	}
+}
+
+// nextPath produces the next operation target.
+func (w *Workload) nextPath() string {
+	switch w.op {
+	case Mknod:
+		// Fresh names beyond the preloaded range so creates succeed.
+		w.seq++
+		return octofs.FilePath(w.clientID, w.files+w.seq)
+	case Rmnod:
+		// Preloaded names, in order, so removes succeed (until the
+		// directory is drained, after which they return NotFound — the
+		// server still does the lookup work, as mdtest's timed phase does).
+		w.seq++
+		return octofs.FilePath(w.clientID, (w.seq-1)%w.files)
+	case Stat:
+		return octofs.FilePath(w.clientID, w.rng.Intn(w.files))
+	default: // Readdir
+		return octofs.ClientDir(w.clientID)
+	}
+}
+
+// DriverConfig builds the rpccore driver configuration for this workload.
+func (w *Workload) DriverConfig(batch int, seed uint64) rpccore.DriverConfig {
+	return rpccore.DriverConfig{
+		Batch:     batch,
+		Handler:   w.op.Handler(),
+		PayloadFn: w.PayloadFn(),
+		Seed:      seed,
+	}
+}

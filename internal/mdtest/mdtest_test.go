@@ -1,0 +1,100 @@
+package mdtest
+
+import (
+	"strings"
+	"testing"
+
+	"scalerpc/internal/octofs"
+	"scalerpc/internal/stats"
+)
+
+func TestHandlerMapping(t *testing.T) {
+	cases := map[Op]uint8{
+		Mknod:   octofs.HMknod,
+		Rmnod:   octofs.HRmnod,
+		Stat:    octofs.HStat,
+		Readdir: octofs.HReaddir,
+	}
+	for op, want := range cases {
+		if got := op.Handler(); got != want {
+			t.Fatalf("%v.Handler() = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestMknodPathsAreFresh(t *testing.T) {
+	w := NewWorkload(Mknod, 3, 100, 1)
+	fn := w.PayloadFn()
+	buf := make([]byte, 256)
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		n := fn(nil, buf)
+		p := string(buf[:n])
+		if !strings.HasPrefix(p, octofs.ClientDir(3)+"/") {
+			t.Fatalf("path %q outside client dir", p)
+		}
+		if seen[p] {
+			t.Fatalf("mknod path %q repeated (creates would fail)", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestStatPathsHitPreloadedRange(t *testing.T) {
+	w := NewWorkload(Stat, 7, 64, 2)
+	fn := w.PayloadFn()
+	buf := make([]byte, 256)
+	for i := 0; i < 200; i++ {
+		n := fn(nil, buf)
+		p := string(buf[:n])
+		found := false
+		for f := 0; f < 64; f++ {
+			if p == octofs.FilePath(7, f) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("stat path %q not in preloaded range", p)
+		}
+	}
+}
+
+func TestReaddirTargetsClientDir(t *testing.T) {
+	w := NewWorkload(Readdir, 2, 10, 3)
+	fn := w.PayloadFn()
+	buf := make([]byte, 64)
+	n := fn(nil, buf)
+	if string(buf[:n]) != octofs.ClientDir(2) {
+		t.Fatalf("readdir path = %q", buf[:n])
+	}
+}
+
+func TestRmnodWalksPreloadedFilesInOrder(t *testing.T) {
+	w := NewWorkload(Rmnod, 0, 4, 4)
+	fn := w.PayloadFn()
+	buf := make([]byte, 64)
+	var got []string
+	for i := 0; i < 6; i++ {
+		n := fn(nil, buf)
+		got = append(got, string(buf[:n]))
+	}
+	if got[0] != octofs.FilePath(0, 0) || got[3] != octofs.FilePath(0, 3) {
+		t.Fatalf("rmnod order: %v", got)
+	}
+	if got[4] != octofs.FilePath(0, 0) {
+		t.Fatalf("rmnod must wrap around: %v", got)
+	}
+}
+
+func TestDriverConfigWiring(t *testing.T) {
+	w := NewWorkload(Stat, 1, 10, 5)
+	cfg := w.DriverConfig(4, 99)
+	if cfg.Batch != 4 || cfg.Handler != octofs.HStat || cfg.PayloadFn == nil {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	buf := make([]byte, 64)
+	if n := cfg.PayloadFn(stats.NewRNG(1), buf); n == 0 {
+		t.Fatal("payload fn produced nothing")
+	}
+}

@@ -1,0 +1,102 @@
+package memory
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegisterAndTranslate(t *testing.T) {
+	g := NewRegistry()
+	r := g.Register(4096, PageSize4K, LocalWrite|RemoteRead|RemoteWrite)
+	if r.Base == 0 {
+		t.Fatal("region base must be nonzero")
+	}
+	if r.Len() != 4096 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	_, b, err := g.TranslateRemote(r.RKey, r.Base+100, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(b, []byte("hello"))
+	if string(r.Bytes()[100:105]) != "hello" {
+		t.Fatal("translated slice does not alias the region")
+	}
+}
+
+func TestTranslateBadKey(t *testing.T) {
+	g := NewRegistry()
+	_, _, err := g.TranslateRemote(999, 0, 1, false)
+	if !errors.Is(err, ErrBadKey) {
+		t.Fatalf("err = %v, want ErrBadKey", err)
+	}
+}
+
+func TestTranslateOutOfBounds(t *testing.T) {
+	g := NewRegistry()
+	r := g.Register(128, PageSize4K, RemoteRead|RemoteWrite)
+	if _, _, err := g.TranslateRemote(r.RKey, r.Base+120, 16, false); !errors.Is(err, ErrOutOfband) {
+		t.Fatalf("err = %v, want ErrOutOfband", err)
+	}
+	if _, _, err := g.TranslateRemote(r.RKey, r.Base-1, 1, false); !errors.Is(err, ErrOutOfband) {
+		t.Fatalf("err = %v, want ErrOutOfband", err)
+	}
+}
+
+func TestPermissionEnforcement(t *testing.T) {
+	g := NewRegistry()
+	ro := g.Register(64, PageSize4K, RemoteRead)
+	if _, _, err := g.TranslateRemote(ro.RKey, ro.Base, 8, true); !errors.Is(err, ErrPerm) {
+		t.Fatalf("write to read-only region: err = %v, want ErrPerm", err)
+	}
+	wo := g.Register(64, PageSize4K, RemoteWrite)
+	if _, _, err := g.TranslateRemote(wo.RKey, wo.Base, 8, false); !errors.Is(err, ErrPerm) {
+		t.Fatalf("read of write-only region: err = %v, want ErrPerm", err)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	g := NewRegistry()
+	r := g.Register(64, PageSize4K, RemoteRead)
+	g.Deregister(r)
+	if _, _, err := g.TranslateRemote(r.RKey, r.Base, 8, false); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("err = %v, want ErrBadKey after deregister", err)
+	}
+}
+
+func TestPagesAndPageOf(t *testing.T) {
+	g := NewRegistry()
+	r := g.Register(3*PageSize4K+1, PageSize4K, RemoteRead)
+	if r.Pages() != 4 {
+		t.Fatalf("Pages = %d, want 4", r.Pages())
+	}
+	if r.PageOf(r.Base) != 0 || r.PageOf(r.Base+PageSize4K) != 1 {
+		t.Fatal("PageOf wrong")
+	}
+	huge := g.Register(8<<20, PageSize2M, RemoteRead)
+	if huge.Pages() != 4 {
+		t.Fatalf("huge Pages = %d, want 4", huge.Pages())
+	}
+}
+
+func TestRegionsDontOverlap(t *testing.T) {
+	g := NewRegistry()
+	a := g.Register(1<<20, PageSize4K, RemoteRead)
+	b := g.Register(1<<20, PageSize4K, RemoteRead)
+	aEnd := a.Base + uint64(a.Len())
+	if b.Base < aEnd {
+		t.Fatalf("regions overlap: a=[%#x,%#x) b starts %#x", a.Base, aEnd, b.Base)
+	}
+}
+
+func TestTranslateLocal(t *testing.T) {
+	g := NewRegistry()
+	r := g.Register(256, PageSize4K, LocalWrite)
+	_, b, err := g.TranslateLocal(r.LKey, r.Base+10, 5)
+	if err != nil || len(b) != 5 {
+		t.Fatalf("TranslateLocal: %v len=%d", err, len(b))
+	}
+	if _, _, err := g.TranslateLocal(12345, r.Base, 1); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("err = %v, want ErrBadKey", err)
+	}
+}

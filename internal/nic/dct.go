@@ -1,0 +1,58 @@
+package nic
+
+// Dynamically Connected Transport (DCT) — the hardware approach to RC
+// scalability the paper discusses in §5.1 (Mellanox Connect-IB and later).
+//
+// A DCT initiator is a single QP that can address any DCT target, like UD
+// — so the NIC holds one context per initiator instead of one per peer —
+// but with RC semantics (reliable, one-sided verbs). The price, per the
+// paper: "the context is created each time the data transmission occurs by
+// posting an inline message to the other side, and then destroyed
+// immediately when switching to another connection", which "almost doubles
+// the number of network packets" for small requests and adds 1–3 µs of
+// latency on connection switches.
+//
+// Model: a DCT initiator tracks its currently connected target. A work
+// request addressed to a different target tears the old context down and
+// sends a connect packet ahead of the data (extra wire packet + engine
+// occupancy + one-way latency before the data may depart). The responder
+// pays a context-creation cost when the connect arrives. While connected
+// to one target, subsequent requests behave like RC.
+
+// DCTConnect/teardown model parameters (virtual ns).
+const (
+	dctConnectCost  = 150 // initiator engine occupancy to build the context
+	dctAcceptCost   = 200 // responder engine occupancy to accept
+	dctConnectBytes = 16  // connect packet payload on the wire
+)
+
+// CreateDCTInitiator returns a DCT initiator QP. Work requests must carry
+// DstNIC/DstQPN of a DCT target.
+func (n *NIC) CreateDCTInitiator(sendCQ, recvCQ *CQ) *QP {
+	qp := &QP{nic: n, QPN: n.allocQPN(), Type: DCT, SendCQ: sendCQ, RecvCQ: recvCQ}
+	qp.dctDstNIC = -1
+	n.qps[qp.QPN] = qp
+	return qp
+}
+
+// CreateDCTTarget returns a DCT target QP: the passive endpoint remote
+// initiators address. Post receives to it for SEND traffic.
+func (n *NIC) CreateDCTTarget(sendCQ, recvCQ *CQ) *QP {
+	qp := &QP{nic: n, QPN: n.allocQPN(), Type: DCTTarget, SendCQ: sendCQ, RecvCQ: recvCQ}
+	n.qps[qp.QPN] = qp
+	return qp
+}
+
+// dctPrepare handles the connect-on-demand step for one outbound DCT work
+// request: if the initiator is not connected to the request's target, it
+// switches contexts. Returns the extra engine occupancy and whether a
+// connect packet must precede the data.
+func (qp *QP) dctPrepare(dstNIC int, dstQPN uint32) (extra int64, reconnect bool) {
+	if qp.dctDstNIC == dstNIC && qp.dctDstQPN == dstQPN {
+		return 0, false
+	}
+	qp.dctDstNIC = dstNIC
+	qp.dctDstQPN = dstQPN
+	qp.nic.Stats.DCTConnects++
+	return dctConnectCost, true
+}

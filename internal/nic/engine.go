@@ -1,0 +1,643 @@
+package nic
+
+import (
+	"encoding/binary"
+
+	"scalerpc/internal/fabric"
+	"scalerpc/internal/sim"
+)
+
+// pktOp identifies a wire packet type.
+type pktOp int
+
+const (
+	pktWrite pktOp = iota
+	pktDCTConnect
+	pktWriteImm
+	pktSend
+	pktReadReq
+	pktAtomicReq
+	pktReadResp
+	pktAtomicResp
+	pktAck
+	pktNak
+)
+
+func (o pktOp) isData() bool {
+	switch o {
+	case pktWrite, pktWriteImm, pktSend, pktReadReq, pktAtomicReq:
+		return true
+	}
+	return false
+}
+
+// packet is the unit carried by the fabric between NICs.
+type packet struct {
+	op        pktOp
+	transport QPType
+	srcNIC    int
+	srcQPN    uint32
+	dstQPN    uint32
+	psn       uint64
+
+	rkey  uint32
+	raddr uint64
+	data  []byte
+	size  int // requested length for READ
+
+	imm      uint32
+	immValid bool
+
+	wrID     uint64
+	signaled bool
+
+	atomicOp           Op
+	compare, swap, add uint64
+
+	status CQEStatus // for ACK/NAK error propagation
+}
+
+// outJob is one queued unit of outbound engine work.
+type outJob struct {
+	qp         *QP
+	wr         SendWR
+	inlineData []byte
+	retrans    bool
+	psn        uint64
+}
+
+// outKick starts the outbound engine if idle.
+func (n *NIC) outKick() {
+	if n.outBusy {
+		return
+	}
+	n.outBusy = true
+	n.env.At(0, n.outStep)
+}
+
+func (n *NIC) outStep() {
+	if n.outHead >= len(n.outQ) {
+		n.outQ = n.outQ[:0]
+		n.outHead = 0
+		n.outBusy = false
+		return
+	}
+	job := n.outQ[n.outHead]
+	n.outQ[n.outHead] = outJob{}
+	n.outHead++
+	occ, extraLat, act := n.processOut(job)
+	if act != nil {
+		n.env.At(occ+extraLat, act)
+	}
+	n.env.At(occ, n.outStep)
+}
+
+// processOut performs the state lookups and cost accounting for one WQE and
+// returns (engine occupancy, extra pipelined latency before transmission,
+// transmit action).
+func (n *NIC) processOut(job outJob) (occ sim.Duration, extraLat sim.Duration, act func()) {
+	qp := job.qp
+	wr := job.wr
+	n.Stats.OutWQEs++
+
+	occ = n.Cfg.OutboundBaseCost
+	if qp.Type == UD {
+		occ += n.Cfg.OutboundUDExtra
+	}
+
+	// QP context lookup.
+	if n.qpcCache.Access(uint64(qp.QPN)) {
+		n.Stats.QPCHits++
+	} else {
+		n.Stats.QPCMisses++
+		n.bus.RecordDMARead(1)
+		occ += n.Cfg.CacheMissStall
+		extraLat += n.cost.DMAReadLatency - n.Cfg.CacheMissStall
+	}
+	// WQE fetch (the posted descriptor lives in the host-memory send queue
+	// unless the NIC still holds this QP's WQE window on chip).
+	if n.wqeCache.Access(uint64(qp.QPN)) {
+		n.Stats.WQEHits++
+	} else {
+		n.Stats.WQEMisses++
+		n.bus.RecordDMARead(1)
+		occ += n.Cfg.CacheMissStall
+		extraLat += n.cost.DMAReadLatency - n.Cfg.CacheMissStall
+	}
+
+	// Gather the payload.
+	var data []byte
+	hasPayload := wr.Op == OpWrite || wr.Op == OpWriteImm || wr.Op == OpSend
+	if hasPayload && wr.Len > 0 {
+		if job.inlineData != nil {
+			data = job.inlineData
+		} else {
+			reg, src, err := n.mem.TranslateLocal(wr.LKey, wr.LAddr, wr.Len)
+			if err != nil {
+				return occ, 0, func() { qp.completeLocalError(wr, err) }
+			}
+			occ += n.chargeMTT(reg, wr.LAddr, wr.Len)
+			lines := (wr.Len + n.llc.LineSize() - 1) / n.llc.LineSize()
+			n.bus.RecordDMARead(lines)
+			extraLat += n.cost.DMARead(wr.Len, n.llc.LineSize())
+			data = append([]byte(nil), src...)
+		}
+	}
+
+	// Destination resolution.
+	dstNIC, dstQPN := qp.remoteNIC, qp.remoteQPN
+	reconnect := false
+	if qp.Type == UD {
+		dstNIC, dstQPN = wr.DstNIC, wr.DstQPN
+	}
+	if qp.Type == DCT {
+		dstNIC, dstQPN = wr.DstNIC, wr.DstQPN
+		var extra int64
+		extra, reconnect = qp.dctPrepare(dstNIC, dstQPN)
+		occ += sim.Duration(extra)
+		if reconnect {
+			// The connect handshake delays the data's departure (§5.1:
+			// +1-3us on switches; the fabric round trip adds the rest).
+			extraLat += 600
+		}
+	}
+
+	pkt := &packet{
+		transport: qp.Type,
+		srcNIC:    n.id,
+		srcQPN:    qp.QPN,
+		dstQPN:    dstQPN,
+		rkey:      wr.RKey,
+		raddr:     wr.RAddr,
+		data:      data,
+		size:      wr.Len,
+		imm:       wr.Imm,
+		wrID:      wr.WRID,
+		signaled:  wr.Signaled,
+		compare:   wr.Compare,
+		swap:      wr.Swap,
+		add:       wr.Add,
+		atomicOp:  wr.Op,
+	}
+	wireBytes := len(data)
+	switch wr.Op {
+	case OpWrite:
+		pkt.op = pktWrite
+	case OpWriteImm:
+		pkt.op = pktWriteImm
+		pkt.immValid = true
+	case OpSend:
+		pkt.op = pktSend
+		pkt.immValid = wr.Imm != 0
+	case OpRead:
+		pkt.op = pktReadReq
+		wireBytes = 16
+	case OpCompSwap, OpFetchAdd:
+		pkt.op = pktAtomicReq
+		wireBytes = 24
+	}
+
+	// RC/DCT reliability: assign a PSN and track the request until its ACK
+	// or response arrives.
+	if qp.Type == RC || qp.Type == DCT {
+		if job.retrans {
+			pkt.psn = job.psn
+		} else {
+			pkt.psn = qp.sendPSN
+			qp.sendPSN++
+			needResp := wr.Op == OpRead || wr.Op == OpCompSwap || wr.Op == OpFetchAdd
+			qp.inflight = append(qp.inflight, inflightWR{psn: pkt.psn, wr: wr, needResp: needResp})
+		}
+	}
+
+	act = func() {
+		if reconnect {
+			n.fab.Send(&fabric.Message{Src: n.id, Dst: dstNIC, Bytes: dctConnectBytes,
+				Payload: &packet{op: pktDCTConnect, transport: DCT, srcNIC: n.id, srcQPN: qp.QPN, dstQPN: dstQPN}})
+		}
+		n.fab.Send(&fabric.Message{Src: n.id, Dst: dstNIC, Bytes: wireBytes, Payload: pkt})
+		// Unreliable transports complete at transmission.
+		if wr.Signaled && (qp.Type == UD || qp.Type == UC) {
+			qp.SendCQ.push(CQE{WRID: wr.WRID, QPN: qp.QPN, Op: wr.Op, Status: CQOK, ByteLen: wr.Len})
+		}
+	}
+	return occ, extraLat, act
+}
+
+func (qp *QP) completeLocalError(wr SendWR, err error) {
+	qp.err = err
+	if qp.SendCQ != nil {
+		qp.SendCQ.push(CQE{WRID: wr.WRID, QPN: qp.QPN, Op: wr.Op, Status: CQLocalError})
+	}
+}
+
+// deliver is the fabric receive handler.
+func (n *NIC) deliver(msg *fabric.Message) {
+	pkt := msg.Payload.(*packet)
+	if pkt.transport == UD && n.Cfg.UDLossRate > 0 && n.rng != nil && n.rng.Float64() < n.Cfg.UDLossRate {
+		n.Stats.UDDrops++
+		return
+	}
+	if n.dropNextData > 0 && pkt.transport == RC && pkt.op.isData() {
+		n.dropNextData--
+		return
+	}
+	n.inQ = append(n.inQ, pkt)
+	n.inKick()
+}
+
+func (n *NIC) inKick() {
+	if n.inBusy {
+		return
+	}
+	n.inBusy = true
+	n.env.At(0, n.inStep)
+}
+
+func (n *NIC) inStep() {
+	if n.inHead >= len(n.inQ) {
+		n.inQ = n.inQ[:0]
+		n.inHead = 0
+		n.inBusy = false
+		return
+	}
+	pkt := n.inQ[n.inHead]
+	n.inQ[n.inHead] = nil
+	n.inHead++
+	occ, act := n.processIn(pkt)
+	n.env.At(occ, func() {
+		if act != nil {
+			act()
+		}
+		n.inStep()
+	})
+}
+
+// touchQPC models requester-side completion processing: ACKs and READ
+// responses need the QP context (PSN window, completion state), so they
+// occupy QPC cache entries and evict others — without stalling the inbound
+// pipeline. This is why a server answering hundreds of RC clients thrashes
+// its QPC cache even though plain inbound writes do not touch it (§2.3).
+func (n *NIC) touchQPC(qpn uint32) {
+	if n.qpcCache.Access(uint64(qpn)) {
+		n.Stats.QPCTouchHits++
+	} else {
+		n.Stats.QPCTouchMisses++
+		n.bus.RecordDMARead(1)
+	}
+}
+
+// allocStall converts a DDIO write-allocate count into inbound-engine
+// occupancy. Allocation stalls are capped: bulk sequential writes stream
+// their allocations (the NIC keeps a bounded window of them in flight), so
+// only small scattered writes feel the full per-line penalty — which is
+// exactly the Figure 3(b) regime.
+func allocStall(allocs int, penalty sim.Duration) sim.Duration {
+	const cap = 16
+	if allocs > cap {
+		allocs = cap
+	}
+	return sim.Duration(allocs) * penalty
+}
+
+// sendCtl transmits a small control packet (ACK/NAK/responses) directly,
+// bypassing the outbound engine: responders generate these in dedicated
+// hardware datapaths.
+func (n *NIC) sendCtl(dstNIC int, pkt *packet, wireBytes int) {
+	pkt.srcNIC = n.id
+	n.fab.Send(&fabric.Message{Src: n.id, Dst: dstNIC, Bytes: wireBytes, Payload: pkt})
+}
+
+// rcAccept performs responder-side PSN sequencing for an RC data packet.
+// It returns false if the packet must be dropped (gap or duplicate).
+func (n *NIC) rcAccept(qp *QP, pkt *packet) bool {
+	if pkt.psn == qp.expectPSN {
+		qp.expectPSN++
+		qp.nakSent = false
+		return true
+	}
+	if pkt.psn > qp.expectPSN {
+		// Sequence gap: drop and NAK once per gap.
+		if !qp.nakSent {
+			qp.nakSent = true
+			n.Stats.NAKs++
+			n.sendCtl(pkt.srcNIC, &packet{
+				op: pktNak, transport: RC, dstQPN: pkt.srcQPN, psn: qp.expectPSN,
+			}, 0)
+		}
+		return false
+	}
+	// Duplicate of an already-delivered packet: re-ACK, drop.
+	n.sendCtl(pkt.srcNIC, &packet{
+		op: pktAck, transport: RC, dstQPN: pkt.srcQPN, psn: pkt.psn,
+	}, 0)
+	return false
+}
+
+// processIn handles one arrived packet, returning engine occupancy and the
+// action that commits its effects at the end of that occupancy.
+func (n *NIC) processIn(pkt *packet) (occ sim.Duration, act func()) {
+	n.Stats.InMessages++
+	qp := n.qps[pkt.dstQPN]
+
+	switch pkt.op {
+	case pktDCTConnect:
+		// Responder-side context creation (§5.1).
+		return dctAcceptCost, nil
+
+	case pktWrite, pktWriteImm:
+		occ = n.Cfg.InboundWriteCost
+		if qp == nil {
+			return occ, nil
+		}
+		if pkt.transport == RC && !n.rcAccept(qp, pkt) {
+			return occ, nil
+		}
+		reg, dst, err := n.mem.TranslateRemote(pkt.rkey, pkt.raddr, len(pkt.data), true)
+		if err != nil {
+			return occ, func() { n.remoteError(pkt, qp) }
+		}
+		occ += n.chargeMTT(reg, pkt.raddr, len(pkt.data))
+		_, allocs := n.llc.DMAWrite(pkt.raddr, uint64(len(pkt.data)))
+		n.bus.RecordDeviceWrite(pkt.raddr, uint64(len(pkt.data)), n.llc.LineSize(), allocs)
+		occ += allocStall(allocs, n.cost.WriteAllocatePenalty)
+		return occ, func() {
+			commit := func() {
+				if pkt.op == pktWriteImm {
+					if wr, ok := qp.popRecv(); ok {
+						qp.RecvCQ.push(CQE{
+							WRID: wr.WRID, QPN: qp.QPN, Op: OpWriteImm, Status: CQOK,
+							ByteLen: len(pkt.data), Imm: pkt.imm, ImmValid: true,
+							SrcNIC: pkt.srcNIC, SrcQPN: pkt.srcQPN,
+						})
+					} else {
+						n.Stats.RNRDrops++
+					}
+				}
+				n.wakeWatches(reg.RKey)
+				if pkt.transport == RC || pkt.transport == DCT {
+					n.sendCtl(pkt.srcNIC, &packet{op: pktAck, transport: pkt.transport, dstQPN: pkt.srcQPN, psn: pkt.psn}, 0)
+				}
+			}
+			if n.Cfg.TornWriteDelay > 0 && len(pkt.data) > 1 {
+				// Increasing-address-order visibility: all but the final
+				// byte now, the final byte later.
+				last := len(pkt.data) - 1
+				copy(dst[:last], pkt.data[:last])
+				n.wakeWatches(reg.RKey) // pollers may observe the partial state
+				n.env.At(n.Cfg.TornWriteDelay, func() {
+					dst[last] = pkt.data[last]
+					commit()
+				})
+				return
+			}
+			copy(dst, pkt.data)
+			commit()
+		}
+	case pktSend:
+		occ = n.Cfg.InboundSendCost
+		if qp == nil {
+			return occ, nil
+		}
+		if pkt.transport == RC && !n.rcAccept(qp, pkt) {
+			return occ, nil
+		}
+		rwr, ok := qp.popRecv()
+		if !ok {
+			n.Stats.RNRDrops++
+			if pkt.transport == RC {
+				qp.err = n.errorf("RC send with no posted recv (RNR)")
+			}
+			return occ, nil
+		}
+		// Fetch the recv WQE descriptor from host memory.
+		n.bus.RecordDMARead(1)
+		if len(pkt.data) > rwr.Len {
+			return occ, func() {
+				qp.RecvCQ.push(CQE{WRID: rwr.WRID, QPN: qp.QPN, Op: OpSend, Status: CQLengthError,
+					SrcNIC: pkt.srcNIC, SrcQPN: pkt.srcQPN})
+			}
+		}
+		reg, dst, err := n.mem.TranslateLocal(rwr.LKey, rwr.LAddr, len(pkt.data))
+		if err != nil {
+			return occ, func() {
+				qp.RecvCQ.push(CQE{WRID: rwr.WRID, QPN: qp.QPN, Op: OpSend, Status: CQLocalError,
+					SrcNIC: pkt.srcNIC, SrcQPN: pkt.srcQPN})
+			}
+		}
+		occ += n.chargeMTT(reg, rwr.LAddr, len(pkt.data))
+		_, allocs := n.llc.DMAWrite(rwr.LAddr, uint64(len(pkt.data)))
+		n.bus.RecordDeviceWrite(rwr.LAddr, uint64(len(pkt.data)), n.llc.LineSize(), allocs)
+		occ += allocStall(allocs, n.cost.WriteAllocatePenalty)
+		return occ, func() {
+			copy(dst, pkt.data)
+			qp.RecvCQ.push(CQE{
+				WRID: rwr.WRID, QPN: qp.QPN, Op: OpSend, Status: CQOK,
+				ByteLen: len(pkt.data), Imm: pkt.imm, ImmValid: pkt.immValid,
+				SrcNIC: pkt.srcNIC, SrcQPN: pkt.srcQPN,
+			})
+			n.wakeWatches(reg.RKey)
+			if pkt.transport == RC || pkt.transport == DCT {
+				n.sendCtl(pkt.srcNIC, &packet{op: pktAck, transport: pkt.transport, dstQPN: pkt.srcQPN, psn: pkt.psn}, 0)
+			}
+		}
+
+	case pktReadReq:
+		occ = n.Cfg.InboundReadCost
+		if qp == nil {
+			return occ, nil
+		}
+		if pkt.transport == RC && !n.rcAccept(qp, pkt) {
+			return occ, nil
+		}
+		reg, src, err := n.mem.TranslateRemote(pkt.rkey, pkt.raddr, pkt.size, false)
+		if err != nil {
+			return occ, func() { n.remoteError(pkt, qp) }
+		}
+		occ += n.chargeMTT(reg, pkt.raddr, pkt.size)
+		lines := (pkt.size + n.llc.LineSize() - 1) / n.llc.LineSize()
+		n.bus.RecordDMARead(lines)
+		dmaLat := n.cost.DMARead(pkt.size, n.llc.LineSize())
+		return occ, func() {
+			data := append([]byte(nil), src...)
+			resp := &packet{
+				op: pktReadResp, transport: pkt.transport, dstQPN: pkt.srcQPN, psn: pkt.psn,
+				data: data, wrID: pkt.wrID, signaled: pkt.signaled,
+			}
+			dst := pkt.srcNIC
+			n.env.At(dmaLat, func() { n.sendCtl(dst, resp, len(data)) })
+		}
+
+	case pktAtomicReq:
+		occ = n.Cfg.InboundReadCost + n.Cfg.AtomicCost
+		if qp == nil {
+			return occ, nil
+		}
+		if pkt.transport == RC && !n.rcAccept(qp, pkt) {
+			return occ, nil
+		}
+		reg, buf, err := n.mem.TranslateRemote(pkt.rkey, pkt.raddr, 8, true)
+		if err != nil {
+			return occ, func() { n.remoteError(pkt, qp) }
+		}
+		occ += n.chargeMTT(reg, pkt.raddr, 8)
+		n.bus.RecordDMARead(1)
+		return occ, func() {
+			old := binary.LittleEndian.Uint64(buf)
+			switch pkt.atomicOp {
+			case OpCompSwap:
+				if old == pkt.compare {
+					binary.LittleEndian.PutUint64(buf, pkt.swap)
+				}
+			case OpFetchAdd:
+				binary.LittleEndian.PutUint64(buf, old+pkt.add)
+			}
+			_, allocs := n.llc.DMAWrite(pkt.raddr, 8)
+			n.bus.RecordDeviceWrite(pkt.raddr, 8, n.llc.LineSize(), allocs)
+			n.wakeWatches(reg.RKey)
+			n.sendCtl(pkt.srcNIC, &packet{
+				op: pktAtomicResp, transport: pkt.transport, dstQPN: pkt.srcQPN, psn: pkt.psn,
+				wrID: pkt.wrID, signaled: pkt.signaled, compare: old,
+			}, 8)
+		}
+
+	case pktAck:
+		occ = n.Cfg.InboundAckCost
+		if qp == nil {
+			return occ, nil
+		}
+		n.touchQPC(pkt.dstQPN)
+		return occ, func() { qp.handleAck(pkt) }
+
+	case pktNak:
+		occ = n.Cfg.InboundAckCost
+		if qp == nil {
+			return occ, nil
+		}
+		n.touchQPC(pkt.dstQPN)
+		return occ, func() { n.handleNak(qp, pkt) }
+
+	case pktReadResp, pktAtomicResp:
+		occ = n.Cfg.InboundWriteCost
+		if qp == nil {
+			return occ, nil
+		}
+		n.touchQPC(pkt.dstQPN)
+		// DMA the returned data into the original WQE's local buffer.
+		var commit func()
+		if idx := qp.findInflight(pkt.psn); idx >= 0 {
+			wr := qp.inflight[idx].wr
+			if pkt.op == pktReadResp && wr.Len > 0 {
+				reg, dst, err := n.mem.TranslateLocal(wr.LKey, wr.LAddr, len(pkt.data))
+				if err == nil {
+					occ += n.chargeMTT(reg, wr.LAddr, len(pkt.data))
+					_, allocs := n.llc.DMAWrite(wr.LAddr, uint64(len(pkt.data)))
+					n.bus.RecordDeviceWrite(wr.LAddr, uint64(len(pkt.data)), n.llc.LineSize(), allocs)
+					occ += allocStall(allocs, n.cost.WriteAllocatePenalty)
+					data := pkt.data
+					commit = func() {
+						copy(dst, data)
+						n.wakeWatches(reg.RKey)
+					}
+				}
+			}
+		}
+		return occ, func() {
+			if commit != nil {
+				commit()
+			}
+			qp.handleResp(pkt)
+		}
+	}
+	return 1, nil
+}
+
+// remoteError reports a remote access violation back to an RC requester
+// (UC violations are silently dropped — no reverse channel).
+func (n *NIC) remoteError(pkt *packet, qp *QP) {
+	if pkt.transport != RC {
+		return
+	}
+	n.sendCtl(pkt.srcNIC, &packet{
+		op: pktAck, transport: RC, dstQPN: pkt.srcQPN, psn: pkt.psn, status: CQRemoteAccessError,
+	}, 0)
+}
+
+// handleAck completes inflight WQEs with psn ≤ acked psn.
+func (qp *QP) handleAck(pkt *packet) {
+	if pkt.status != CQOK {
+		qp.err = qp.nic.errorf("remote access error on %v (psn %d)", qp.Type, pkt.psn)
+		// Complete the offending WQE with an error.
+		if idx := qp.findInflight(pkt.psn); idx >= 0 {
+			wr := qp.inflight[idx].wr
+			qp.inflight = append(qp.inflight[:idx], qp.inflight[idx+1:]...)
+			if qp.SendCQ != nil {
+				qp.SendCQ.push(CQE{WRID: wr.WRID, QPN: qp.QPN, Op: wr.Op, Status: pkt.status})
+			}
+		}
+		return
+	}
+	for len(qp.inflight) > 0 {
+		f := qp.inflight[0]
+		if f.psn > pkt.psn || f.needResp {
+			break
+		}
+		qp.inflight = qp.inflight[1:]
+		if f.wr.Signaled {
+			qp.SendCQ.push(CQE{WRID: f.wr.WRID, QPN: qp.QPN, Op: f.wr.Op, Status: CQOK, ByteLen: f.wr.Len})
+		}
+	}
+}
+
+// handleResp completes a READ/ATOMIC and everything before it.
+func (qp *QP) handleResp(pkt *packet) {
+	for len(qp.inflight) > 0 {
+		f := qp.inflight[0]
+		if f.psn > pkt.psn {
+			break
+		}
+		qp.inflight = qp.inflight[1:]
+		if f.psn == pkt.psn {
+			if f.wr.Signaled {
+				op := f.wr.Op
+				qp.SendCQ.push(CQE{
+					WRID: f.wr.WRID, QPN: qp.QPN, Op: op, Status: CQOK,
+					ByteLen: len(pkt.data), AtomicOld: pkt.compare,
+				})
+			}
+			return
+		}
+		if f.wr.Signaled {
+			qp.SendCQ.push(CQE{WRID: f.wr.WRID, QPN: qp.QPN, Op: f.wr.Op, Status: CQOK, ByteLen: f.wr.Len})
+		}
+	}
+}
+
+// findInflight returns the index of the inflight entry with the given psn.
+func (qp *QP) findInflight(psn uint64) int {
+	for i, f := range qp.inflight {
+		if f.psn == psn {
+			return i
+		}
+	}
+	return -1
+}
+
+// handleNak retransmits all inflight WQEs at or after the NAKed psn.
+func (n *NIC) handleNak(qp *QP, pkt *packet) {
+	var jobs []outJob
+	for _, f := range qp.inflight {
+		if f.psn >= pkt.psn {
+			n.Stats.Retransmits++
+			jobs = append(jobs, outJob{qp: qp, wr: f.wr, retrans: true, psn: f.psn})
+		}
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	// Retransmissions go to the front of the queue, preserving their order.
+	rest := append([]outJob{}, n.outQ[n.outHead:]...)
+	n.outQ = append(jobs, rest...)
+	n.outHead = 0
+	n.outKick()
+}

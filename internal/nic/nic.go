@@ -1,0 +1,291 @@
+// Package nic implements the simulated RDMA NIC ("RNIC") and its
+// ibverbs-style programming interface: queue pairs in RC, UC and UD modes,
+// completion queues, one-sided READ/WRITE/ATOMIC verbs, two-sided
+// SEND/RECV, and WRITE_WITH_IMM.
+//
+// The model reproduces the hardware behaviours the paper's analysis (§2.3)
+// depends on:
+//
+//   - Outbound verb processing needs the QP context and the posted WQE.
+//     Both live in small on-NIC LRU caches; a miss stalls the processing
+//     engine for a PCIe DMA read and increments the host's PCIeRdCur
+//     counter. With more active QPs than cache entries, outbound
+//     throughput collapses — Figure 1(b)/3(a)/10.
+//
+//   - Inbound writes bypass those caches (the NIC "only needs to store the
+//     messages to the local memory without modifying the cached states")
+//     but land in the host LLC through DDIO; when the target pool exceeds
+//     the DDIO budget, write-allocates stall the inbound engine and evict
+//     useful lines — Figure 3(b).
+//
+//   - Address translation consults an MTT cache keyed by (key, page);
+//     registering huge pages keeps it small, 4 KB pages thrash it.
+//
+// Engines: each NIC has one outbound and one inbound processing engine.
+// Jobs occupy an engine serially (that is the throughput limit); DMA
+// payload transfers are pipelined and add delivery latency but not engine
+// occupancy.
+package nic
+
+import (
+	"fmt"
+
+	"scalerpc/internal/cachesim"
+	"scalerpc/internal/fabric"
+	"scalerpc/internal/memory"
+	"scalerpc/internal/pcie"
+	"scalerpc/internal/sim"
+	"scalerpc/internal/stats"
+)
+
+// Config holds the NIC model parameters.
+type Config struct {
+	// Cache geometries.
+	QPCCacheEntries int // QP contexts resident on-NIC
+	WQECacheEntries int // per-QP WQE windows resident on-NIC
+	MTTCacheEntries int // page translations resident on-NIC
+
+	// Outbound engine occupancy.
+	OutboundBaseCost sim.Duration // per WQE, caches hot
+	OutboundUDExtra  sim.Duration // extra for UD address-handle resolution
+	// CacheMissStall is the engine occupancy added per QPC/WQE/MTT cache
+	// miss. It is smaller than the full DMA read latency because the
+	// NIC's processing units overlap refills with other work; the full
+	// latency still delays the message's departure.
+	CacheMissStall sim.Duration
+
+	// Inbound engine occupancy.
+	InboundWriteCost sim.Duration // per inbound WRITE
+	InboundSendCost  sim.Duration // per inbound SEND (recv WQE consume)
+	InboundReadCost  sim.Duration // per inbound READ request
+	InboundAckCost   sim.Duration // per inbound ACK/NAK
+	AtomicCost       sim.Duration // extra for atomics (bus lock)
+
+	// Limits.
+	MaxInline int // bytes postable inline in the WQE
+	UDMTU     int // UD payload limit (4 KB per Table 1)
+	MaxMsg    int // RC/UC payload limit (2 GB per Table 1)
+
+	// UDLossRate drops incoming UD packets with this probability
+	// (unreliable datagram; default 0 — IB fabrics are lossless).
+	UDLossRate float64
+
+	// TornWriteDelay, when positive, commits inbound RDMA writes in two
+	// steps: every byte except the last lands first, and the final
+	// (highest-address) byte lands TornWriteDelay later. RDMA only
+	// guarantees increasing-address-order visibility, so this fault
+	// injection verifies that pollers relying on a trailing Valid byte
+	// (the paper's right-aligned layout, §3.1) never observe a partial
+	// message as complete.
+	TornWriteDelay sim.Duration
+
+	// CQDepth is the completion queue capacity; overrun is fatal, as on
+	// real hardware.
+	CQDepth int
+
+	// StrictLRUCaches switches the on-NIC caches from randomized
+	// replacement (realistic gradual degradation; the default) to strict
+	// LRU (useful in tests asserting exact eviction behaviour).
+	StrictLRUCaches bool
+}
+
+// DefaultConfig returns parameters calibrated against the paper's
+// ConnectX-3 generation testbed (see DESIGN.md §4).
+func DefaultConfig() Config {
+	return Config{
+		QPCCacheEntries:  64,
+		WQECacheEntries:  64,
+		MTTCacheEntries:  2048,
+		OutboundBaseCost: 50,
+		OutboundUDExtra:  40,
+		CacheMissStall:   180,
+		InboundWriteCost: 28,
+		InboundSendCost:  100,
+		InboundReadCost:  60,
+		InboundAckCost:   5,
+		AtomicCost:       150,
+		MaxInline:        188,
+		UDMTU:            4096,
+		MaxMsg:           2 << 30,
+		CQDepth:          1024,
+	}
+}
+
+// Stats counts NIC-level events.
+type Stats struct {
+	OutWQEs    uint64
+	InMessages uint64
+	QPCHits    uint64
+	QPCMisses  uint64
+	WQEHits    uint64
+	WQEMisses  uint64
+	MTTHits    uint64
+	MTTMisses  uint64
+	// QPCTouchHits/Misses count requester-side completion processing
+	// (ACKs, READ responses) touching the QP context cache.
+	QPCTouchHits   uint64
+	QPCTouchMisses uint64
+	RNRDrops       uint64 // sends arriving with no posted recv (UD)
+	UDDrops        uint64 // injected unreliable-datagram losses
+	Retransmits    uint64
+	NAKs           uint64
+	DCTConnects    uint64 // DCT context switches (connect packets sent)
+}
+
+// NIC is one simulated RNIC.
+type NIC struct {
+	Cfg   Config
+	Stats Stats
+
+	env  *sim.Env
+	id   int
+	port *fabric.Port
+	fab  *fabric.Fabric
+	mem  *memory.Registry
+	bus  *pcie.Bus
+	llc  *cachesim.Cache
+	cost pcie.CostModel
+	rng  *stats.RNG
+
+	qps     map[uint32]*QP
+	nextQPN uint32
+
+	qpcCache *lruCache
+	wqeCache *lruCache
+	mttCache *lruCache
+
+	outQ    []outJob
+	outHead int
+	outBusy bool
+	inQ     []*packet
+	inHead  int
+	inBusy  bool
+
+	watches map[uint32][]*sim.Signal // rkey → signals woken on DMA write
+
+	// dropNextData, when positive, drops that many incoming RC data
+	// packets (fault injection for the retransmission path).
+	dropNextData int
+}
+
+// Deps bundles the host-side resources a NIC attaches to.
+type Deps struct {
+	Env  *sim.Env
+	Port *fabric.Port
+	Fab  *fabric.Fabric
+	Mem  *memory.Registry
+	Bus  *pcie.Bus
+	LLC  *cachesim.Cache
+	Cost pcie.CostModel
+	RNG  *stats.RNG
+}
+
+// New creates a NIC with the given config attached to the supplied host
+// resources; it installs itself as the port's delivery handler.
+func New(cfg Config, d Deps) *NIC {
+	n := &NIC{
+		Cfg:     cfg,
+		env:     d.Env,
+		id:      d.Port.ID,
+		port:    d.Port,
+		fab:     d.Fab,
+		mem:     d.Mem,
+		bus:     d.Bus,
+		llc:     d.LLC,
+		cost:    d.Cost,
+		rng:     d.RNG,
+		qps:     make(map[uint32]*QP),
+		nextQPN: 1,
+		watches: make(map[uint32][]*sim.Signal),
+	}
+	if cfg.StrictLRUCaches || d.RNG == nil {
+		n.qpcCache = newLRU(cfg.QPCCacheEntries)
+		n.wqeCache = newLRU(cfg.WQECacheEntries)
+		n.mttCache = newLRU(cfg.MTTCacheEntries)
+	} else {
+		n.qpcCache = newRandomCache(cfg.QPCCacheEntries, d.RNG.Split())
+		n.wqeCache = newRandomCache(cfg.WQECacheEntries, d.RNG.Split())
+		n.mttCache = newRandomCache(cfg.MTTCacheEntries, d.RNG.Split())
+	}
+	d.Port.OnDeliver(n.deliver)
+	return n
+}
+
+// ID returns the NIC's fabric port id.
+func (n *NIC) ID() int { return n.id }
+
+// Env returns the simulation environment.
+func (n *NIC) Env() *sim.Env { return n.env }
+
+// Mem returns the host memory registry this NIC translates against.
+func (n *NIC) Mem() *memory.Registry { return n.mem }
+
+// WatchRegion registers sig to be woken whenever the NIC DMA-writes into
+// the region identified by rkey. This stands in for the cache-coherent
+// memory polling a real server does in a tight loop: the simulated poller
+// still pays the modelled scan cost, but does not burn simulator events
+// while the region is quiet.
+func (n *NIC) WatchRegion(rkey uint32, sig *sim.Signal) {
+	n.watches[rkey] = append(n.watches[rkey], sig)
+}
+
+// DropNextDataPackets arranges for the next k incoming RC data packets to
+// be dropped — fault injection for testing the NAK/retransmit path.
+func (n *NIC) DropNextDataPackets(k int) { n.dropNextData += k }
+
+// CacheHitRates returns the outbound QPC, WQE and MTT hit rates. The QPC
+// rate covers send-side lookups only; completion-side touches are counted
+// separately in Stats.QPCTouch*.
+func (n *NIC) CacheHitRates() (qpc, wqe, mtt float64) {
+	qpc = ratio(n.Stats.QPCHits, n.Stats.QPCMisses)
+	return qpc, n.wqeCache.HitRate(), n.mttCache.HitRate()
+}
+
+func ratio(hit, miss uint64) float64 {
+	if hit+miss == 0 {
+		return 0
+	}
+	return float64(hit) / float64(hit+miss)
+}
+
+func (n *NIC) allocQPN() uint32 {
+	q := n.nextQPN
+	n.nextQPN++
+	return q
+}
+
+// mttKey builds the MTT cache key for a page of a protection key.
+func mttKey(key uint32, page int) uint64 {
+	return uint64(key)<<32 | uint64(uint32(page))
+}
+
+// chargeMTT looks up the page translations spanned by [addr,addr+size) of
+// region r and returns the added occupancy for misses.
+func (n *NIC) chargeMTT(r *memory.Region, addr uint64, size int) sim.Duration {
+	var extra sim.Duration
+	first := r.PageOf(addr)
+	last := first
+	if size > 0 {
+		last = r.PageOf(addr + uint64(size) - 1)
+	}
+	for p := first; p <= last; p++ {
+		if n.mttCache.Access(mttKey(r.RKey, p)) {
+			n.Stats.MTTHits++
+		} else {
+			n.Stats.MTTMisses++
+			n.bus.RecordDMARead(1)
+			extra += n.Cfg.CacheMissStall
+		}
+	}
+	return extra
+}
+
+func (n *NIC) wakeWatches(rkey uint32) {
+	for _, s := range n.watches[rkey] {
+		s.Broadcast()
+	}
+}
+
+func (n *NIC) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("nic %d: %s", n.id, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,390 @@
+package nic
+
+import (
+	"errors"
+	"fmt"
+
+	"scalerpc/internal/memory"
+	"scalerpc/internal/sim"
+)
+
+// QPType selects the transport mode of a queue pair.
+type QPType int
+
+// Transport modes (Table 1 of the paper).
+const (
+	RC        QPType = iota // reliable connection
+	UC                      // unreliable connection
+	UD                      // unreliable datagram
+	DCT                     // dynamically connected transport (initiator)
+	DCTTarget               // dynamically connected transport (passive target)
+)
+
+func (t QPType) String() string {
+	switch t {
+	case RC:
+		return "RC"
+	case UC:
+		return "UC"
+	case UD:
+		return "UD"
+	case DCT:
+		return "DCT"
+	case DCTTarget:
+		return "DCT_TGT"
+	}
+	return "?"
+}
+
+// Op is a verb opcode.
+type Op int
+
+// Verb opcodes.
+const (
+	OpWrite Op = iota
+	OpWriteImm
+	OpSend
+	OpRead
+	OpCompSwap
+	OpFetchAdd
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "WRITE"
+	case OpWriteImm:
+		return "WRITE_IMM"
+	case OpSend:
+		return "SEND"
+	case OpRead:
+		return "READ"
+	case OpCompSwap:
+		return "CMP_SWAP"
+	case OpFetchAdd:
+		return "FETCH_ADD"
+	}
+	return "?"
+}
+
+// Errors returned by the posting APIs.
+var (
+	ErrVerbUnsupported = errors.New("nic: verb not supported in this mode")
+	ErrMTU             = errors.New("nic: message exceeds transport MTU")
+	ErrNotConnected    = errors.New("nic: QP not connected")
+	ErrInlineTooLarge  = errors.New("nic: inline payload exceeds MaxInline")
+	ErrQPError         = errors.New("nic: QP in error state")
+)
+
+// SendWR is a send work request (single scatter/gather element).
+type SendWR struct {
+	WRID     uint64
+	Op       Op
+	Signaled bool
+
+	// Local buffer. For Inline posts the payload is captured at post time
+	// (no DMA read); otherwise the NIC gathers it during processing.
+	LKey   uint32
+	LAddr  uint64
+	Len    int
+	Inline bool
+
+	// Remote target for one-sided verbs.
+	RKey  uint32
+	RAddr uint64
+
+	// Imm carries the immediate value for OpWriteImm (and optionally
+	// OpSend).
+	Imm uint32
+
+	// UD routing (address handle): ignored on connected QPs.
+	DstNIC int
+	DstQPN uint32
+
+	// Atomic operands (OpCompSwap: Compare/Swap; OpFetchAdd: Add).
+	Compare, Swap, Add uint64
+}
+
+// RecvWR is a receive work request.
+type RecvWR struct {
+	WRID  uint64
+	LKey  uint32
+	LAddr uint64
+	Len   int
+}
+
+// CQEStatus reports completion status.
+type CQEStatus int
+
+// Completion statuses.
+const (
+	CQOK CQEStatus = iota
+	CQLocalError
+	CQRemoteAccessError
+	CQLengthError
+)
+
+// CQE is a completion queue entry.
+type CQE struct {
+	WRID     uint64
+	QPN      uint32
+	Op       Op
+	Status   CQEStatus
+	ByteLen  int
+	Imm      uint32
+	ImmValid bool
+	// SrcNIC/SrcQPN identify the sender for recv completions (UD needs
+	// them to address replies).
+	SrcNIC int
+	SrcQPN uint32
+	// Atomic result (old value) for atomic completions.
+	AtomicOld uint64
+}
+
+// CQ is a completion queue. CQEs are DMA-written by the NIC into a ring in
+// host memory (accounted against the LLC and PCIe counters); software
+// retrieves them with Poll.
+type CQ struct {
+	nic   *NIC
+	ring  *memory.Region
+	slot  int
+	slots int
+	queue []CQE
+	head  int
+	// Sig is woken whenever a CQE arrives, letting simulated threads block
+	// instead of busy-spinning the simulator.
+	Sig *sim.Signal
+}
+
+// CreateCQ allocates a completion queue with the configured depth.
+func (n *NIC) CreateCQ() *CQ {
+	depth := n.Cfg.CQDepth
+	ring := n.mem.Register(depth*64, memory.PageSize2M, memory.LocalWrite)
+	return &CQ{nic: n, ring: ring, slots: depth, Sig: sim.NewSignal(n.env)}
+}
+
+// push DMA-writes a CQE into the ring (hardware side).
+func (cq *CQ) push(e CQE) {
+	if len(cq.queue)-cq.head >= cq.slots {
+		panic("nic: CQ overrun")
+	}
+	addr := cq.ring.Base + uint64(cq.slot*64)
+	cq.slot = (cq.slot + 1) % cq.slots
+	_, allocs := cq.nic.llc.DMAWrite(addr, 64)
+	cq.nic.bus.RecordDeviceWrite(addr, 64, cq.nic.llc.LineSize(), allocs)
+	cq.queue = append(cq.queue, e)
+	cq.Sig.Broadcast()
+}
+
+// Poll removes up to max completions. The CPU cost of polling is charged by
+// the caller through the host layer (each returned CQE was DMA-written to
+// the ring, so reading it touches the LLC model via host.Thread).
+func (cq *CQ) Poll(max int) []CQE {
+	avail := len(cq.queue) - cq.head
+	if avail == 0 {
+		return nil
+	}
+	if avail > max {
+		avail = max
+	}
+	out := make([]CQE, avail)
+	copy(out, cq.queue[cq.head:cq.head+avail])
+	cq.head += avail
+	if cq.head == len(cq.queue) {
+		cq.queue = cq.queue[:0]
+		cq.head = 0
+	}
+	return out
+}
+
+// Len returns the number of pending completions.
+func (cq *CQ) Len() int { return len(cq.queue) - cq.head }
+
+// RingRKey exposes the ring region key (the host layer charges LLC reads
+// against it when polling).
+func (cq *CQ) RingRKey() uint32 { return cq.ring.RKey }
+
+// RingBase returns the ring's base address.
+func (cq *CQ) RingBase() uint64 { return cq.ring.Base }
+
+// inflightWR tracks an unacknowledged RC work request.
+type inflightWR struct {
+	psn      uint64
+	wr       SendWR
+	needResp bool // READ/ATOMIC: completes via response, not ACK
+}
+
+// QP is a simulated queue pair.
+type QP struct {
+	nic  *NIC
+	QPN  uint32
+	Type QPType
+
+	SendCQ *CQ
+	RecvCQ *CQ
+
+	connected bool
+	remoteNIC int
+	remoteQPN uint32
+
+	// DCT initiator state: the currently connected target.
+	dctDstNIC int
+	dctDstQPN uint32
+
+	recvQ    []RecvWR
+	recvHead int
+
+	// RC reliability state.
+	sendPSN   uint64
+	expectPSN uint64
+	inflight  []inflightWR
+	nakSent   bool
+
+	err error
+}
+
+// CreateQP creates a queue pair of the given type with the given CQs.
+func (n *NIC) CreateQP(t QPType, sendCQ, recvCQ *CQ) *QP {
+	qp := &QP{nic: n, QPN: n.allocQPN(), Type: t, SendCQ: sendCQ, RecvCQ: recvCQ}
+	n.qps[qp.QPN] = qp
+	return qp
+}
+
+// DestroyQP removes the QP from the NIC and invalidates its cached context.
+func (n *NIC) DestroyQP(qp *QP) {
+	delete(n.qps, qp.QPN)
+	n.qpcCache.Invalidate(uint64(qp.QPN))
+	n.wqeCache.Invalidate(uint64(qp.QPN))
+}
+
+// Connect pairs two RC/UC QPs (the out-of-band exchange a real application
+// does over TCP during setup). Both ends become connected.
+func Connect(a, b *QP) error {
+	if a.Type == UD || b.Type == UD {
+		return fmt.Errorf("%w: UD QPs are connectionless", ErrVerbUnsupported)
+	}
+	if a.Type == DCT || b.Type == DCT || a.Type == DCTTarget || b.Type == DCTTarget {
+		return fmt.Errorf("%w: DCT connects dynamically per message", ErrVerbUnsupported)
+	}
+	if a.Type != b.Type {
+		return fmt.Errorf("nic: cannot connect %v to %v", a.Type, b.Type)
+	}
+	a.connected, a.remoteNIC, a.remoteQPN = true, b.nic.id, b.QPN
+	b.connected, b.remoteNIC, b.remoteQPN = true, a.nic.id, a.QPN
+	return nil
+}
+
+// Err returns the QP's error state, if any.
+func (qp *QP) Err() error { return qp.err }
+
+// Remote returns the connected peer's (nic, qpn); valid only when connected.
+func (qp *QP) Remote() (int, uint32) { return qp.remoteNIC, qp.remoteQPN }
+
+// validate enforces the Table 1 verb/MTU support matrix.
+func (qp *QP) validate(wr *SendWR) error {
+	switch qp.Type {
+	case UD:
+		if wr.Op != OpSend {
+			return fmt.Errorf("%w: %v on UD", ErrVerbUnsupported, wr.Op)
+		}
+		if wr.Len > qp.nic.Cfg.UDMTU {
+			return fmt.Errorf("%w: %d > %d (UD)", ErrMTU, wr.Len, qp.nic.Cfg.UDMTU)
+		}
+	case UC:
+		switch wr.Op {
+		case OpSend, OpWrite, OpWriteImm:
+		default:
+			return fmt.Errorf("%w: %v on UC", ErrVerbUnsupported, wr.Op)
+		}
+		if wr.Len > qp.nic.Cfg.MaxMsg {
+			return fmt.Errorf("%w: %d > %d (UC)", ErrMTU, wr.Len, qp.nic.Cfg.MaxMsg)
+		}
+		if !qp.connected {
+			return ErrNotConnected
+		}
+	case RC:
+		if wr.Len > qp.nic.Cfg.MaxMsg {
+			return fmt.Errorf("%w: %d > %d (RC)", ErrMTU, wr.Len, qp.nic.Cfg.MaxMsg)
+		}
+		if !qp.connected {
+			return ErrNotConnected
+		}
+	case DCT:
+		// Full RC verb set, addressed per-request like UD.
+		if wr.Len > qp.nic.Cfg.MaxMsg {
+			return fmt.Errorf("%w: %d > %d (DCT)", ErrMTU, wr.Len, qp.nic.Cfg.MaxMsg)
+		}
+	case DCTTarget:
+		return fmt.Errorf("%w: DCT targets are passive", ErrVerbUnsupported)
+	}
+	if wr.Inline && wr.Len > qp.nic.Cfg.MaxInline {
+		return ErrInlineTooLarge
+	}
+	if wr.Inline {
+		switch wr.Op {
+		case OpRead, OpCompSwap, OpFetchAdd:
+			return fmt.Errorf("%w: inline %v", ErrVerbUnsupported, wr.Op)
+		}
+	}
+	return nil
+}
+
+// PostSend posts a send work request. The MMIO doorbell is accounted here;
+// the caller charges its own CPU time through the host layer.
+func (qp *QP) PostSend(wr SendWR) error {
+	if qp.err != nil {
+		return qp.err
+	}
+	if err := qp.validate(&wr); err != nil {
+		return err
+	}
+	n := qp.nic
+	n.bus.RecordMMIO()
+	job := outJob{qp: qp, wr: wr}
+	if wr.Inline && wr.Len > 0 {
+		_, src, err := n.mem.TranslateLocal(wr.LKey, wr.LAddr, wr.Len)
+		if err != nil {
+			return err
+		}
+		job.inlineData = append([]byte(nil), src...)
+	}
+	n.outQ = append(n.outQ, job)
+	n.outKick()
+	return nil
+}
+
+// PostRecv posts a receive work request.
+func (qp *QP) PostRecv(wr RecvWR) error {
+	if qp.err != nil {
+		return qp.err
+	}
+	qp.nic.bus.RecordMMIO()
+	qp.recvQ = append(qp.recvQ, wr)
+	return nil
+}
+
+// PostRecvBatch posts several receives with a single doorbell.
+func (qp *QP) PostRecvBatch(wrs []RecvWR) error {
+	if qp.err != nil {
+		return qp.err
+	}
+	qp.nic.bus.RecordMMIO()
+	qp.recvQ = append(qp.recvQ, wrs...)
+	return nil
+}
+
+// RecvQueueLen reports the number of posted, unconsumed receives.
+func (qp *QP) RecvQueueLen() int { return len(qp.recvQ) - qp.recvHead }
+
+func (qp *QP) popRecv() (RecvWR, bool) {
+	if qp.recvHead >= len(qp.recvQ) {
+		return RecvWR{}, false
+	}
+	wr := qp.recvQ[qp.recvHead]
+	qp.recvHead++
+	if qp.recvHead == len(qp.recvQ) {
+		qp.recvQ = qp.recvQ[:0]
+		qp.recvHead = 0
+	}
+	return wr, true
+}

@@ -1,0 +1,62 @@
+package objstore_test
+
+import (
+	"testing"
+
+	"scalerpc/internal/cluster"
+	"scalerpc/internal/mica"
+	"scalerpc/internal/objstore"
+	"scalerpc/internal/txn"
+)
+
+func TestLoadAndShape(t *testing.T) {
+	c := cluster.New(cluster.Default(3))
+	defer c.Close()
+	var parts []*txn.Participant
+	for i := 0; i < 3; i++ {
+		parts = append(parts, txn.NewParticipant(c.Hosts[i],
+			mica.Config{Buckets: 1 << 12, Items: 1 << 13, SlotSize: 128}))
+	}
+	cfg := objstore.Config{Keys: 3000, ValueSize: 40, ReadSet: 3, WriteSet: 1}
+	if err := objstore.Load(parts, cfg); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range parts {
+		n := p.Store.Len()
+		if n < 700 {
+			t.Fatalf("unbalanced shard: %d keys", n)
+		}
+		total += n
+	}
+	if total != 3000 {
+		t.Fatalf("loaded %d keys", total)
+	}
+
+	g := objstore.NewGen(cfg, 1)
+	for i := 0; i < 100; i++ {
+		tx := g.Next()
+		if len(tx.Reads) != 3 || len(tx.Writes) != 1 {
+			t.Fatalf("txn shape = (%d,%d)", len(tx.Reads), len(tx.Writes))
+		}
+		seen := map[string]bool{}
+		for _, k := range append(append([][]byte{}, tx.Reads...), tx.Writes...) {
+			if seen[string(k)] {
+				t.Fatal("duplicate key in one txn")
+			}
+			seen[string(k)] = true
+		}
+		newVals := tx.Apply(nil, [][]byte{make([]byte, 40)})
+		if len(newVals) != 1 || len(newVals[0]) != 40 {
+			t.Fatal("Apply produced wrong write values")
+		}
+	}
+}
+
+func TestReadOnlyShape(t *testing.T) {
+	g := objstore.NewGen(objstore.Config{Keys: 100, ValueSize: 8, ReadSet: 4, WriteSet: 0}, 2)
+	tx := g.Next()
+	if len(tx.Reads) != 4 || len(tx.Writes) != 0 || tx.Apply != nil {
+		t.Fatalf("read-only txn shape wrong: %d/%d", len(tx.Reads), len(tx.Writes))
+	}
+}

@@ -1,0 +1,334 @@
+// Package octofs implements an Octopus-like distributed file system
+// metadata server (Lu et al., ATC'17), the system whose RPC subsystem the
+// paper swaps for ScaleRPC in §4.1. Only the metadata path matters for the
+// reproduced experiments (Figures 1(a) and 13): a single MDS serving
+// Mknod, Rmnod, Stat and Readdir over a pluggable RPC transport.
+//
+// The namespace is an in-memory tree; every inode is also assigned a slot
+// in a registered "inode table" region, and handlers run their accesses
+// through the host's LLC model, so metadata-op cost behaves like a real
+// in-memory file system: read-mostly ops (Stat/Readdir) are cheap and
+// network-bound — which is where RPC scalability dominates — while
+// update ops (Mknod/Rmnod) carry real software overhead that masks it, the
+// paper's explanation for Figure 1(a).
+package octofs
+
+import (
+	"encoding/binary"
+	"sort"
+	"strings"
+
+	"scalerpc/internal/host"
+	"scalerpc/internal/memory"
+	"scalerpc/internal/rpccore"
+	"scalerpc/internal/sim"
+)
+
+// RPC handler ids.
+const (
+	HMknod   = 20
+	HRmnod   = 21
+	HStat    = 22
+	HReaddir = 23
+	HMkdir   = 24
+)
+
+// Status codes in the first response byte.
+const (
+	StOK       = 0
+	StExists   = 1
+	StNotFound = 2
+	StNotEmpty = 3
+	StNoSpace  = 4
+)
+
+// inodeSlotSize is the modelled on-heap footprint of one inode.
+const inodeSlotSize = 64
+
+// Config sizes the MDS.
+type Config struct {
+	// MaxInodes bounds the inode table (and its modelled footprint).
+	MaxInodes int
+	// LookupCost/UpdateCost approximate path parsing and tree bookkeeping
+	// beyond the modelled memory accesses.
+	LookupCost sim.Duration
+	UpdateCost sim.Duration
+}
+
+// DefaultConfig sizes the table for bench-scale namespaces.
+func DefaultConfig() Config {
+	return Config{MaxInodes: 1 << 19, LookupCost: 1200, UpdateCost: 6000}
+}
+
+// Inode is one file or directory.
+type Inode struct {
+	slot     int
+	IsDir    bool
+	Size     int64
+	CTime    sim.Time
+	children map[string]*Inode
+}
+
+// Stats counts metadata operations served.
+type Stats struct {
+	Mknods, Rmnods, Stats, Readdirs, Mkdirs uint64
+	Errors                                  uint64
+}
+
+// MDS is the metadata server.
+type MDS struct {
+	Cfg   Config
+	Host  *host.Host
+	Stats Stats
+
+	root   *Inode
+	itable *memory.Region
+	nextIn int
+	free   []int
+	inodes int
+}
+
+// NewMDS builds a metadata server on h.
+func NewMDS(h *host.Host, cfg Config) *MDS {
+	m := &MDS{
+		Cfg:    cfg,
+		Host:   h,
+		itable: h.Mem.Register(cfg.MaxInodes*inodeSlotSize, memory.PageSize2M, memory.LocalWrite),
+	}
+	m.root = m.newInode(true)
+	return m
+}
+
+func (m *MDS) newInode(dir bool) *Inode {
+	var slot int
+	if n := len(m.free); n > 0 {
+		slot = m.free[n-1]
+		m.free = m.free[:n-1]
+	} else {
+		if m.nextIn >= m.Cfg.MaxInodes {
+			return nil
+		}
+		slot = m.nextIn
+		m.nextIn++
+	}
+	m.inodes++
+	in := &Inode{slot: slot, IsDir: dir}
+	if dir {
+		in.children = make(map[string]*Inode)
+	}
+	return in
+}
+
+func (m *MDS) freeInode(in *Inode) {
+	m.free = append(m.free, in.slot)
+	m.inodes--
+}
+
+func (m *MDS) slotAddr(in *Inode) uint64 {
+	return m.itable.Base + uint64(in.slot*inodeSlotSize)
+}
+
+// Len returns the number of live inodes (excluding the root).
+func (m *MDS) Len() int { return m.inodes - 1 }
+
+// lookup walks path from the root, charging one inode-table read per
+// component.
+func (m *MDS) lookup(t *host.Thread, path string) (*Inode, *Inode, string) {
+	t.Work(m.Cfg.LookupCost)
+	cur := m.root
+	var parent *Inode
+	last := ""
+	if path == "/" || path == "" {
+		return cur, nil, ""
+	}
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	for i, name := range parts {
+		if cur == nil || !cur.IsDir {
+			return nil, nil, ""
+		}
+		t.ReadMem(m.slotAddr(cur), inodeSlotSize)
+		next := cur.children[name]
+		if i == len(parts)-1 {
+			return next, cur, name
+		}
+		parent = cur
+		cur = next
+	}
+	_ = parent
+	return cur, parent, last
+}
+
+// RegisterHandlers installs the metadata handlers on an RPC server.
+func (m *MDS) RegisterHandlers(s rpccore.Server) {
+	s.Register(HMknod, m.handleMknod)
+	s.Register(HRmnod, m.handleRmnod)
+	s.Register(HStat, m.handleStat)
+	s.Register(HReaddir, m.handleReaddir)
+	s.Register(HMkdir, m.handleMkdir)
+}
+
+func (m *MDS) create(t *host.Thread, path string, dir bool) byte {
+	in, parent, name := m.lookup(t, string(path))
+	if parent == nil || name == "" {
+		return StNotFound
+	}
+	if in != nil {
+		return StExists
+	}
+	t.Work(m.Cfg.UpdateCost)
+	child := m.newInode(dir)
+	if child == nil {
+		return StNoSpace
+	}
+	child.CTime = t.P.Now()
+	parent.children[name] = child
+	t.WriteMem(m.slotAddr(child), inodeSlotSize)
+	t.WriteMem(m.slotAddr(parent), inodeSlotSize)
+	return StOK
+}
+
+func (m *MDS) handleMknod(t *host.Thread, id uint16, req, out []byte) int {
+	m.Stats.Mknods++
+	out[0] = m.create(t, string(req), false)
+	if out[0] != StOK {
+		m.Stats.Errors++
+	}
+	return 1
+}
+
+func (m *MDS) handleMkdir(t *host.Thread, id uint16, req, out []byte) int {
+	m.Stats.Mkdirs++
+	out[0] = m.create(t, string(req), true)
+	if out[0] != StOK {
+		m.Stats.Errors++
+	}
+	return 1
+}
+
+func (m *MDS) handleRmnod(t *host.Thread, id uint16, req, out []byte) int {
+	m.Stats.Rmnods++
+	in, parent, name := m.lookup(t, string(req))
+	switch {
+	case in == nil || parent == nil:
+		out[0] = StNotFound
+	case in.IsDir && len(in.children) > 0:
+		out[0] = StNotEmpty
+	default:
+		t.Work(m.Cfg.UpdateCost)
+		delete(parent.children, name)
+		m.freeInode(in)
+		t.WriteMem(m.slotAddr(parent), inodeSlotSize)
+		out[0] = StOK
+	}
+	if out[0] != StOK {
+		m.Stats.Errors++
+	}
+	return 1
+}
+
+// handleStat returns: status | isDir | size(8) | ctime(8).
+func (m *MDS) handleStat(t *host.Thread, id uint16, req, out []byte) int {
+	m.Stats.Stats++
+	in, _, _ := m.lookup(t, string(req))
+	if in == nil {
+		m.Stats.Errors++
+		out[0] = StNotFound
+		return 1
+	}
+	t.ReadMem(m.slotAddr(in), inodeSlotSize)
+	out[0] = StOK
+	if in.IsDir {
+		out[1] = 1
+	} else {
+		out[1] = 0
+	}
+	binary.LittleEndian.PutUint64(out[2:], uint64(in.Size))
+	binary.LittleEndian.PutUint64(out[10:], uint64(in.CTime))
+	return 18
+}
+
+// handleReaddir returns: status | count(4) | {nameLen(1) name}... The
+// listing is capped by the response buffer; a full implementation would
+// paginate, which no reproduced experiment needs.
+func (m *MDS) handleReaddir(t *host.Thread, id uint16, req, out []byte) int {
+	m.Stats.Readdirs++
+	in, _, _ := m.lookup(t, string(req))
+	if in == nil || !in.IsDir {
+		m.Stats.Errors++
+		out[0] = StNotFound
+		return 1
+	}
+	// Iterate deterministically (map order would perturb the LLC model
+	// and break run-to-run reproducibility).
+	names := make([]string, 0, len(in.children))
+	for name := range in.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	n := 5
+	count := 0
+	for _, name := range names {
+		if n+1+len(name) > len(out) {
+			break
+		}
+		// One table read per few directory entries.
+		if count%4 == 0 {
+			t.ReadMem(m.slotAddr(in.children[name]), inodeSlotSize)
+		}
+		out[n] = byte(len(name))
+		copy(out[n+1:], name)
+		n += 1 + len(name)
+		count++
+	}
+	out[0] = StOK
+	binary.LittleEndian.PutUint32(out[1:], uint32(count))
+	return n
+}
+
+// Preload populates the namespace directly (benchmark setup): one
+// directory per client, filesPerDir files each. Returns false if the inode
+// table is too small.
+func (m *MDS) Preload(clients, filesPerDir int) bool {
+	for c := 0; c < clients; c++ {
+		dir := m.newInode(true)
+		if dir == nil {
+			return false
+		}
+		m.root.children[dirName(c)] = dir
+		for f := 0; f < filesPerDir; f++ {
+			file := m.newInode(false)
+			if file == nil {
+				return false
+			}
+			dir.children[fileName(f)] = file
+		}
+	}
+	return true
+}
+
+func dirName(c int) string  { return "c" + itoa4(c) }
+func fileName(f int) string { return "f" + itoa6(f) }
+
+func itoa4(v int) string {
+	b := [4]byte{'0', '0', '0', '0'}
+	for i := 3; i >= 0 && v > 0; i-- {
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[:])
+}
+
+func itoa6(v int) string {
+	b := [6]byte{'0', '0', '0', '0', '0', '0'}
+	for i := 5; i >= 0 && v > 0; i-- {
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[:])
+}
+
+// ClientDir returns client c's private directory path.
+func ClientDir(c int) string { return "/" + dirName(c) }
+
+// FilePath returns the path of file f in client c's directory.
+func FilePath(c, f int) string { return "/" + dirName(c) + "/" + fileName(f) }

@@ -1,0 +1,132 @@
+// Package pcie models the PCIe bus between a host CPU/memory complex and
+// its RNIC: latency/occupancy costs for MMIO and DMA, and the Intel
+// uncore-style event counters the paper reads with PCM (Figures 3 and 10).
+//
+// Counter semantics follow the paper's definitions (§3.6.3):
+//
+//   - PCIeRdCur — PCIe device reads of memory (DMA reads: WQE fetches on
+//     cache miss, QP-context refills, payload gathers, RDMA READ sources).
+//   - RFO — partial-cacheline writes from the device to memory.
+//   - ItoM — full-cacheline writes from the device to memory.
+//   - PCIeItoM — full-cacheline device writes that had to use the DDIO
+//     Write Allocate mode (target line absent from the LLC).
+package pcie
+
+import "scalerpc/internal/sim"
+
+// Counters is a snapshot of PCIe event counts. Rates are computed by the
+// harness from two snapshots and the elapsed virtual time.
+type Counters struct {
+	PCIeRdCur uint64
+	RFO       uint64
+	ItoM      uint64
+	PCIeItoM  uint64
+	MMIOWr    uint64
+}
+
+// Sub returns c - o, counter-wise.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		PCIeRdCur: c.PCIeRdCur - o.PCIeRdCur,
+		RFO:       c.RFO - o.RFO,
+		ItoM:      c.ItoM - o.ItoM,
+		PCIeItoM:  c.PCIeItoM - o.PCIeItoM,
+		MMIOWr:    c.MMIOWr - o.MMIOWr,
+	}
+}
+
+// TotalDeviceWrites returns RFO+ItoM: all device→memory write events.
+func (c Counters) TotalDeviceWrites() uint64 { return c.RFO + c.ItoM }
+
+// Bus accumulates counters for one host's PCIe root complex.
+type Bus struct {
+	Counters
+}
+
+// NewBus returns a zeroed bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Snapshot returns the current counter values.
+func (b *Bus) Snapshot() Counters { return b.Counters }
+
+// Reset zeroes all counters.
+func (b *Bus) Reset() { b.Counters = Counters{} }
+
+// RecordDMARead counts a device read of memory (one event per read
+// transaction regardless of size; the paper's counter is per-cacheline but
+// the verbs involved read ≤1 line except payload gathers, which we count
+// per line).
+func (b *Bus) RecordDMARead(lines int) { b.PCIeRdCur += uint64(lines) }
+
+// RecordDeviceWrite counts a device write of n bytes split into full and
+// partial cachelines, flagging how many were write-allocates.
+func (b *Bus) RecordDeviceWrite(addr, size uint64, lineSize int, allocs int) {
+	if size == 0 {
+		return
+	}
+	ls := uint64(lineSize)
+	first := addr / ls
+	last := (addr + size - 1) / ls
+	for lineNo := first; lineNo <= last; lineNo++ {
+		lineStart := lineNo * ls
+		lineEnd := lineStart + ls
+		covStart, covEnd := addr, addr+size
+		if covStart < lineStart {
+			covStart = lineStart
+		}
+		if covEnd > lineEnd {
+			covEnd = lineEnd
+		}
+		if covEnd-covStart == ls {
+			b.ItoM++
+		} else {
+			b.RFO++
+		}
+	}
+	b.PCIeItoM += uint64(allocs)
+}
+
+// RecordMMIO counts a CPU MMIO doorbell write to the device.
+func (b *Bus) RecordMMIO() { b.MMIOWr++ }
+
+// CostModel holds the latency constants for bus transactions. Durations are
+// virtual nanoseconds; defaults approximate a PCIe 3.0 x8 link as seen by a
+// ConnectX-3-generation NIC.
+type CostModel struct {
+	// MMIOWrite is CPU time to issue a posted doorbell write (including
+	// the write-combining flush for inlined WQEs).
+	MMIOWrite sim.Duration
+	// DMAReadLatency is device-visible latency of a DMA read round trip
+	// (request + completion with data) for one cacheline.
+	DMAReadLatency sim.Duration
+	// DMAReadPerLine is additional latency per extra cacheline gathered.
+	DMAReadPerLine sim.Duration
+	// DMAWriteLatency is posted-write issue latency (cheap; writes are
+	// fire-and-forget from the device's perspective).
+	DMAWriteLatency sim.Duration
+	// WriteAllocatePenalty is the extra occupancy incurred when a DDIO
+	// write misses the LLC and must allocate (snoop + possible dirty
+	// eviction to memory).
+	WriteAllocatePenalty sim.Duration
+}
+
+// DefaultCostModel returns latencies calibrated for the paper's testbed
+// generation (values in virtual ns).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		MMIOWrite:            100,
+		DMAReadLatency:       400,
+		DMAReadPerLine:       8,
+		DMAWriteLatency:      20,
+		WriteAllocatePenalty: 70,
+	}
+}
+
+// DMARead returns the latency of a DMA read of size bytes.
+func (m CostModel) DMARead(size int, lineSize int) sim.Duration {
+	if size <= 0 {
+		return 0
+	}
+	lines := (size + lineSize - 1) / lineSize
+	return m.DMAReadLatency + sim.Duration(lines-1)*m.DMAReadPerLine
+}

@@ -1,0 +1,81 @@
+package pcie
+
+import "testing"
+
+func TestCountersSub(t *testing.T) {
+	a := Counters{PCIeRdCur: 10, RFO: 5, ItoM: 7, PCIeItoM: 3, MMIOWr: 2}
+	b := Counters{PCIeRdCur: 4, RFO: 1, ItoM: 2, PCIeItoM: 1, MMIOWr: 1}
+	d := a.Sub(b)
+	if d.PCIeRdCur != 6 || d.RFO != 4 || d.ItoM != 5 || d.PCIeItoM != 2 || d.MMIOWr != 1 {
+		t.Fatalf("d = %+v", d)
+	}
+	if a.TotalDeviceWrites() != 12 {
+		t.Fatalf("TotalDeviceWrites = %d", a.TotalDeviceWrites())
+	}
+}
+
+func TestRecordDeviceWriteFullVsPartialLines(t *testing.T) {
+	b := NewBus()
+	// 64-byte aligned full line → ItoM.
+	b.RecordDeviceWrite(0, 64, 64, 0)
+	if b.ItoM != 1 || b.RFO != 0 {
+		t.Fatalf("full line: %+v", b.Counters)
+	}
+	// 8 bytes → one partial line (RFO).
+	b.Reset()
+	b.RecordDeviceWrite(128, 8, 64, 0)
+	if b.RFO != 1 || b.ItoM != 0 {
+		t.Fatalf("partial: %+v", b.Counters)
+	}
+	// 100 bytes at offset 32: covers line0[32,64) partial, line1[64,128)
+	// full, line2[128,132) partial.
+	b.Reset()
+	b.RecordDeviceWrite(32, 100, 64, 0)
+	if b.RFO != 2 || b.ItoM != 1 {
+		t.Fatalf("straddle: %+v", b.Counters)
+	}
+}
+
+func TestRecordDeviceWriteAllocs(t *testing.T) {
+	b := NewBus()
+	b.RecordDeviceWrite(0, 256, 64, 3)
+	if b.PCIeItoM != 3 {
+		t.Fatalf("PCIeItoM = %d", b.PCIeItoM)
+	}
+	b.RecordDeviceWrite(0, 0, 64, 5)
+	if b.PCIeItoM != 3 {
+		t.Fatal("zero-size write must not count")
+	}
+}
+
+func TestDMAReadLatencyScalesWithLines(t *testing.T) {
+	m := DefaultCostModel()
+	one := m.DMARead(64, 64)
+	if one != m.DMAReadLatency {
+		t.Fatalf("1 line = %d, want %d", one, m.DMAReadLatency)
+	}
+	big := m.DMARead(64*100, 64)
+	if big != m.DMAReadLatency+99*m.DMAReadPerLine {
+		t.Fatalf("100 lines = %d", big)
+	}
+	if m.DMARead(0, 64) != 0 {
+		t.Fatal("0-byte read must be free")
+	}
+	// Partial line rounds up.
+	if m.DMARead(65, 64) != m.DMAReadLatency+m.DMAReadPerLine {
+		t.Fatal("65 bytes must count as 2 lines")
+	}
+}
+
+func TestMMIOAndDMAReadCounters(t *testing.T) {
+	b := NewBus()
+	b.RecordMMIO()
+	b.RecordDMARead(4)
+	if b.MMIOWr != 1 || b.PCIeRdCur != 4 {
+		t.Fatalf("%+v", b.Counters)
+	}
+	b.Reset()
+	if b.Snapshot() != (Counters{}) {
+		t.Fatal("Reset failed")
+	}
+}

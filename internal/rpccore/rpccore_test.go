@@ -1,0 +1,176 @@
+package rpccore_test
+
+import (
+	"testing"
+
+	"scalerpc/internal/cluster"
+	"scalerpc/internal/host"
+	"scalerpc/internal/rpccore"
+	"scalerpc/internal/sim"
+	"scalerpc/internal/stats"
+)
+
+// loopConn is an in-memory Conn that answers every request after a fixed
+// simulated delay — enough to exercise the driver's batching, warmup, and
+// measurement-window logic without a transport.
+type loopConn struct {
+	env     *sim.Env
+	sig     *sim.Signal
+	delay   sim.Duration
+	slots   int
+	pending []rpccore.Response
+	inUse   int
+}
+
+func newLoopConn(env *sim.Env, sig *sim.Signal, delay sim.Duration, slots int) *loopConn {
+	return &loopConn{env: env, sig: sig, delay: delay, slots: slots}
+}
+
+func (l *loopConn) TrySend(t *host.Thread, h uint8, payload []byte, reqID uint64) bool {
+	if l.inUse >= l.slots {
+		return false
+	}
+	l.inUse++
+	body := append([]byte(nil), payload...)
+	l.env.At(l.delay, func() {
+		l.pending = append(l.pending, rpccore.Response{ReqID: reqID, Payload: body})
+		l.sig.Broadcast()
+	})
+	return true
+}
+
+func (l *loopConn) Poll(t *host.Thread, fn func(rpccore.Response)) int {
+	n := len(l.pending)
+	for _, r := range l.pending {
+		l.inUse--
+		fn(r)
+	}
+	l.pending = l.pending[:0]
+	return n
+}
+
+func (l *loopConn) Outstanding() int { return l.inUse }
+func (l *loopConn) SlotCount() int   { return l.slots }
+
+func TestDriverBatchSemantics(t *testing.T) {
+	c := cluster.New(cluster.Default(1))
+	defer c.Close()
+	sig := sim.NewSignal(c.Env)
+	conn := newLoopConn(c.Env, sig, 10*sim.Microsecond, 16)
+	var st rpccore.DriverStats
+	horizon := sim.Millisecond
+	c.Hosts[0].Spawn("drv", func(th *host.Thread) {
+		st = rpccore.RunDriver(th, []rpccore.Conn{conn}, rpccore.DriverConfig{
+			Batch: 4, Handler: 1, PayloadSize: 8,
+		}, sig, func() bool { return th.P.Now() >= horizon })
+	})
+	c.Env.RunUntil(horizon + 100*sim.Microsecond)
+	// Each batch takes ~10us (+ poll wake), so ~100 batches of 4.
+	if st.Completed < 300 || st.Completed > 450 {
+		t.Fatalf("Completed = %d, want ~400", st.Completed)
+	}
+	// Batch latency ≈ response delay.
+	if med := st.BatchLat.Median(); med < 10000 || med > 20000 {
+		t.Fatalf("median batch latency = %d, want ~10-20us", med)
+	}
+}
+
+func TestDriverMeasureFromExcludesWarmup(t *testing.T) {
+	c := cluster.New(cluster.Default(1))
+	defer c.Close()
+	sig := sim.NewSignal(c.Env)
+	conn := newLoopConn(c.Env, sig, 10*sim.Microsecond, 16)
+	var st rpccore.DriverStats
+	horizon := sim.Millisecond
+	c.Hosts[0].Spawn("drv", func(th *host.Thread) {
+		st = rpccore.RunDriver(th, []rpccore.Conn{conn}, rpccore.DriverConfig{
+			Batch: 1, MeasureFrom: horizon / 2,
+		}, sig, func() bool { return th.P.Now() >= horizon })
+	})
+	c.Env.RunUntil(horizon + 100*sim.Microsecond)
+	// Only the second half counts: ~500us / ~11us per op.
+	if st.Completed < 30 || st.Completed > 60 {
+		t.Fatalf("Completed = %d, want ~45 (half the window)", st.Completed)
+	}
+}
+
+func TestDriverThinkTimeThrottles(t *testing.T) {
+	c := cluster.New(cluster.Default(1))
+	defer c.Close()
+	sig := sim.NewSignal(c.Env)
+	conn := newLoopConn(c.Env, sig, sim.Microsecond, 16)
+	var st rpccore.DriverStats
+	horizon := sim.Millisecond
+	c.Hosts[0].Spawn("drv", func(th *host.Thread) {
+		st = rpccore.RunDriver(th, []rpccore.Conn{conn}, rpccore.DriverConfig{
+			Batch:     1,
+			ThinkTime: func(*stats.RNG) sim.Duration { return 100 * sim.Microsecond },
+		}, sig, func() bool { return th.P.Now() >= horizon })
+	})
+	c.Env.RunUntil(horizon + 100*sim.Microsecond)
+	if st.Completed > 15 {
+		t.Fatalf("Completed = %d, want ≤ ~10 with 100us think time", st.Completed)
+	}
+}
+
+func TestDriverStartDelay(t *testing.T) {
+	c := cluster.New(cluster.Default(1))
+	defer c.Close()
+	sig := sim.NewSignal(c.Env)
+	conn := newLoopConn(c.Env, sig, sim.Microsecond, 16)
+	var first sim.Time
+	horizon := 100 * sim.Microsecond
+	probe := &probeConn{inner: conn, onSend: func(at sim.Time) {
+		if first == 0 {
+			first = at
+		}
+	}}
+	c.Hosts[0].Spawn("drv", func(th *host.Thread) {
+		rpccore.RunDriver(th, []rpccore.Conn{probe}, rpccore.DriverConfig{
+			Batch: 1, StartDelay: 30 * sim.Microsecond,
+		}, sig, func() bool { return th.P.Now() >= horizon })
+	})
+	c.Env.RunUntil(horizon + 10*sim.Microsecond)
+	if first < 30*sim.Microsecond {
+		t.Fatalf("first post at %d, want ≥ 30us", first)
+	}
+}
+
+func TestDriverMultipleCoroutines(t *testing.T) {
+	c := cluster.New(cluster.Default(1))
+	defer c.Close()
+	sig := sim.NewSignal(c.Env)
+	conns := []rpccore.Conn{
+		newLoopConn(c.Env, sig, 10*sim.Microsecond, 4),
+		newLoopConn(c.Env, sig, 10*sim.Microsecond, 4),
+		newLoopConn(c.Env, sig, 10*sim.Microsecond, 4),
+	}
+	var st rpccore.DriverStats
+	horizon := sim.Millisecond
+	c.Hosts[0].Spawn("drv", func(th *host.Thread) {
+		st = rpccore.RunDriver(th, conns, rpccore.DriverConfig{Batch: 2}, sig,
+			func() bool { return th.P.Now() >= horizon })
+	})
+	c.Env.RunUntil(horizon + 100*sim.Microsecond)
+	// Three coroutines overlap their batches: ~3× single-conn throughput.
+	if st.Completed < 400 {
+		t.Fatalf("Completed = %d, want ≥ 400 with 3 coroutines", st.Completed)
+	}
+}
+
+// probeConn wraps a Conn to observe send times.
+type probeConn struct {
+	inner  rpccore.Conn
+	onSend func(sim.Time)
+}
+
+func (p *probeConn) TrySend(t *host.Thread, h uint8, payload []byte, reqID uint64) bool {
+	ok := p.inner.TrySend(t, h, payload, reqID)
+	if ok {
+		p.onSend(t.P.Now())
+	}
+	return ok
+}
+func (p *probeConn) Poll(t *host.Thread, fn func(rpccore.Response)) int { return p.inner.Poll(t, fn) }
+func (p *probeConn) Outstanding() int                                   { return p.inner.Outstanding() }
+func (p *probeConn) SlotCount() int                                     { return p.inner.SlotCount() }

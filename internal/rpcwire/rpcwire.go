@@ -1,0 +1,134 @@
+// Package rpcwire defines the message-pool layout shared by every RPC
+// implementation in this repository: pools split into zones, zones split
+// into fixed-size message blocks, and the paper's right-aligned in-block
+// message format (§3.1):
+//
+//	| padding | Data | MsgLen | Flags | Valid |
+//
+// RDMA updates memory in increasing address order, so once the trailing
+// Valid byte is visible the preceding Data and MsgLen fields are complete;
+// a poller detects message arrival by reading a single byte at a fixed
+// offset. The Flags field carries the context_switch_event notification
+// ScaleRPC piggybacks on responses (§3.3).
+package rpcwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Trailer layout (at the end of every block), in increasing address order:
+//
+//	MsgLen uint32 | Flags uint8 | Seq uint8 | Valid uint8
+const (
+	lenSize     = 4
+	flagsSize   = 1
+	seqSize     = 1
+	validSize   = 1
+	TrailerSize = lenSize + flagsSize + seqSize + validSize
+)
+
+// Flag bits carried in the trailer.
+const (
+	// FlagContextSwitch tells a ScaleRPC client its group's time slice
+	// ended (context_switch_event, §3.3).
+	FlagContextSwitch = 1 << 0
+	// FlagWarmupAck tells a client its warmup batch was accepted.
+	FlagWarmupAck = 1 << 1
+	// FlagError marks a response carrying an application error payload.
+	FlagError = 1 << 2
+)
+
+const validMagic = 0xA5
+
+// Errors returned by Decode/Encode.
+var (
+	ErrTooLarge = errors.New("rpcwire: message does not fit in block")
+	ErrNotValid = errors.New("rpcwire: block has no valid message")
+)
+
+// MaxPayload returns the largest message a block of the given size holds.
+func MaxPayload(blockSize int) int { return blockSize - TrailerSize }
+
+// Encode places payload right-aligned in block with the given flags and
+// marks it valid. The block is a full message block slice.
+func Encode(block []byte, payload []byte, flags byte) error {
+	if len(payload) > MaxPayload(len(block)) {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(payload), MaxPayload(len(block)))
+	}
+	dataEnd := len(block) - TrailerSize
+	copy(block[dataEnd-len(payload):dataEnd], payload)
+	binary.LittleEndian.PutUint32(block[dataEnd:], uint32(len(payload)))
+	block[dataEnd+lenSize] = flags
+	block[dataEnd+lenSize+flagsSize] = 0
+	block[len(block)-1] = validMagic
+	return nil
+}
+
+// Valid reports whether the block holds an undelivered message. This is the
+// single-byte probe a polling server issues per block.
+func Valid(block []byte) bool { return block[len(block)-1] == validMagic }
+
+// ValidOffset returns the offset of the Valid byte within a block — the
+// address a poller reads.
+func ValidOffset(blockSize int) int { return blockSize - 1 }
+
+// Decode returns the payload and flags of a valid block. The returned slice
+// aliases the block; callers must copy if they retain it past Clear.
+func Decode(block []byte) (payload []byte, flags byte, err error) {
+	if !Valid(block) {
+		return nil, 0, ErrNotValid
+	}
+	dataEnd := len(block) - TrailerSize
+	msgLen := int(binary.LittleEndian.Uint32(block[dataEnd:]))
+	if msgLen > dataEnd {
+		return nil, 0, fmt.Errorf("rpcwire: corrupt MsgLen %d in %d-byte block", msgLen, len(block))
+	}
+	return block[dataEnd-msgLen : dataEnd], block[dataEnd+lenSize], nil
+}
+
+// Clear marks the block consumed (the server's per-message cleanup; a
+// single local byte store).
+func Clear(block []byte) { block[len(block)-1] = 0 }
+
+// EncodedSpan returns the offset and length within the block that an
+// encoded message of msgLen bytes occupies (data through trailer). RDMA
+// writers send exactly this span so small messages cost small writes.
+func EncodedSpan(blockSize, msgLen int) (offset, length int) {
+	dataEnd := blockSize - TrailerSize
+	return dataEnd - msgLen, msgLen + TrailerSize
+}
+
+// Header is the RPC-level framing carried inside Data by every RPC
+// implementation here: an opaque request id the client correlates
+// responses with, the handler to invoke, and the caller's client id.
+type Header struct {
+	ReqID    uint64
+	Handler  uint8
+	ClientID uint16
+}
+
+// HeaderSize is the encoded size of Header.
+const HeaderSize = 8 + 1 + 2
+
+// PutHeader encodes h at the front of buf and returns HeaderSize.
+func PutHeader(buf []byte, h Header) int {
+	binary.LittleEndian.PutUint64(buf, h.ReqID)
+	buf[8] = h.Handler
+	binary.LittleEndian.PutUint16(buf[9:], h.ClientID)
+	return HeaderSize
+}
+
+// ParseHeader decodes a Header from the front of buf.
+func ParseHeader(buf []byte) (Header, []byte, error) {
+	if len(buf) < HeaderSize {
+		return Header{}, nil, fmt.Errorf("rpcwire: short message (%d bytes)", len(buf))
+	}
+	h := Header{
+		ReqID:    binary.LittleEndian.Uint64(buf),
+		Handler:  buf[8],
+		ClientID: binary.LittleEndian.Uint16(buf[9:]),
+	}
+	return h, buf[HeaderSize:], nil
+}

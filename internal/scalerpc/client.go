@@ -1,0 +1,340 @@
+package scalerpc
+
+import (
+	"encoding/binary"
+
+	"scalerpc/internal/host"
+	"scalerpc/internal/memory"
+	"scalerpc/internal/nic"
+	"scalerpc/internal/rpccore"
+	"scalerpc/internal/rpcwire"
+	"scalerpc/internal/sim"
+)
+
+// ClientState is the Figure 7 state of an RPCClient.
+type ClientState int
+
+// Client states (Figure 7).
+const (
+	StateIdle ClientState = iota
+	StateWarmup
+	StateProcess
+)
+
+func (s ClientState) String() string {
+	switch s {
+	case StateIdle:
+		return "IDLE"
+	case StateWarmup:
+		return "WARMUP"
+	case StateProcess:
+		return "PROCESS"
+	}
+	return "?"
+}
+
+type connSlot struct {
+	busy   bool
+	reqID  uint64
+	staged bool // encoded request sits in the staging block (re-sendable)
+	msgLen int  // encoded message length, for re-compaction
+}
+
+// Conn is a ScaleRPC RPCClient endpoint. It is driven by a single client
+// thread; Poll advances the state machine.
+type Conn struct {
+	id  uint16
+	h   *host.Host
+	s   *Server
+	qp  *nic.QP
+	sig *sim.Signal
+
+	stage *memory.Region
+	// entryScratch is a tiny staging area for the endpoint-entry tuple.
+	entryScratch *memory.Region
+	resp         *rpcwire.Pool
+	buf          []byte // request assembly buffer (no memory-model cost)
+
+	state       ClientState
+	zone        int
+	poolIdx     int
+	stagedCount int
+	stagedSpan  int // max encoded span among staged requests this round
+	round       uint32
+	entryDirty  bool
+
+	slots       []connSlot
+	outstanding int
+
+	// pinned marks a latency-sensitive connection: always PROCESS, always
+	// pool 0, never context-switched.
+	pinned bool
+
+	// Named-API state (api.go).
+	nextHandle  uint64
+	completions []Completion
+
+	// Retries counts requests re-staged after a context switch found them
+	// unanswered (the §3.5 at-least-once window).
+	Retries uint64
+	// Switches counts context_switch_events observed.
+	Switches uint64
+}
+
+// State returns the connection's Figure 7 state.
+func (c *Conn) State() ClientState { return c.state }
+
+// Zone returns the current zone assignment (-1 when not in PROCESS).
+func (c *Conn) Zone() int {
+	if c.state != StateProcess {
+		return -1
+	}
+	return c.zone
+}
+
+// SlotCount returns the request window size.
+func (c *Conn) SlotCount() int { return len(c.slots) }
+
+// Outstanding returns the number of in-flight requests.
+func (c *Conn) Outstanding() int { return c.outstanding }
+
+// TrySend posts one request. In IDLE it opens a new warmup round; in WARMUP
+// it stages locally (step 1 of Figure 6) for the server to fetch; in
+// PROCESS it RDMA-writes directly into the processing pool.
+func (c *Conn) TrySend(t *host.Thread, handler uint8, payload []byte, reqID uint64) bool {
+	switch c.state {
+	case StateIdle:
+		c.beginWarmup()
+		return c.stageRequest(t, handler, payload, reqID)
+	case StateWarmup:
+		return c.stageRequest(t, handler, payload, reqID)
+	case StateProcess:
+		return c.directSend(t, handler, payload, reqID)
+	}
+	return false
+}
+
+// beginWarmup opens a new warmup round (IDLE → WARMUP).
+func (c *Conn) beginWarmup() {
+	c.round++
+	c.stagedCount = 0
+	c.stagedSpan = 0
+	c.state = StateWarmup
+	c.entryDirty = true
+}
+
+// stageRequest encodes the request into the next contiguous staging block.
+func (c *Conn) stageRequest(t *host.Thread, handler uint8, payload []byte, reqID uint64) bool {
+	if c.stagedCount >= len(c.slots) {
+		return false
+	}
+	b := c.stagedCount
+	if c.slots[b].busy {
+		return false // occupied by an unanswered request awaiting its turn
+	}
+	msgLen, ok := c.encodeInto(t, b, handler, payload, reqID)
+	if !ok {
+		return false
+	}
+	c.slots[b] = connSlot{busy: true, reqID: reqID, staged: true, msgLen: msgLen}
+	c.stagedCount++
+	if sp := msgLen + rpcwire.TrailerSize; sp > c.stagedSpan {
+		c.stagedSpan = sp
+	}
+	c.outstanding++
+	c.entryDirty = true
+	return true
+}
+
+// directSend writes the request straight into the client's zone of the
+// processing pool (PROCESS state).
+func (c *Conn) directSend(t *host.Thread, handler uint8, payload []byte, reqID uint64) bool {
+	b := -1
+	for i := range c.slots {
+		if !c.slots[i].busy {
+			b = i
+			break
+		}
+	}
+	if b < 0 {
+		return false
+	}
+	msgLen, ok := c.encodeInto(t, b, handler, payload, reqID)
+	if !ok {
+		return false
+	}
+	pool := c.s.pools[c.poolIdx]
+	off, span := rpcwire.EncodedSpan(c.s.Cfg.BlockSize, msgLen)
+	wr := nic.SendWR{
+		Op:    nic.OpWrite,
+		LKey:  c.stage.LKey,
+		LAddr: c.stage.Base + uint64(b*c.s.Cfg.BlockSize+off),
+		Len:   span,
+		RKey:  pool.RKey(),
+		RAddr: pool.BlockAddr(c.zone, b) + uint64(off),
+	}
+	if span <= c.h.NIC.Cfg.MaxInline {
+		wr.Inline = true
+	}
+	if err := t.PostSend(c.qp, wr); err != nil {
+		return false
+	}
+	c.slots[b] = connSlot{busy: true, reqID: reqID, staged: true, msgLen: msgLen}
+	c.outstanding++
+	return true
+}
+
+// encodeInto builds the framed request in staging block b.
+func (c *Conn) encodeInto(t *host.Thread, b int, handler uint8, payload []byte, reqID uint64) (int, bool) {
+	msgLen := rpcwire.HeaderSize + len(payload)
+	if msgLen > rpcwire.MaxPayload(c.s.Cfg.BlockSize) {
+		return 0, false
+	}
+	blockOff := b * c.s.Cfg.BlockSize
+	block := c.stage.Bytes()[blockOff : blockOff+c.s.Cfg.BlockSize]
+	rpcwire.PutHeader(c.buf, rpcwire.Header{ReqID: reqID, Handler: handler, ClientID: c.id})
+	copy(c.buf[rpcwire.HeaderSize:], payload)
+	if err := rpcwire.Encode(block, c.buf[:msgLen], 0); err != nil {
+		return 0, false
+	}
+	off, span := rpcwire.EncodedSpan(c.s.Cfg.BlockSize, msgLen)
+	t.WriteMem(c.stage.Base+uint64(blockOff+off), span)
+	return msgLen, true
+}
+
+// flushEndpointEntry RDMA-writes the <staged count, round> tuple to the
+// server's endpoint entry (Figure 6 step 2). Inline: 8 bytes.
+func (c *Conn) flushEndpointEntry(t *host.Thread) {
+	if !c.entryDirty || c.state != StateWarmup {
+		return
+	}
+	c.entryDirty = false
+	b := c.entryScratch.Bytes()
+	binary.LittleEndian.PutUint32(b, uint32(c.stagedCount))
+	binary.LittleEndian.PutUint32(b[4:], c.round)
+	binary.LittleEndian.PutUint32(b[8:], uint32(c.stagedSpan))
+	t.WriteMem(c.entryScratch.Base, endpointEntrySize)
+	wr := nic.SendWR{
+		Op:     nic.OpWrite,
+		LKey:   c.entryScratch.LKey,
+		LAddr:  c.entryScratch.Base,
+		Len:    endpointEntrySize,
+		RKey:   c.s.EndpointRKey(),
+		RAddr:  c.s.EndpointEntryAddr(c.id),
+		Inline: true,
+	}
+	t.PostSend(c.qp, wr)
+}
+
+// Poll drains responses, advances the state machine, and flushes any
+// pending endpoint-entry update.
+func (c *Conn) Poll(t *host.Thread, fn func(rpccore.Response)) int {
+	c.flushEndpointEntry(t)
+	got := 0
+	switched := false
+
+	// Control block: explicit context_switch_event.
+	ctrl := c.resp.Block(0, c.s.Cfg.BlocksPerClient)
+	t.ReadMem(c.resp.ValidAddr(0, c.s.Cfg.BlocksPerClient), 1)
+	if rpcwire.Valid(ctrl) {
+		if _, flags, err := rpcwire.Decode(ctrl); err == nil && flags&rpcwire.FlagContextSwitch != 0 {
+			switched = true
+		}
+		rpcwire.Clear(ctrl)
+		t.WriteMem(c.resp.ValidAddr(0, c.s.Cfg.BlocksPerClient), 1)
+	}
+
+	for b := range c.slots {
+		if !c.slots[b].busy {
+			continue
+		}
+		t.ReadMem(c.resp.ValidAddr(0, b), 1)
+		block := c.resp.Block(0, b)
+		if !rpcwire.Valid(block) {
+			continue
+		}
+		payload, flags, err := rpcwire.Decode(block)
+		if err != nil {
+			rpcwire.Clear(block)
+			continue
+		}
+		t.ReadMem(c.resp.BlockAddr(0, b), len(payload)+rpcwire.TrailerSize)
+		hdr, body, herr := rpcwire.ParseHeader(payload)
+		if herr != nil || hdr.ReqID != c.slots[b].reqID {
+			// A stale response from a previous occupant of this slot.
+			rpcwire.Clear(block)
+			t.WriteMem(c.resp.ValidAddr(0, b), 1)
+			continue
+		}
+		rpcwire.Clear(block)
+		t.WriteMem(c.resp.ValidAddr(0, b), 1)
+		c.slots[b] = connSlot{}
+		c.outstanding--
+		got++
+		// Zone/pool assignment rides on responses (WARMUP → PROCESS);
+		// late-swept responses carry no assignment.
+		if hdr.ClientID&^poolBit != zoneNone {
+			c.zone = int(hdr.ClientID &^ poolBit)
+			c.poolIdx = 0
+			if hdr.ClientID&poolBit != 0 {
+				c.poolIdx = 1
+			}
+			if c.state == StateWarmup {
+				c.state = StateProcess
+			}
+		}
+		if flags&rpcwire.FlagContextSwitch != 0 {
+			switched = true
+		}
+		fn(rpccore.Response{ReqID: hdr.ReqID, Payload: body, Err: flags&rpcwire.FlagError != 0})
+	}
+
+	if switched {
+		c.Switches++
+		c.onContextSwitch(t)
+	}
+	return got
+}
+
+// onContextSwitch moves PROCESS/WARMUP → IDLE; unanswered requests are
+// compacted to the front of the staging area and re-offered in a fresh
+// warmup round (the at-least-once retry covering the switch race).
+func (c *Conn) onContextSwitch(t *host.Thread) {
+	c.state = StateIdle
+	c.zone = -1
+	c.poolIdx = -1
+	// Compact surviving requests to staging blocks 0..m-1.
+	m := 0
+	for b := range c.slots {
+		if !c.slots[b].busy {
+			continue
+		}
+		if b != m {
+			src := c.stage.Bytes()[b*c.s.Cfg.BlockSize : (b+1)*c.s.Cfg.BlockSize]
+			dst := c.stage.Bytes()[m*c.s.Cfg.BlockSize : (m+1)*c.s.Cfg.BlockSize]
+			copy(dst, src)
+			off, span := rpcwire.EncodedSpan(c.s.Cfg.BlockSize, c.slots[b].msgLen)
+			t.ReadMem(c.stage.Base+uint64(b*c.s.Cfg.BlockSize+off), span)
+			t.WriteMem(c.stage.Base+uint64(m*c.s.Cfg.BlockSize+off), span)
+			c.slots[m] = c.slots[b]
+			c.slots[b] = connSlot{}
+		}
+		c.Retries++
+		m++
+	}
+	if m > 0 {
+		c.round++
+		c.stagedCount = m
+		c.stagedSpan = 0
+		for b := 0; b < m; b++ {
+			if sp := c.slots[b].msgLen + rpcwire.TrailerSize; sp > c.stagedSpan {
+				c.stagedSpan = sp
+			}
+		}
+		c.state = StateWarmup
+		c.entryDirty = true
+		c.flushEndpointEntry(t)
+	}
+}
+
+var _ rpccore.Conn = (*Conn)(nil)

@@ -1,0 +1,580 @@
+package scalerpc
+
+import (
+	"sort"
+
+	"scalerpc/internal/host"
+	"scalerpc/internal/memory"
+	"scalerpc/internal/nic"
+	"scalerpc/internal/rpcwire"
+	"scalerpc/internal/sim"
+)
+
+// runScheduler is the priority-based scheduler (§3.2): it times the slices,
+// warms the next group during each slice, and performs context switches.
+func (s *Server) runScheduler(t *host.Thread) {
+	for {
+		sliceLen := s.sliceFor(s.cur) + s.phaseAdjust
+		if sliceLen < s.Cfg.TimeSlice/4 {
+			sliceLen = s.Cfg.TimeSlice / 4
+		}
+		s.phaseAdjust = 0
+		s.nextSwitch = t.P.Now() + sliceLen
+		for t.P.Now() < s.nextSwitch {
+			s.assignWarm()
+			s.fetchWarmups(t)
+			remain := s.nextSwitch - t.P.Now()
+			d := s.Cfg.WarmupPollInterval
+			if d > remain {
+				d = remain
+			}
+			if d > 0 {
+				t.P.Sleep(d)
+			}
+		}
+		if len(s.groups) >= 2 {
+			s.contextSwitch(t)
+		}
+	}
+}
+
+// sliceFor returns the slice length for group g. Under the priority
+// scheduler, groups whose clients post small requests frequently (high
+// P_i = T_i/S_i) receive a longer slice, squeezing shared time away from
+// idle clients (§3.2).
+func (s *Server) sliceFor(g int) sim.Duration {
+	if !s.Cfg.Dynamic || g >= len(s.groups) || len(s.groups) < 2 {
+		return s.Cfg.TimeSlice
+	}
+	var sum, all float64
+	var n, m int
+	for _, cid := range s.groups[g] {
+		sum += s.clients[cid].priority
+		n++
+	}
+	for _, cs := range s.clients {
+		if cs != nil {
+			all += cs.priority
+			m++
+		}
+	}
+	if n == 0 || m == 0 || all == 0 {
+		return s.Cfg.TimeSlice
+	}
+	ratio := (sum / float64(n)) / (all / float64(m))
+	if ratio < 0.75 {
+		ratio = 0.75
+	}
+	if ratio > 1.5 {
+		ratio = 1.5
+	}
+	return sim.Duration(float64(s.Cfg.TimeSlice) * ratio)
+}
+
+// warmTarget returns the pool and group receiving warmup fetches. With a
+// single group the processing pool doubles as the warmup target (clients
+// still bootstrap through WARMUP, there is just no switching).
+func (s *Server) warmTarget() (*rpcwire.Pool, int) {
+	if len(s.groups) < 2 {
+		return s.processingPool(), s.cur
+	}
+	return s.warmupPool(), (s.cur + 1) % len(s.groups)
+}
+
+// assignWarm gives each member of the warming group its zone in the warmup
+// pool (the virtualized mapping's context metadata, §3.3).
+func (s *Server) assignWarm() {
+	if len(s.groups) == 0 {
+		return
+	}
+	_, g := s.warmTarget()
+	if len(s.groups) < 2 {
+		// Single group: zones in the processing pool, assigned directly.
+		for i, cid := range s.groups[g] {
+			cs := s.clients[cid]
+			if cs.zone != i {
+				cs.zone = i
+				s.zoneOwner[i] = int(cid)
+			}
+		}
+		return
+	}
+	for i, cid := range s.groups[g] {
+		cs := s.clients[cid]
+		if cs.warmZone != i {
+			cs.warmZone = i
+			s.warmOwner[i] = int(cid)
+		}
+	}
+}
+
+// fetchWarmups scans endpoint entries and prefetches newly staged requests
+// with one-sided RDMA READs (§3.3, Figure 6 step 4). Two groups are
+// polled: the warming group (fetched into the warmup pool, ready at the
+// next switch) and the current group (fetched straight into the
+// processing pool — a member that went IDLE and staged a fresh batch
+// mid-slice is served within its own slice).
+func (s *Server) fetchWarmups(t *host.Thread) {
+	if len(s.groups) == 0 {
+		return
+	}
+	s.fetchGroup(t, s.processingPool(), s.cur, func(cs *clientState) int { return cs.zone })
+	if len(s.groups) >= 2 {
+		g := (s.cur + 1) % len(s.groups)
+		s.fetchGroup(t, s.warmupPool(), g, func(cs *clientState) int { return cs.warmZone })
+	}
+}
+
+// fetchGroup prefetches one group's staged requests into pool.
+func (s *Server) fetchGroup(t *host.Thread, pool *rpcwire.Pool, g int, zoneOf func(*clientState) int) {
+	for _, cid := range s.groups[g] {
+		cs := s.clients[cid]
+		zone := zoneOf(cs)
+		if zone < 0 {
+			continue
+		}
+		t.ReadMem(s.EndpointEntryAddr(cid), endpointEntrySize)
+		count32, round, span32 := s.readEndpointEntry(cid)
+		count := int(count32)
+		if count > s.Cfg.BlocksPerClient {
+			count = s.Cfg.BlocksPerClient
+		}
+		if round != cs.lastRound {
+			cs.lastRound = round
+			cs.fetchedUpTo = 0
+		}
+		if count <= cs.fetchedUpTo {
+			continue
+		}
+		span := int(span32)
+		if span <= 0 || span > s.Cfg.BlockSize {
+			span = s.Cfg.BlockSize
+		}
+		if span >= s.Cfg.BlockSize/2 {
+			// Large messages: one contiguous READ of whole blocks.
+			n := count - cs.fetchedUpTo
+			wr := nic.SendWR{
+				Op:    nic.OpRead,
+				LKey:  pool.Region.LKey,
+				LAddr: pool.BlockAddr(zone, cs.fetchedUpTo),
+				Len:   n * s.Cfg.BlockSize,
+				RKey:  cs.stageRKey,
+				RAddr: cs.stageAddr + uint64(cs.fetchedUpTo*s.Cfg.BlockSize),
+			}
+			if err := t.PostSend(cs.qp, wr); err == nil {
+				cs.fetchedUpTo = count
+				s.Stats.WarmupReads++
+			}
+			continue
+		}
+		// Small messages: fetch only each block's right-aligned tail.
+		off := s.Cfg.BlockSize - span
+		ok := true
+		for b := cs.fetchedUpTo; b < count; b++ {
+			wr := nic.SendWR{
+				Op:    nic.OpRead,
+				LKey:  pool.Region.LKey,
+				LAddr: pool.BlockAddr(zone, b) + uint64(off),
+				Len:   span,
+				RKey:  cs.stageRKey,
+				RAddr: cs.stageAddr + uint64(b*s.Cfg.BlockSize+off),
+			}
+			if err := t.PostSend(cs.qp, wr); err != nil {
+				ok = false
+				break
+			}
+			s.Stats.WarmupReads++
+		}
+		if ok {
+			cs.fetchedUpTo = count
+		}
+	}
+}
+
+// contextSwitch drains the workers, notifies the outgoing group, swaps the
+// pools, promotes the warmed group, and rebuilds groups if needed (§3.3
+// "Context Switch").
+func (s *Server) contextSwitch(t *host.Thread) {
+	s.epoch++
+	s.draining = true
+	s.drainCount = 0
+	for _, w := range s.workers {
+		w.sig.Broadcast()
+	}
+	for s.drainCount < len(s.workers) {
+		s.schedSig.Wait(t.P)
+	}
+
+	// Remember the outgoing pool's zone map: writes that raced the switch
+	// are answered from it by the late sweep below.
+	oldPool := s.processingPool()
+	oldOwners := append([]int(nil), s.zoneOwner[:s.Cfg.maxZones()]...)
+
+	// Outgoing group: zones revoked; members whose drain responses did not
+	// carry the event get an explicit context_switch_event write.
+	out := s.groups[s.cur]
+	for _, cid := range out {
+		cs := s.clients[cid]
+		cs.zone = -1
+		if cs.notifiedEpoch != s.epoch {
+			s.notifyControl(t, cs)
+			s.Stats.Notifies++
+		}
+	}
+	s.updatePriorities(out)
+
+	// Promote the warmed group.
+	s.cur = (s.cur + 1) % len(s.groups)
+	s.procIdx ^= 1
+	s.zoneOwner, s.warmOwner = s.warmOwner, s.zoneOwner
+	// Reserved (pinned) zones past maxZones keep their owners forever.
+	for i := 0; i < s.Cfg.maxZones(); i++ {
+		s.warmOwner[i] = -1
+	}
+	for i, cid := range s.groups[s.cur] {
+		cs := s.clients[cid]
+		cs.zone = i
+		cs.warmZone = -1
+		s.zoneOwner[i] = int(cid)
+	}
+	s.Stats.Switches++
+	s.draining = false
+	s.resumeSig.Broadcast()
+
+	// Rebuild groups once per full rotation (so every group is served each
+	// rotation regardless of priority), or immediately when the lazy size
+	// bounds are violated by joins/leaves.
+	if s.cur == 0 || s.sizeBoundsViolated() {
+		s.regroup()
+	}
+
+	// Guard window before the old processing pool is reused for warmup:
+	// covers writes already in flight from just-notified clients. The late
+	// sweep then answers any such stragglers (with the switch event set),
+	// so clients almost never need the retry path.
+	if s.Cfg.SwitchGuard > 0 {
+		t.P.Sleep(s.Cfg.SwitchGuard)
+	}
+	s.lateSweep(t, oldPool, oldOwners)
+}
+
+// lateSweep serves requests that landed in the outgoing pool between the
+// workers' drain and the clients' receipt of the context_switch_event
+// ("process and clear the suspended requests", §3.3).
+func (s *Server) lateSweep(t *host.Thread, pool *rpcwire.Pool, owners []int) {
+	if s.schedScratch == nil {
+		s.schedScratch = s.Host.Mem.Register(s.Cfg.BlockSize*scratchRing, memory.PageSize2M, memory.LocalWrite)
+		s.schedBuf = make([]byte, s.Cfg.BlockSize)
+	}
+	for z, owner := range owners {
+		if owner < 0 || s.clients[owner] == nil {
+			continue
+		}
+		cs := s.clients[owner]
+		for b := 0; b < s.Cfg.BlocksPerClient; b++ {
+			t.ReadMem(pool.ValidAddr(z, b), 1)
+			block := pool.Block(z, b)
+			if !rpcwire.Valid(block) {
+				continue
+			}
+			payload, _, err := rpcwire.Decode(block)
+			if err == nil {
+				if hdr, body, herr := rpcwire.ParseHeader(payload); herr == nil && int(hdr.ClientID) == owner {
+					t.ReadMem(pool.BlockAddr(z, b), len(payload)+rpcwire.TrailerSize)
+					s.Stats.LateServed++
+					s.Stats.Served++
+					switch {
+					case s.handlers[hdr.Handler] == nil:
+						s.respond(t, s.schedScratch, &s.schedScratchIdx, cs, b, hdr, s.schedBuf, 0, rpcwire.FlagError|rpcwire.FlagContextSwitch)
+					case s.legacy[hdr.Handler]:
+						// Long-running call types go to the legacy thread,
+						// never onto the scheduler's critical path.
+						s.Stats.LegacyCalls++
+						s.legacyQ.Push(legacyJob{cs: cs, slot: b, handler: hdr.Handler, reqID: hdr.ReqID,
+							body: append([]byte(nil), body...)})
+					default:
+						n := s.handlers[hdr.Handler](t, cs.id, body, s.schedBuf[rpcwire.HeaderSize:len(s.schedBuf)-rpcwire.TrailerSize])
+						s.respond(t, s.schedScratch, &s.schedScratchIdx, cs, b, hdr, s.schedBuf, n, rpcwire.FlagContextSwitch)
+					}
+				} else {
+					s.Stats.StaleDrops++
+				}
+			}
+			rpcwire.Clear(block)
+			t.WriteMem(pool.ValidAddr(z, b), 1)
+		}
+	}
+}
+
+// notifyControl sends an explicit context_switch_event to a client with no
+// in-flight responses to piggyback on: a small RDMA write into the client's
+// control block (§3.3).
+func (s *Server) notifyControl(t *host.Thread, cs *clientState) {
+	if s.schedScratch == nil {
+		s.schedScratch = s.Host.Mem.Register(s.Cfg.BlockSize*scratchRing, memory.PageSize2M, memory.LocalWrite)
+		s.schedBuf = make([]byte, s.Cfg.BlockSize)
+	}
+	hdr := rpcwire.Header{ReqID: ^uint64(0), Handler: 0}
+	s.respond(t, s.schedScratch, &s.schedScratchIdx, cs, s.Cfg.BlocksPerClient, hdr, s.schedBuf, 0, rpcwire.FlagContextSwitch)
+	cs.notifiedEpoch = s.epoch
+}
+
+// updatePriorities folds the last slice's observations into each outgoing
+// client's priority P_i = T_i / S_i (§3.2).
+func (s *Server) updatePriorities(group []uint16) {
+	for _, cid := range group {
+		cs := s.clients[cid]
+		avgSize := 1.0
+		if cs.served > 0 {
+			avgSize = float64(cs.bytes) / float64(cs.served)
+			if avgSize < 1 {
+				avgSize = 1
+			}
+		}
+		inst := float64(cs.served) / avgSize
+		cs.priority = 0.7*cs.priority + 0.3*inst
+		cs.served = 0
+		cs.bytes = 0
+	}
+}
+
+// regroup rebuilds group membership. The current (just-promoted) group is
+// frozen — its members already occupy the processing pool — and the rest
+// are re-partitioned: by priority class under the dynamic scheduler, or
+// only when the lazy size bounds [G/2, 3G/2] are violated otherwise.
+func (s *Server) regroup() {
+	cur := s.groups[s.cur]
+	inCur := make(map[uint16]bool, len(cur))
+	for _, cid := range cur {
+		inCur[cid] = true
+	}
+	var rest []uint16
+	for _, cs := range s.clients {
+		if cs != nil && !cs.pinned && !inCur[cs.id] {
+			rest = append(rest, cs.id)
+		}
+	}
+	if !s.Cfg.Dynamic && !s.sizeBoundsViolated() {
+		return
+	}
+	if s.Cfg.Dynamic {
+		sort.SliceStable(rest, func(i, j int) bool {
+			return s.clients[rest[i]].priority > s.clients[rest[j]].priority
+		})
+	}
+	g := s.Cfg.GroupSize
+	newGroups := [][]uint16{cur}
+	for len(rest) > 0 {
+		n := g
+		if n > len(rest) {
+			n = len(rest)
+		}
+		// Absorb a would-be trailing runt into this group (lazy merge).
+		if len(rest)-n < g/2 && len(rest)-n > 0 && len(rest) <= g*3/2 {
+			n = len(rest)
+		}
+		newGroups = append(newGroups, append([]uint16(nil), rest[:n]...))
+		rest = rest[n:]
+	}
+	// A runt at the very end (including a lone runt after the frozen
+	// current group) merges backwards while the bound allows.
+	for len(newGroups) >= 2 {
+		last := newGroups[len(newGroups)-1]
+		prev := newGroups[len(newGroups)-2]
+		if len(last) >= g/2 || len(prev)+len(last) > g*3/2 {
+			break
+		}
+		newGroups[len(newGroups)-2] = append(prev, last...)
+		newGroups = newGroups[:len(newGroups)-1]
+	}
+	changed := len(newGroups) != len(s.groups)
+	if !changed {
+		for i := range newGroups {
+			if len(newGroups[i]) != len(s.groups[i]) {
+				changed = true
+				break
+			}
+		}
+	}
+	for i, grp := range newGroups {
+		for _, cid := range grp {
+			s.clients[cid].group = i
+		}
+	}
+	s.groups = newGroups
+	s.cur = 0
+	if changed || s.Cfg.Dynamic {
+		s.Stats.Regroups++
+	}
+}
+
+// sizeBoundsViolated reports whether any group is outside [G/2, 3G/2]
+// (§3.2's lazy split/merge rule). The final group may legitimately be
+// small when the client population is not a multiple of the group size.
+func (s *Server) sizeBoundsViolated() bool {
+	g := s.Cfg.GroupSize
+	for i, grp := range s.groups {
+		if len(grp) > g*3/2 {
+			return true
+		}
+		if len(grp) < g/2 && i != len(s.groups)-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Connect admits a new RPCClient: an RC QP pair, the client's staged and
+// response regions, a group placement, and an endpoint entry slot.
+func (s *Server) Connect(ch *host.Host, sig *sim.Signal) *Conn {
+	return s.connect(ch, sig, false)
+}
+
+// ConnectLatencySensitive admits a client onto a reserved zone: it is
+// never grouped or context-switched, so its requests are served in every
+// slice — the fine-grained, per-client sensitivity scheduling the paper
+// sketches as future work (§3.6.2). It fails (returns nil) when all
+// reserved zones are taken.
+func (s *Server) ConnectLatencySensitive(ch *host.Host, sig *sim.Signal) *Conn {
+	return s.connect(ch, sig, true)
+}
+
+func (s *Server) connect(ch *host.Host, sig *sim.Signal, pinned bool) *Conn {
+	if len(s.clients) >= s.Cfg.MaxClients {
+		panic("scalerpc: server full")
+	}
+	id := uint16(len(s.clients))
+	scq := s.Host.NIC.CreateCQ()
+	ccq := ch.NIC.CreateCQ()
+	sqp := s.Host.NIC.CreateQP(nic.RC, scq, scq)
+	cqp := ch.NIC.CreateQP(nic.RC, ccq, ccq)
+	if err := nic.Connect(sqp, cqp); err != nil {
+		panic(err)
+	}
+	stage := ch.Mem.Register(s.Cfg.BlockSize*s.Cfg.BlocksPerClient, memory.PageSize2M,
+		memory.LocalWrite|memory.RemoteRead)
+	respReg := ch.Mem.Register(s.Cfg.BlockSize*(s.Cfg.BlocksPerClient+1), memory.PageSize2M,
+		memory.LocalWrite|memory.RemoteWrite)
+	cs := &clientState{
+		id:        id,
+		qp:        sqp,
+		respAddr:  respReg.Base,
+		respRKey:  respReg.RKey,
+		stageAddr: stage.Base,
+		stageRKey: stage.RKey,
+		zone:      -1,
+		warmZone:  -1,
+		pinned:    pinned,
+	}
+	s.clients = append(s.clients, cs)
+	if pinned {
+		z := s.reservedZoneFor(cs)
+		if z < 0 {
+			s.clients = s.clients[:len(s.clients)-1]
+			s.Host.NIC.DestroyQP(sqp)
+			return nil
+		}
+		cs.zone = z
+		cs.group = -1
+	} else {
+		s.place(cs)
+	}
+
+	conn := &Conn{
+		id:           id,
+		h:            ch,
+		s:            s,
+		qp:           cqp,
+		sig:          sig,
+		stage:        stage,
+		entryScratch: ch.Mem.Register(64, memory.PageSize4K, memory.LocalWrite),
+		resp:         rpcwire.NewPool(respReg, s.Cfg.BlockSize, s.Cfg.BlocksPerClient+1, 1),
+		buf:          make([]byte, s.Cfg.BlockSize),
+		slots:        make([]connSlot, s.Cfg.BlocksPerClient),
+		zone:         -1,
+		poolIdx:      -1,
+	}
+	if pinned {
+		conn.pinned = true
+		conn.state = StateProcess
+		conn.zone = cs.zone
+		conn.poolIdx = 0
+	}
+	ch.NIC.WatchRegion(respReg.RKey, sig)
+	return conn
+}
+
+// reservedZoneFor claims a free reserved zone (in both ownership arrays,
+// which swap at every switch) or returns -1.
+func (s *Server) reservedZoneFor(cs *clientState) int {
+	for z := s.Cfg.maxZones(); z < s.Cfg.totalZones(); z++ {
+		if s.zoneOwner[z] < 0 && s.warmOwner[z] < 0 {
+			s.zoneOwner[z] = int(cs.id)
+			s.warmOwner[z] = int(cs.id)
+			return z
+		}
+	}
+	return -1
+}
+
+// place assigns a new client to a group: the last group if it is below the
+// default size, otherwise a fresh group. (The 3/2 bound governs lazy
+// splits of groups that grow later; admission fills to the default size.)
+func (s *Server) place(cs *clientState) {
+	if len(s.groups) > 0 {
+		last := len(s.groups) - 1
+		if len(s.groups[last]) < s.Cfg.GroupSize {
+			s.groups[last] = append(s.groups[last], cs.id)
+			cs.group = last
+			return
+		}
+	}
+	s.groups = append(s.groups, []uint16{cs.id})
+	cs.group = len(s.groups) - 1
+	s.Stats.Regroups++
+}
+
+// Disconnect removes a client (log-out); groups merge lazily at the next
+// switch if the departure violates the size bounds.
+func (s *Server) Disconnect(id uint16) {
+	cs := s.clients[id]
+	if cs == nil {
+		return
+	}
+	if cs.group >= 0 {
+		grp := s.groups[cs.group]
+		for i, cid := range grp {
+			if cid == id {
+				s.groups[cs.group] = append(grp[:i], grp[i+1:]...)
+				break
+			}
+		}
+	}
+	if cs.zone >= 0 {
+		s.zoneOwner[cs.zone] = -1
+	}
+	if cs.warmZone >= 0 {
+		s.warmOwner[cs.warmZone] = -1
+	}
+	s.clients[id] = nil
+	s.Host.NIC.DestroyQP(cs.qp)
+}
+
+// GroupCount returns the number of connection groups.
+func (s *Server) GroupCount() int { return len(s.groups) }
+
+// GroupSizes returns the current group cardinalities.
+func (s *Server) GroupSizes() []int {
+	var out []int
+	for _, g := range s.groups {
+		out = append(out, len(g))
+	}
+	return out
+}
+
+// NextSwitchAt exposes the scheduler's next planned switch time (used by
+// global synchronization).
+func (s *Server) NextSwitchAt() sim.Time { return s.nextSwitch }
+
+// AdjustPhase shifts the next slice by delta (global synchronization).
+func (s *Server) AdjustPhase(delta sim.Duration) { s.phaseAdjust += delta }

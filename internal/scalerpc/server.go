@@ -1,0 +1,393 @@
+package scalerpc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scalerpc/internal/host"
+	"scalerpc/internal/memory"
+	"scalerpc/internal/nic"
+	"scalerpc/internal/rpccore"
+	"scalerpc/internal/rpcwire"
+	"scalerpc/internal/sim"
+)
+
+// endpointEntrySize is the per-client endpoint entry: staged-request
+// count, warmup round number, and the largest encoded span staged —
+// RDMA-written by clients (§3.3, Figure 6). The span lets the scheduler
+// fetch only the right-aligned tail of each staged block instead of whole
+// blocks, keeping warmup traffic proportional to message size.
+const endpointEntrySize = 12
+
+// scratchRing is the per-worker response staging depth.
+const scratchRing = 64
+
+// poolBit marks which physical pool a zone assignment refers to, packed
+// into the response header's ClientID field alongside the zone index.
+const poolBit = 1 << 15
+
+// zoneNone in a response header's ClientID field means "no zone
+// assignment in this response".
+const zoneNone = uint16(0x7FFF)
+
+// clientState is the server-side record for one connected RPCClient.
+type clientState struct {
+	id uint16
+	qp *nic.QP
+
+	// Client-exported regions (exchanged at connect).
+	respAddr  uint64
+	respRKey  uint32
+	stageAddr uint64
+	stageRKey uint32
+
+	// Group/zone placement.
+	group int
+	zone  int // zone in the current processing pool, -1 if not current
+
+	// Warmup bookkeeping.
+	lastRound    uint32
+	fetchedUpTo  int
+	warmZone     int // zone in the warmup pool, -1 if not warming
+	pendingFetch int // outstanding warmup READs
+
+	// Metrics for the priority scheduler (per current slice window).
+	served   uint64
+	bytes    uint64
+	priority float64
+
+	// notifiedEpoch is the last switch epoch whose context_switch_event
+	// reached this client piggybacked on a response.
+	notifiedEpoch uint64
+
+	// pinned marks a latency-sensitive client on a reserved zone: it is
+	// never grouped, never switched, and always served from pool 0.
+	pinned bool
+}
+
+type worker struct {
+	s          *Server
+	idx        int
+	sig        *sim.Signal
+	scratch    *memory.Region
+	scratchIdx int
+	buf        []byte
+	drainAck   uint64
+	Served     uint64
+	Sweeps     uint64
+	Sleeps     uint64
+}
+
+type legacyJob struct {
+	cs      *clientState
+	slot    int
+	handler uint8
+	reqID   uint64
+	body    []byte
+}
+
+// Server is a ScaleRPC RPCServer.
+type Server struct {
+	Cfg   ServerConfig
+	Host  *host.Host
+	Stats Stats
+
+	pools    [2]*rpcwire.Pool
+	procIdx  int // pools[procIdx] is the processing pool
+	endpoint *memory.Region
+
+	handlers [256]rpccore.Handler
+	legacy   [256]bool
+	legacyQ  *sim.Queue[legacyJob]
+
+	clients []*clientState
+	groups  [][]uint16
+	cur     int // index of the group being served
+
+	// zoneOwner maps processing-pool zones to client ids (the context
+	// metadata of §3.3); warmOwner is the same for the warmup pool.
+	zoneOwner []int // -1 = unowned
+	warmOwner []int
+
+	workers []*worker
+
+	// Switch coordination.
+	epoch      uint64
+	draining   bool
+	drainCount int
+	schedSig   *sim.Signal
+	resumeSig  *sim.Signal
+
+	// Global synchronization phase adjustment (applied to the next slice).
+	phaseAdjust sim.Duration
+	nextSwitch  sim.Time
+
+	// Scheduler-owned response staging for explicit notifications.
+	schedScratch    *memory.Region
+	schedScratchIdx int
+	schedBuf        []byte
+
+	started bool
+}
+
+// NewServer allocates pools and bookkeeping on h.
+func NewServer(h *host.Host, cfg ServerConfig) *Server {
+	zones := cfg.totalZones()
+	poolBytes := cfg.BlockSize * cfg.BlocksPerClient * zones
+	s := &Server{
+		Cfg:       cfg,
+		Host:      h,
+		endpoint:  h.Mem.Register(endpointEntrySize*cfg.MaxClients, memory.PageSize2M, memory.LocalWrite|memory.RemoteWrite),
+		legacyQ:   sim.NewQueue[legacyJob](h.Env),
+		zoneOwner: make([]int, zones),
+		warmOwner: make([]int, zones),
+		schedSig:  sim.NewSignal(h.Env),
+		resumeSig: sim.NewSignal(h.Env),
+	}
+	for i := range s.zoneOwner {
+		s.zoneOwner[i] = -1
+		s.warmOwner[i] = -1
+	}
+	for p := 0; p < 2; p++ {
+		reg := h.Mem.Register(poolBytes, memory.PageSize2M, memory.LocalWrite|memory.RemoteWrite)
+		s.pools[p] = rpcwire.NewPool(reg, cfg.BlockSize, cfg.BlocksPerClient, zones)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{
+			s:       s,
+			idx:     i,
+			sig:     sim.NewSignal(h.Env),
+			scratch: h.Mem.Register(cfg.BlockSize*scratchRing, memory.PageSize2M, memory.LocalWrite),
+			buf:     make([]byte, cfg.BlockSize),
+		}
+		// Workers wake on writes into either pool.
+		h.NIC.WatchRegion(s.pools[0].RKey(), w.sig)
+		h.NIC.WatchRegion(s.pools[1].RKey(), w.sig)
+		s.workers = append(s.workers, w)
+	}
+	return s
+}
+
+// Register installs a handler. Must precede Start.
+func (s *Server) Register(id uint8, fn rpccore.Handler) { s.handlers[id] = fn }
+
+// Start launches the worker threads, the scheduler, and the legacy-mode
+// executor.
+func (s *Server) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	for i, w := range s.workers {
+		w := w
+		s.Host.Spawn(fmt.Sprintf("scalerpc-w%d", i), w.run)
+	}
+	s.Host.Spawn("scalerpc-sched", s.runScheduler)
+	s.Host.Spawn("scalerpc-legacy", s.runLegacy)
+}
+
+// processingPool returns the pool currently being served.
+func (s *Server) processingPool() *rpcwire.Pool { return s.pools[s.procIdx] }
+
+// warmupPool returns the pool being pre-filled for the next group.
+func (s *Server) warmupPool() *rpcwire.Pool { return s.pools[s.procIdx^1] }
+
+func (w *worker) run(t *host.Thread) {
+	s := w.s
+	for {
+		n := w.sweep(t)
+		if s.draining && w.drainAck != s.epoch {
+			// Finish the pool (sweep returned the last finds), then park
+			// until the scheduler completes the switch.
+			w.drainAck = s.epoch
+			s.drainCount++
+			if s.drainCount == len(s.workers) {
+				s.schedSig.Broadcast()
+			}
+			for s.draining {
+				s.resumeSig.Wait(t.P)
+			}
+			continue
+		}
+		if n == 0 {
+			w.Sleeps++
+			w.sig.WaitTimeout(t.P, s.Cfg.PollTimeout)
+		}
+	}
+}
+
+// WorkerDebug reports (sweeps, sleeps, served) summed over workers.
+func (s *Server) WorkerDebug() (sweeps, sleeps, served uint64) {
+	for _, w := range s.workers {
+		sweeps += w.Sweeps
+		sleeps += w.Sleeps
+		served += w.Served
+	}
+	return
+}
+
+// sweep scans this worker's zones of the processing pool once.
+func (w *worker) sweep(t *host.Thread) int {
+	// Zones are striped across workers so all worker threads share the
+	// group's load evenly.
+	s := w.s
+	w.Sweeps++
+	pool := s.processingPool()
+	served := 0
+	// Block-major scan, symmetric with the baselines (ScaleRPC's per-slice
+	// QP set fits the NIC caches either way). Reserved (pinned) zones sit
+	// past maxZones and always live in pool 0.
+	pinnedPool := s.pools[0]
+	for b := 0; b < s.Cfg.BlocksPerClient; b++ {
+		for z := w.idx; z < s.Cfg.totalZones(); z += s.Cfg.Workers {
+			owner := s.zoneOwner[z]
+			if owner < 0 {
+				continue
+			}
+			cs := s.clients[owner]
+			if cs.pinned {
+				pool = pinnedPool
+			} else {
+				pool = s.processingPool()
+			}
+			t.ReadMem(pool.ValidAddr(z, b), 1)
+			block := pool.Block(z, b)
+			if !rpcwire.Valid(block) {
+				continue
+			}
+			payload, _, err := rpcwire.Decode(block)
+			if err != nil {
+				rpcwire.Clear(block)
+				continue
+			}
+			t.ReadMem(pool.BlockAddr(z, b)+uint64(s.Cfg.BlockSize-rpcwire.TrailerSize-len(payload)),
+				len(payload)+rpcwire.TrailerSize)
+			t.Work(s.Cfg.ParseCost)
+			hdr, body, herr := rpcwire.ParseHeader(payload)
+			if herr != nil || int(hdr.ClientID) != owner {
+				// A late write from a previous occupant of this zone: the
+				// sender will retry after its context_switch_event.
+				s.Stats.StaleDrops++
+				rpcwire.Clear(block)
+				t.WriteMem(pool.ValidAddr(z, b), 1)
+				continue
+			}
+			s.serve(t, w, cs, b, hdr, body)
+			rpcwire.Clear(block)
+			t.WriteMem(pool.ValidAddr(z, b), 1)
+			served++
+			w.Served++
+		}
+	}
+	return served
+}
+
+// serve executes one request (inline or via legacy mode) and responds.
+func (s *Server) serve(t *host.Thread, w *worker, cs *clientState, slot int, hdr rpcwire.Header, body []byte) {
+	s.Stats.Served++
+	if cs.pinned {
+		s.Stats.PinnedServed++
+	}
+	cs.served++
+	cs.bytes += uint64(len(body))
+	if s.handlers[hdr.Handler] == nil {
+		s.respond(t, w.scratch, &w.scratchIdx, cs, slot, hdr, w.buf, 0, rpcwire.FlagError)
+		return
+	}
+	if s.legacy[hdr.Handler] {
+		// Recorded long-running call type: hand to the legacy thread.
+		s.Stats.LegacyCalls++
+		s.legacyQ.Push(legacyJob{cs: cs, slot: slot, handler: hdr.Handler, reqID: hdr.ReqID,
+			body: append([]byte(nil), body...)})
+		return
+	}
+	start := t.P.Now()
+	n := s.handlers[hdr.Handler](t, cs.id, body, w.buf[rpcwire.HeaderSize:len(w.buf)-rpcwire.TrailerSize])
+	if t.P.Now()-start > s.Cfg.LegacyThreshold && !s.legacy[hdr.Handler] {
+		// Record this call type (§3.5); subsequent requests run in legacy
+		// mode on a separate thread.
+		s.legacy[hdr.Handler] = true
+		s.Stats.LegacyMarked++
+	}
+	s.respond(t, w.scratch, &w.scratchIdx, cs, slot, hdr, w.buf, n, 0)
+}
+
+// runLegacy executes recorded long-running calls on a dedicated thread so
+// they never straddle a context switch (§3.5).
+func (s *Server) runLegacy(t *host.Thread) {
+	scratch := s.Host.Mem.Register(s.Cfg.BlockSize*scratchRing, memory.PageSize2M, memory.LocalWrite)
+	buf := make([]byte, s.Cfg.BlockSize)
+	idx := 0
+	for {
+		job := s.legacyQ.Pop(t.P)
+		n := s.handlers[job.handler](t, job.cs.id, job.body, buf[rpcwire.HeaderSize:len(buf)-rpcwire.TrailerSize])
+		hdr := rpcwire.Header{ReqID: job.reqID, Handler: job.handler}
+		s.respond(t, scratch, &idx, job.cs, job.slot, hdr, buf, n, 0)
+	}
+}
+
+// respond assembles a response in buf (whose first HeaderSize bytes it
+// overwrites), encodes it into the caller's scratch ring, and RDMA-writes
+// it to the client's response slot. The header's ClientID field carries the
+// client's current zone and pool assignment — how a WARMUP client learns
+// where to write directly — and during a drain the context_switch_event is
+// piggybacked on every response (§3.3).
+func (s *Server) respond(t *host.Thread, scratch *memory.Region, idx *int, cs *clientState, slot int, req rpcwire.Header, buf []byte, bodyLen int, flags byte) {
+	// zoneNone tells the client this response carries no (valid) zone
+	// assignment — e.g. a late-swept request answered after its group was
+	// switched out.
+	zoneInfo := zoneNone
+	if cs.zone >= 0 {
+		zoneInfo = uint16(cs.zone)
+		if s.procIdx == 1 && !cs.pinned {
+			zoneInfo |= poolBit
+		}
+	}
+	// Pinned clients are never switched out, so they never see the event.
+	if s.draining && !cs.pinned {
+		flags |= rpcwire.FlagContextSwitch
+		if cs.notifiedEpoch != s.epoch {
+			cs.notifiedEpoch = s.epoch
+			s.Stats.Piggybacked++
+		}
+	}
+	rpcwire.PutHeader(buf, rpcwire.Header{ReqID: req.ReqID, Handler: req.Handler, ClientID: zoneInfo})
+	msg := buf[:rpcwire.HeaderSize+bodyLen]
+	blockOff := *idx * s.Cfg.BlockSize
+	*idx = (*idx + 1) % scratchRing
+	block := scratch.Bytes()[blockOff : blockOff+s.Cfg.BlockSize]
+	if err := rpcwire.Encode(block, msg, flags); err != nil {
+		return
+	}
+	off, span := rpcwire.EncodedSpan(s.Cfg.BlockSize, len(msg))
+	t.WriteMem(scratch.Base+uint64(blockOff+off), span)
+	wr := nic.SendWR{
+		Op:    nic.OpWrite,
+		LKey:  scratch.LKey,
+		LAddr: scratch.Base + uint64(blockOff+off),
+		Len:   span,
+		RKey:  cs.respRKey,
+		RAddr: cs.respAddr + uint64(slot*s.Cfg.BlockSize+off),
+	}
+	if span <= s.Host.NIC.Cfg.MaxInline {
+		wr.Inline = true
+	}
+	t.PostSend(cs.qp, wr)
+}
+
+// readEndpointEntry decodes client cid's endpoint entry from server memory.
+func (s *Server) readEndpointEntry(cid uint16) (count, round, span uint32) {
+	b := s.endpoint.Bytes()[int(cid)*endpointEntrySize:]
+	return binary.LittleEndian.Uint32(b), binary.LittleEndian.Uint32(b[4:]), binary.LittleEndian.Uint32(b[8:])
+}
+
+// EndpointEntryAddr returns the address a client RDMA-writes its warmup
+// tuple to.
+func (s *Server) EndpointEntryAddr(cid uint16) uint64 {
+	return s.endpoint.Base + uint64(cid)*endpointEntrySize
+}
+
+// EndpointRKey returns the endpoint table's rkey.
+func (s *Server) EndpointRKey() uint32 { return s.endpoint.RKey }
+
+var _ rpccore.Server = (*Server)(nil)

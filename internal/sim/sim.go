@@ -1,0 +1,325 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock measured in integer nanoseconds and
+// executes two kinds of work:
+//
+//   - Processes (Proc): goroutines that model threads of execution (client
+//     coroutines, server worker threads). A process runs exclusively — the
+//     scheduler hands control to exactly one process at a time and waits for
+//     it to block again — so process code needs no locking and the whole
+//     simulation is deterministic for a given seed and configuration.
+//
+//   - Callbacks: plain functions scheduled with Env.At, executed inline by
+//     the scheduler. These are the cheap event-driven path used by hardware
+//     models (NIC engines, fabric links) where spawning a goroutine per
+//     event would dominate runtime. Callbacks must not block.
+//
+// Determinism: events fire in (time, sequence) order; the sequence number is
+// assigned at scheduling time, so two events scheduled for the same instant
+// fire in the order they were created.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000
+	Millisecond Duration = 1000 * 1000
+	Second      Duration = 1000 * 1000 * 1000
+)
+
+// killed is the sentinel panic value used to unwind blocked processes when
+// the environment shuts down.
+type killedPanic struct{}
+
+// event is a single entry in the scheduler heap. Exactly one of proc and fn
+// is set. Events targeting a process carry the wake generation they were
+// scheduled against; if the process has been woken by a different source in
+// the meantime the event is stale and is dropped.
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc
+	gen  uint64
+	tag  int
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// The zero value is not usable; create environments with NewEnv.
+type Env struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	yield  chan struct{}
+	procs  map[*Proc]struct{}
+	closed bool
+}
+
+// NewEnv returns a fresh environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// At schedules fn to run after delay. fn executes inline in the scheduler
+// and must not block; it may schedule further events, push to queues, wake
+// signals and spawn processes.
+func (e *Env) At(delay Duration, fn func()) {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// scheduleProc enqueues a wake-up for p at now+delay against its current
+// wake generation, tagged so the process can tell which source woke it.
+func (e *Env) scheduleProc(p *Proc, delay Duration, tag int) {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, proc: p, gen: p.gen, tag: tag})
+}
+
+// Proc is a simulated process. All methods that block (Sleep, Wait*) must be
+// called only from the process's own goroutine.
+type Proc struct {
+	Name   string
+	env    *Env
+	resume chan int // carries the wake tag
+	gen    uint64   // wake generation; bumping it cancels pending wake sources
+	done   bool
+	killed bool
+}
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Spawn creates a process executing fn, scheduled to start immediately
+// (at the current virtual time, after already-queued events for this
+// instant).
+func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
+	return e.SpawnAt(0, name, fn)
+}
+
+// SpawnAt creates a process executing fn, scheduled to start after delay.
+func (e *Env) SpawnAt(delay Duration, name string, fn func(*Proc)) *Proc {
+	if e.closed {
+		panic("sim: Spawn on closed Env")
+	}
+	p := &Proc{Name: name, env: e, resume: make(chan int)}
+	e.procs[p] = struct{}{}
+	go func() {
+		defer func() {
+			p.done = true
+			delete(e.procs, p)
+			if r := recover(); r != nil {
+				if _, ok := r.(killedPanic); ok {
+					e.yield <- struct{}{}
+					return
+				}
+				// Re-panic in the scheduler's context would deadlock the
+				// handshake; annotate and crash this goroutine instead.
+				panic(fmt.Sprintf("sim: process %q panicked: %v", p.Name, r))
+			}
+			e.yield <- struct{}{}
+		}()
+		// Wait for the first schedule directly — without the yield half of
+		// the handshake, which belongs to the scheduler's resume cycle.
+		// (Spawn may be called from a running process; sending yield here
+		// would race with the scheduler's pending receive for that
+		// process.)
+		<-p.resume
+		if p.killed {
+			panic(killedPanic{})
+		}
+		fn(p)
+	}()
+	e.scheduleProc(p, delay, tagStart)
+	return p
+}
+
+// Wake tags reported to blocked processes.
+const (
+	tagStart = iota
+	tagTimer
+	tagSignal
+	tagQueue
+	tagResource
+)
+
+// block yields control to the scheduler and waits to be resumed, returning
+// the tag of the wake source.
+func (p *Proc) block() int {
+	p.env.yield <- struct{}{}
+	t := <-p.resume
+	if p.killed {
+		panic(killedPanic{})
+	}
+	return t
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	p.env.scheduleProc(p, d, tagTimer)
+	p.block()
+}
+
+// Yield reschedules the process at the current instant, letting every other
+// event already queued for this instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Run processes events until the queue is empty, then returns the final
+// clock value.
+func (e *Env) Run() Time { return e.RunUntil(1<<62 - 1) }
+
+// RunUntil processes events with timestamps ≤ until, then sets the clock to
+// until (if it advanced that far) and returns it. Events beyond the horizon
+// stay queued; RunUntil may be called repeatedly.
+func (e *Env) RunUntil(until Time) Time {
+	for e.events.Len() > 0 {
+		ev := e.events[0]
+		if ev.at > until {
+			if e.now < until {
+				e.now = until
+			}
+			return e.now
+		}
+		heap.Pop(&e.events)
+		if ev.fn != nil {
+			e.now = ev.at
+			ev.fn()
+			continue
+		}
+		p := ev.proc
+		if p.done || ev.gen != p.gen {
+			continue // stale wake-up
+		}
+		e.now = ev.at
+		p.gen++ // invalidate competing wake sources
+		p.resume <- ev.tag
+		<-e.yield
+	}
+	if e.now < until && until < 1<<62-1 {
+		e.now = until
+	}
+	return e.now
+}
+
+// Idle reports whether no events remain.
+func (e *Env) Idle() bool { return e.events.Len() == 0 }
+
+// Pending returns the number of queued events (including stale ones).
+func (e *Env) Pending() int { return e.events.Len() }
+
+// Close terminates every live process so no goroutines leak. The
+// environment must not be used afterwards.
+func (e *Env) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for p := range e.procs {
+		if p.done {
+			continue
+		}
+		p.killed = true
+		p.gen++
+		p.resume <- 0
+		<-e.yield
+	}
+	e.events = nil
+}
+
+// Signal is a broadcast/wake-one condition variable for processes. Waiters
+// are woken in FIFO order at the current instant.
+type Signal struct {
+	env     *Env
+	waiters []waiter
+}
+
+type waiter struct {
+	proc *Proc
+	gen  uint64
+}
+
+// NewSignal returns a signal bound to e.
+func NewSignal(e *Env) *Signal { return &Signal{env: e} }
+
+// Wait blocks the process until the signal is woken.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, waiter{p, p.gen})
+	p.block()
+}
+
+// WaitTimeout blocks until the signal is woken or d elapses. It reports
+// whether the wait timed out.
+func (s *Signal) WaitTimeout(p *Proc, d Duration) (timedOut bool) {
+	s.waiters = append(s.waiters, waiter{p, p.gen})
+	p.env.scheduleProc(p, d, tagTimer)
+	return p.block() == tagTimer
+}
+
+// Wake resumes up to n waiting processes (all of them if n < 0). Waiters
+// whose wake generation has moved on (e.g. they timed out) are skipped.
+func (s *Signal) Wake(n int) int {
+	woken := 0
+	rest := s.waiters[:0]
+	for i, w := range s.waiters {
+		if n >= 0 && woken >= n {
+			rest = append(rest, s.waiters[i:]...)
+			break
+		}
+		if w.proc.done || w.proc.gen != w.gen {
+			continue // stale waiter
+		}
+		s.env.seq++
+		heap.Push(&s.env.events, event{at: s.env.now, seq: s.env.seq, proc: w.proc, gen: w.gen, tag: tagSignal})
+		woken++
+	}
+	s.waiters = rest
+	return woken
+}
+
+// Broadcast wakes every waiter.
+func (s *Signal) Broadcast() { s.Wake(-1) }

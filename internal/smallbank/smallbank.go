@@ -1,0 +1,210 @@
+// Package smallbank implements the SmallBank OLTP benchmark (Alomari et
+// al., ICDE'08) as the paper runs it (§4.2.1, Figure 16(b)): each account
+// has a savings and a checking row, the transaction mix is 85%
+// update-heavy, and 60% of transactions touch a 4% hot set of accounts.
+package smallbank
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scalerpc/internal/stats"
+	"scalerpc/internal/txn"
+)
+
+// Config shapes the benchmark.
+type Config struct {
+	Accounts       int
+	InitialBalance int64
+	// HotFraction of accounts receive HotProbability of the accesses
+	// (paper: 4% of accounts, 60% of transactions).
+	HotFraction    float64
+	HotProbability float64
+}
+
+// DefaultConfig matches the paper: 1,000,000 accounts per server, 4%/60%
+// hotspot. (Callers typically scale Accounts by the participant count.)
+func DefaultConfig() Config {
+	return Config{
+		Accounts:       1_000_000,
+		InitialBalance: 10_000,
+		HotFraction:    0.04,
+		HotProbability: 0.60,
+	}
+}
+
+// TxnType enumerates the six SmallBank transactions.
+type TxnType int
+
+// SmallBank transaction types.
+const (
+	Amalgamate TxnType = iota
+	Balance
+	DepositChecking
+	SendPayment
+	TransactSavings
+	WriteCheck
+	numTypes
+)
+
+func (t TxnType) String() string {
+	return [...]string{"Amalgamate", "Balance", "DepositChecking", "SendPayment", "TransactSavings", "WriteCheck"}[t]
+}
+
+// Mix is the standard distribution: Balance (the only read-only type) 15%,
+// updates 85%.
+var Mix = [numTypes]int{15, 15, 15, 25, 15, 15}
+
+// SavingsKey and CheckingKey name an account's two rows.
+func SavingsKey(acct int) []byte  { return []byte(fmt.Sprintf("sv%08d", acct)) }
+func CheckingKey(acct int) []byte { return []byte(fmt.Sprintf("ck%08d", acct)) }
+
+func money(v int64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(v))
+	return b
+}
+
+func amount(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }
+
+// Load inserts all account rows into their owning participants.
+func Load(parts []*txn.Participant, cfg Config) error {
+	for a := 0; a < cfg.Accounts; a++ {
+		for _, k := range [][]byte{SavingsKey(a), CheckingKey(a)} {
+			p := parts[txn.ShardKey(k, len(parts))]
+			if _, err := p.Store.Put(nil, k, money(cfg.InitialBalance)); err != nil {
+				return fmt.Errorf("smallbank: load account %d: %w", a, err)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalBalance sums every row (the conservation invariant checked by
+// tests; deposits change it, payments must not).
+func TotalBalance(parts []*txn.Participant, cfg Config) int64 {
+	var sum int64
+	for a := 0; a < cfg.Accounts; a++ {
+		for _, k := range [][]byte{SavingsKey(a), CheckingKey(a)} {
+			p := parts[txn.ShardKey(k, len(parts))]
+			it, err := p.Store.Get(nil, k)
+			if err != nil {
+				panic(err)
+			}
+			sum += amount(it.Value)
+		}
+	}
+	return sum
+}
+
+// Gen produces SmallBank transactions.
+type Gen struct {
+	cfg  Config
+	rng  *stats.RNG
+	hotN int
+	// OnlyPayments restricts the mix to SendPayment (used by invariant
+	// tests).
+	OnlyPayments bool
+	// Counts tallies generated transactions by type.
+	Counts [numTypes]uint64
+}
+
+// NewGen returns a generator with its own random stream.
+func NewGen(cfg Config, seed uint64) *Gen {
+	hotN := int(float64(cfg.Accounts) * cfg.HotFraction)
+	if hotN < 1 {
+		hotN = 1
+	}
+	return &Gen{cfg: cfg, rng: stats.NewRNG(seed), hotN: hotN}
+}
+
+// pickAccount draws from the hot set with HotProbability.
+func (g *Gen) pickAccount() int {
+	if g.rng.Float64() < g.cfg.HotProbability {
+		return g.rng.Intn(g.hotN)
+	}
+	return g.rng.Intn(g.cfg.Accounts)
+}
+
+// pickTwo draws two distinct accounts.
+func (g *Gen) pickTwo() (int, int) {
+	a := g.pickAccount()
+	b := g.pickAccount()
+	for b == a {
+		b = g.pickAccount()
+	}
+	return a, b
+}
+
+func (g *Gen) pickType() TxnType {
+	if g.OnlyPayments {
+		return SendPayment
+	}
+	r := g.rng.Intn(100)
+	cum := 0
+	for t := TxnType(0); t < numTypes; t++ {
+		cum += Mix[t]
+		if r < cum {
+			return t
+		}
+	}
+	return WriteCheck
+}
+
+// Next builds one transaction.
+func (g *Gen) Next() *txn.Txn {
+	typ := g.pickType()
+	g.Counts[typ]++
+	switch typ {
+	case Amalgamate:
+		a, b := g.pickTwo()
+		// Move everything from a (both rows) into b's checking.
+		return &txn.Txn{
+			Writes: [][]byte{SavingsKey(a), CheckingKey(a), CheckingKey(b)},
+			Apply: func(rv, wv [][]byte) [][]byte {
+				total := amount(wv[0]) + amount(wv[1])
+				return [][]byte{money(0), money(0), money(amount(wv[2]) + total)}
+			},
+		}
+	case Balance:
+		a := g.pickAccount()
+		return &txn.Txn{Reads: [][]byte{SavingsKey(a), CheckingKey(a)}}
+	case DepositChecking:
+		a := g.pickAccount()
+		return &txn.Txn{
+			Writes: [][]byte{CheckingKey(a)},
+			Apply: func(rv, wv [][]byte) [][]byte {
+				return [][]byte{money(amount(wv[0]) + 130)}
+			},
+		}
+	case SendPayment:
+		a, b := g.pickTwo()
+		return &txn.Txn{
+			Writes: [][]byte{CheckingKey(a), CheckingKey(b)},
+			Apply: func(rv, wv [][]byte) [][]byte {
+				return [][]byte{money(amount(wv[0]) - 5), money(amount(wv[1]) + 5)}
+			},
+		}
+	case TransactSavings:
+		a := g.pickAccount()
+		return &txn.Txn{
+			Writes: [][]byte{SavingsKey(a)},
+			Apply: func(rv, wv [][]byte) [][]byte {
+				return [][]byte{money(amount(wv[0]) + 20)}
+			},
+		}
+	default: // WriteCheck
+		a := g.pickAccount()
+		return &txn.Txn{
+			Reads:  [][]byte{SavingsKey(a)},
+			Writes: [][]byte{CheckingKey(a)},
+			Apply: func(rv, wv [][]byte) [][]byte {
+				check := int64(18)
+				if amount(rv[0])+amount(wv[0]) < check {
+					check++ // overdraft penalty
+				}
+				return [][]byte{money(amount(wv[0]) - check)}
+			},
+		}
+	}
+}

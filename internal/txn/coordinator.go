@@ -1,0 +1,475 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+
+	"scalerpc/internal/host"
+	"scalerpc/internal/memory"
+	"scalerpc/internal/mica"
+	"scalerpc/internal/nic"
+	"scalerpc/internal/rpccore"
+	"scalerpc/internal/sim"
+)
+
+// ErrAborted reports a transaction abort (lock conflict or validation
+// failure); the caller may retry.
+var ErrAborted = errors.New("txn: aborted")
+
+// Txn is one transaction specification. Apply receives the execution-phase
+// values of Reads and Writes (in order) and returns the new values for
+// Writes.
+type Txn struct {
+	Reads  [][]byte
+	Writes [][]byte
+	Apply  func(readVals, writeVals [][]byte) [][]byte
+}
+
+// ShardKey maps a key to one of n participants; loaders and coordinators
+// must agree on it.
+func ShardKey(key []byte, n int) int {
+	h := uint64(14695981039346656037)
+	for _, c := range key {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	// Decorrelate from mica's bucket index (same FNV) by mixing.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	return int(h % uint64(n))
+}
+
+// PartRef is the coordinator's handle to one participant.
+type PartRef struct {
+	Part   *Participant
+	Conn   rpccore.Conn
+	qp     *nic.QP
+	kvRKey uint32
+}
+
+// CoordinatorStats counts transaction outcomes.
+type CoordinatorStats struct {
+	Commits          uint64
+	LockAborts       uint64
+	ValidationAborts uint64
+	NotFoundAborts   uint64
+	OneSidedReads    uint64
+	OneSidedWrites   uint64
+}
+
+// Coordinator drives transactions from a client host (§4.2). With OneSided
+// set it follows the ScaleTX protocol (RDMA READ validation, RDMA WRITE
+// commit); otherwise it is ScaleTX-O (RPC everywhere).
+type Coordinator struct {
+	ID       uint64
+	OneSided bool
+	Stats    CoordinatorStats
+
+	h       *host.Host
+	parts   []*PartRef
+	sig     *sim.Signal
+	cq      *nic.CQ
+	scratch *memory.Region
+	nextReq uint64
+	nextTxn uint64
+
+	// AfterExec, when set, runs between the execution and validation
+	// phases — a deterministic injection point for concurrency tests.
+	AfterExec func(t *host.Thread)
+}
+
+// NewCoordinator wires a coordinator to its participants: the supplied RPC
+// connections (one per participant, same order) plus dedicated RC QPs for
+// the one-sided phases.
+func NewCoordinator(h *host.Host, id uint64, parts []*Participant, conns []rpccore.Conn, oneSided bool, sig *sim.Signal) *Coordinator {
+	if len(parts) != len(conns) {
+		panic("txn: participants/conns mismatch")
+	}
+	c := &Coordinator{
+		ID:       id,
+		OneSided: oneSided,
+		h:        h,
+		sig:      sig,
+		scratch:  h.Mem.Register(16<<10, memory.PageSize2M, memory.LocalWrite),
+	}
+	c.cq = h.NIC.CreateCQ()
+	c.cq.Sig = sig
+	for i, p := range parts {
+		ref := &PartRef{Part: p, Conn: conns[i], kvRKey: p.Store.Region().RKey}
+		pcq := p.Host.NIC.CreateCQ()
+		pqp := p.Host.NIC.CreateQP(nic.RC, pcq, pcq)
+		cqp := h.NIC.CreateQP(nic.RC, c.cq, c.cq)
+		if err := nic.Connect(cqp, pqp); err != nil {
+			panic(err)
+		}
+		ref.qp = cqp
+		c.parts = append(c.parts, ref)
+	}
+	return c
+}
+
+// Spawn starts fn as a thread on the coordinator's host.
+func (c *Coordinator) Spawn(fn func(*host.Thread, *Coordinator)) {
+	c.h.Spawn("coordinator", func(t *host.Thread) { fn(t, c) })
+}
+
+// pendingCall tracks one in-flight RPC.
+type pendingCall struct {
+	pi      int
+	handler uint8
+	req     []byte
+	reqID   uint64
+	resp    []byte
+	done    bool
+	errResp bool
+}
+
+// doCalls posts all calls and blocks until every response arrived.
+func (c *Coordinator) doCalls(t *host.Thread, calls []*pendingCall) {
+	posted := make([]bool, len(calls))
+	for {
+		progress := false
+		allDone := true
+		for i, call := range calls {
+			if !posted[i] {
+				if c.parts[call.pi].Conn.TrySend(t, call.handler, call.req, call.reqID) {
+					posted[i] = true
+					progress = true
+				}
+			}
+			if !call.done {
+				allDone = false
+			}
+		}
+		if c.pollConns(t, calls) > 0 {
+			progress = true
+		}
+		if allDone {
+			allPosted := true
+			for _, p := range posted {
+				allPosted = allPosted && p
+			}
+			if allPosted {
+				return
+			}
+		}
+		if !progress {
+			c.sig.WaitTimeout(t.P, 10*sim.Microsecond)
+		}
+	}
+}
+
+// pollConns drains every participant connection, matching responses to
+// pending calls.
+func (c *Coordinator) pollConns(t *host.Thread, calls []*pendingCall) int {
+	got := 0
+	for pi, ref := range c.parts {
+		ref.Conn.Poll(t, func(r rpccore.Response) {
+			for _, call := range calls {
+				if call.pi == pi && call.reqID == r.ReqID && !call.done {
+					call.resp = append(call.resp[:0], r.Payload...)
+					call.errResp = r.Err
+					call.done = true
+					got++
+					return
+				}
+			}
+		})
+	}
+	return got
+}
+
+func (c *Coordinator) reqID() uint64 {
+	c.nextReq++
+	return c.ID<<40 | c.nextReq
+}
+
+// perPart groups a transaction's keys by owning participant.
+type perPart struct {
+	reads, writes     [][]byte
+	readIdx, writeIdx []int // positions in the txn's global key lists
+	execCall          *pendingCall
+	items             []ItemResult
+}
+
+// Run executes one transaction to commit or abort.
+func (c *Coordinator) Run(t *host.Thread, txn *Txn) error {
+	c.nextTxn++
+	txnID := c.ID<<40 | c.nextTxn
+	parts := make([]*perPart, len(c.parts))
+	involved := make([]int, 0, len(c.parts))
+	need := func(pi int) *perPart {
+		if parts[pi] == nil {
+			parts[pi] = &perPart{}
+			involved = append(involved, pi)
+		}
+		return parts[pi]
+	}
+	for i, k := range txn.Reads {
+		pp := need(ShardKey(k, len(c.parts)))
+		pp.reads = append(pp.reads, k)
+		pp.readIdx = append(pp.readIdx, i)
+	}
+	for i, k := range txn.Writes {
+		pp := need(ShardKey(k, len(c.parts)))
+		pp.writes = append(pp.writes, k)
+		pp.writeIdx = append(pp.writeIdx, i)
+	}
+
+	// --- Phase 1: Execution (read R∪W, lock W) ---
+	var calls []*pendingCall
+	for _, pi := range involved {
+		pp := parts[pi]
+		req := make([]byte, 16+totalKeyBytes(pp.reads)+totalKeyBytes(pp.writes))
+		n := EncodeExecReq(req, txnID, pp.reads, pp.writes)
+		pp.execCall = &pendingCall{pi: pi, handler: HExec, req: req[:n], reqID: c.reqID()}
+		calls = append(calls, pp.execCall)
+	}
+	c.doCalls(t, calls)
+
+	readVals := make([][]byte, len(txn.Reads))
+	writeVals := make([][]byte, len(txn.Writes))
+	readVers := make([]uint64, len(txn.Reads))
+	readAddr := make([]uint64, len(txn.Reads))
+	readPart := make([]int, len(txn.Reads))
+	writeVers := make([]uint64, len(txn.Writes))
+	writeAddr := make([]uint64, len(txn.Writes))
+
+	conflict, missing := false, false
+	for _, pi := range involved {
+		pp := parts[pi]
+		status, items, err := DecodeExecResp(pp.execCall.resp, len(pp.reads)+len(pp.writes))
+		if err != nil || pp.execCall.errResp {
+			missing = true
+			continue
+		}
+		switch status {
+		case StLockConflict:
+			conflict = true
+			continue
+		case StNotFound:
+			missing = true
+			continue
+		}
+		pp.items = items
+		for j, gi := range pp.readIdx {
+			if !items[j].Found {
+				missing = true
+				continue
+			}
+			readVals[gi] = append([]byte(nil), items[j].Value...)
+			readVers[gi] = items[j].Version
+			readAddr[gi] = items[j].Addr
+			readPart[gi] = pi
+		}
+		for j, gi := range pp.writeIdx {
+			it := items[len(pp.reads)+j]
+			if !it.Found {
+				missing = true
+				continue
+			}
+			writeVals[gi] = append([]byte(nil), it.Value...)
+			writeVers[gi] = it.Version
+			writeAddr[gi] = it.Addr
+		}
+	}
+	if conflict || missing {
+		// Release locks on participants whose exec succeeded.
+		c.unlockAll(t, txnID, parts, involved)
+		if conflict {
+			c.Stats.LockAborts++
+		} else {
+			c.Stats.NotFoundAborts++
+		}
+		return ErrAborted
+	}
+
+	if c.AfterExec != nil {
+		c.AfterExec(t)
+	}
+
+	// --- Phase 2: Validate R (§4.2 step 2) ---
+	if len(txn.Reads) > 0 {
+		ok := false
+		if c.OneSided {
+			ok = c.validateOneSided(t, readAddr, readVers, readPart)
+		} else {
+			ok = c.validateRPC(t, txnID, parts, involved, readVers)
+		}
+		if !ok {
+			c.unlockAll(t, txnID, parts, involved)
+			c.Stats.ValidationAborts++
+			return ErrAborted
+		}
+	}
+
+	if len(txn.Writes) == 0 {
+		c.Stats.Commits++
+		return nil
+	}
+
+	// --- Phase 3a: Log ---
+	newVals := txn.Apply(readVals, writeVals)
+	if len(newVals) != len(txn.Writes) {
+		panic("txn: Apply returned wrong write count")
+	}
+	calls = calls[:0]
+	for _, pi := range involved {
+		pp := parts[pi]
+		if len(pp.writes) == 0 {
+			continue
+		}
+		kvs := make([]KV, len(pp.writes))
+		for j, gi := range pp.writeIdx {
+			kvs[j] = KV{Key: txn.Writes[gi], Value: newVals[gi]}
+		}
+		req := make([]byte, 16+writeReqBytes(kvs))
+		n := EncodeWriteReq(req, txnID, kvs)
+		calls = append(calls, &pendingCall{pi: pi, handler: HLog, req: req[:n], reqID: c.reqID()})
+	}
+	c.doCalls(t, calls)
+
+	// --- Phase 3b: Commit ---
+	if c.OneSided {
+		// One RDMA WRITE per item installs value+version and zeroes the
+		// lock, with no response to wait for (§4.2's key optimization).
+		for gi := range txn.Writes {
+			pi := ShardKey(txn.Writes[gi], len(c.parts))
+			img := c.scratch.Bytes()[4096+gi*256:]
+			n := mica.BuildCommitImage(img, txn.Writes[gi], newVals[gi], writeVers[gi]+1)
+			t.WriteMem(c.scratch.Base+uint64(4096+gi*256), n)
+			wr := nic.SendWR{
+				Op:    nic.OpWrite,
+				LKey:  c.scratch.LKey,
+				LAddr: c.scratch.Base + uint64(4096+gi*256),
+				Len:   n,
+				RKey:  c.parts[pi].kvRKey,
+				RAddr: writeAddr[gi],
+			}
+			if n <= c.h.NIC.Cfg.MaxInline {
+				wr.Inline = true
+			}
+			t.PostSend(c.parts[pi].qp, wr)
+			c.Stats.OneSidedWrites++
+		}
+	} else {
+		calls = calls[:0]
+		for _, pi := range involved {
+			pp := parts[pi]
+			if len(pp.writes) == 0 {
+				continue
+			}
+			kvs := make([]KV, len(pp.writes))
+			for j, gi := range pp.writeIdx {
+				kvs[j] = KV{Key: txn.Writes[gi], Value: newVals[gi]}
+			}
+			req := make([]byte, 16+writeReqBytes(kvs))
+			n := EncodeWriteReq(req, txnID, kvs)
+			calls = append(calls, &pendingCall{pi: pi, handler: HCommit, req: req[:n], reqID: c.reqID()})
+		}
+		c.doCalls(t, calls)
+	}
+	c.Stats.Commits++
+	return nil
+}
+
+// validateOneSided posts one RDMA READ per read item's version word and
+// compares against the execution-phase versions.
+func (c *Coordinator) validateOneSided(t *host.Thread, addrs []uint64, vers []uint64, part []int) bool {
+	for i := range addrs {
+		wr := nic.SendWR{
+			WRID:     uint64(i),
+			Op:       nic.OpRead,
+			Signaled: true,
+			LKey:     c.scratch.LKey,
+			LAddr:    c.scratch.Base + uint64(i*8),
+			Len:      8,
+			RKey:     c.parts[part[i]].kvRKey,
+			RAddr:    addrs[i] + mica.OffVersion,
+		}
+		if err := t.PostSend(c.parts[part[i]].qp, wr); err != nil {
+			return false
+		}
+		c.Stats.OneSidedReads++
+	}
+	need := len(addrs)
+	for need > 0 {
+		cqes := t.WaitCQ(c.cq, need, 20*sim.Microsecond)
+		need -= len(cqes)
+	}
+	for i := range addrs {
+		t.ReadMem(c.scratch.Base+uint64(i*8), 8)
+		if mica.ParseVersion(c.scratch.Bytes()[i*8:]) != vers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// validateRPC is the ScaleTX-O validation: HValidate calls per participant.
+func (c *Coordinator) validateRPC(t *host.Thread, txnID uint64, parts []*perPart, involved []int, readVers []uint64) bool {
+	var calls []*pendingCall
+	var order [][]int
+	for _, pi := range involved {
+		pp := parts[pi]
+		if len(pp.reads) == 0 {
+			continue
+		}
+		req := make([]byte, 16+totalKeyBytes(pp.reads))
+		n := EncodeKeysReq(req, txnID, pp.reads)
+		calls = append(calls, &pendingCall{pi: pi, handler: HValidate, req: req[:n], reqID: c.reqID()})
+		order = append(order, pp.readIdx)
+	}
+	c.doCalls(t, calls)
+	for ci, call := range calls {
+		vers, err := DecodeVersionsResp(call.resp)
+		if err != nil || len(vers) != len(order[ci]) {
+			return false
+		}
+		for j, gi := range order[ci] {
+			if vers[j] != readVers[gi] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// unlockAll releases W locks on every participant whose exec succeeded.
+func (c *Coordinator) unlockAll(t *host.Thread, txnID uint64, parts []*perPart, involved []int) {
+	var calls []*pendingCall
+	for _, pi := range involved {
+		pp := parts[pi]
+		if len(pp.writes) == 0 || pp.items == nil {
+			continue
+		}
+		req := make([]byte, 16+totalKeyBytes(pp.writes))
+		n := EncodeKeysReq(req, txnID, pp.writes)
+		calls = append(calls, &pendingCall{pi: pi, handler: HUnlock, req: req[:n], reqID: c.reqID()})
+	}
+	if len(calls) > 0 {
+		c.doCalls(t, calls)
+	}
+}
+
+func totalKeyBytes(keys [][]byte) int {
+	n := 0
+	for _, k := range keys {
+		n += 1 + len(k)
+	}
+	return n
+}
+
+func writeReqBytes(kvs []KV) int {
+	n := 0
+	for _, kv := range kvs {
+		n += 3 + len(kv.Key) + len(kv.Value)
+	}
+	return n
+}
+
+// String renders coordinator stats.
+func (s CoordinatorStats) String() string {
+	return fmt.Sprintf("commits=%d lockAborts=%d valAborts=%d notFound=%d 1sR=%d 1sW=%d",
+		s.Commits, s.LockAborts, s.ValidationAborts, s.NotFoundAborts, s.OneSidedReads, s.OneSidedWrites)
+}

@@ -1,0 +1,33 @@
+package txn
+
+import (
+	"scalerpc/internal/host"
+	"scalerpc/internal/sim"
+	"scalerpc/internal/stats"
+)
+
+// RunLoop drives a coordinator: it draws transactions from gen and runs
+// each to commit (retrying aborts with a short backoff) until stop returns
+// true. It returns the number of committed transactions and a latency
+// histogram over committed transactions.
+func RunLoop(t *host.Thread, c *Coordinator, gen func() *Txn, stop func() bool) (uint64, *stats.Histogram) {
+	var committed uint64
+	lat := stats.NewHistogram()
+	for !stop() {
+		txn := gen()
+		start := t.P.Now()
+		for {
+			err := c.Run(t, txn)
+			if err == nil {
+				committed++
+				lat.Record(int64(t.P.Now() - start))
+				break
+			}
+			if stop() {
+				return committed, lat
+			}
+			t.P.Sleep(2 * sim.Microsecond) // abort backoff
+		}
+	}
+	return committed, lat
+}
