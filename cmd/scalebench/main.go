@@ -13,6 +13,8 @@
 //	-csv DIR      also write <id>.csv files into DIR
 //	-seed N       simulation seed (default 1)
 //	-duration MS  measurement window per data point, in virtual ms
+//	-metrics FILE write a full telemetry dump (registry + sampled series +
+//	              trace events, per data point) as JSON to FILE
 package main
 
 import (
@@ -31,6 +33,7 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	durMS := flag.Float64("duration", 0, "measurement window per point (virtual ms); 0 = default")
+	metricsPath := flag.String("metrics", "", "write a per-point telemetry dump (JSON) to this file")
 	flag.Parse()
 
 	args := flag.Args()
@@ -46,6 +49,15 @@ func main() {
 	opts.Seed = *seed
 	if *durMS > 0 {
 		opts.Duration = sim.Duration(*durMS * float64(sim.Millisecond))
+	}
+	if *metricsPath != "" {
+		opts.Metrics = &bench.MetricsRecorder{}
+		defer func() {
+			if err := opts.Metrics.WriteFile(*metricsPath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
 	}
 
 	switch args[0] {
@@ -82,6 +94,7 @@ func runAll(ids []string, opts bench.Options, csvDir string) {
 			os.Exit(1)
 		}
 		start := time.Now()
+		opts.Metrics.Begin(id)
 		res := e.Run(opts)
 		fmt.Println(res.Render())
 		fmt.Printf("(%s wall time: %.1fs)\n\n", id, time.Since(start).Seconds())
@@ -104,5 +117,5 @@ func usage() {
   scalebench list
   scalebench run <id> [<id>...]
   scalebench all
-  scalebench [-quick] [-csv DIR] [-seed N] [-duration MS] <id>...`)
+  scalebench [-quick] [-csv DIR] [-seed N] [-duration MS] [-metrics FILE] <id>...`)
 }

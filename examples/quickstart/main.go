@@ -65,6 +65,26 @@ func main() {
 	end := c.Env.RunUntil(10 * sim.Millisecond)
 	fmt.Printf("\nsimulation finished at t=%.2fus; server stats: %+v\n",
 		float64(end)/1000, srv.Stats)
+
+	// Every component registered its counters into the cluster's telemetry
+	// registry at build time; dump a small end-of-run summary from it. (A
+	// full JSON dump — including sampled series and trace events when
+	// enabled — is one `c.Telemetry.WriteJSON(w)` call away.)
+	fmt.Println("\ntelemetry summary:")
+	for _, name := range []string{
+		"scalerpc.server.served",
+		"scalerpc.server.switches",
+		"scalerpc.server.warmup_reads",
+		"nic0.out.wqes",
+		"nic0.qpc.miss",
+		"pcie.bus0.rdcur",
+		"llc0.dma.alloc",
+		"host0.cpu.work_ns",
+	} {
+		if v, ok := c.Telemetry.Value(name); ok {
+			fmt.Printf("  %-28s %.0f\n", name, v)
+		}
+	}
 }
 
 // syncCall is the simplest possible client loop: send one request, poll

@@ -17,6 +17,7 @@ import (
 	"scalerpc/internal/rpccore"
 	"scalerpc/internal/rpcwire"
 	"scalerpc/internal/sim"
+	"scalerpc/internal/telemetry"
 )
 
 // ServerConfig sizes a FaSST server.
@@ -74,6 +75,10 @@ type Server struct {
 // NewServer builds per-worker UD QPs and recv rings.
 func NewServer(h *host.Host, cfg ServerConfig) *Server {
 	s := &Server{Cfg: cfg, Host: h}
+	var tel telemetry.Scope
+	if reg := h.Tel.Registry(); reg != nil {
+		tel = reg.UniqueScope("fasstrpc")
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		cq := h.NIC.CreateCQ()
 		w := &worker{
@@ -85,6 +90,7 @@ func NewServer(h *host.Host, cfg ServerConfig) *Server {
 			scratch: h.Mem.Register(cfg.BlockSize*scratchRing, memory.PageSize2M, memory.LocalWrite),
 			buf:     make([]byte, cfg.BlockSize),
 		}
+		tel.Scope(fmt.Sprintf("server.w%d", i)).CounterVar("served", &w.Served)
 		s.workers = append(s.workers, w)
 	}
 	return s

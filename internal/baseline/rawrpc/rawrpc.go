@@ -19,6 +19,7 @@ import (
 	"scalerpc/internal/rpccore"
 	"scalerpc/internal/rpcwire"
 	"scalerpc/internal/sim"
+	"scalerpc/internal/telemetry"
 )
 
 // ServerConfig sizes a RawWrite server.
@@ -92,6 +93,10 @@ func NewServer(h *host.Host, cfg ServerConfig) *Server {
 		Host: h,
 		pool: rpcwire.NewPool(poolReg, cfg.BlockSize, cfg.BlocksPerClient, cfg.MaxClients),
 	}
+	var tel telemetry.Scope
+	if reg := h.Tel.Registry(); reg != nil {
+		tel = reg.UniqueScope("rawrpc")
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{
 			s:       s,
@@ -101,6 +106,7 @@ func NewServer(h *host.Host, cfg ServerConfig) *Server {
 			buf:     make([]byte, cfg.BlockSize),
 		}
 		h.NIC.WatchRegion(poolReg.RKey, w.sig)
+		tel.Scope(fmt.Sprintf("server.w%d", i)).CounterVar("served", &w.Served)
 		s.workers = append(s.workers, w)
 	}
 	return s

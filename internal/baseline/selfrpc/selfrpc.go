@@ -20,6 +20,7 @@ import (
 	"scalerpc/internal/rpccore"
 	"scalerpc/internal/rpcwire"
 	"scalerpc/internal/sim"
+	"scalerpc/internal/telemetry"
 )
 
 // ServerConfig sizes a selfRPC server.
@@ -84,6 +85,10 @@ func NewServer(h *host.Host, cfg ServerConfig) *Server {
 		Host: h,
 		pool: rpcwire.NewPool(poolReg, cfg.BlockSize, cfg.BlocksPerClient, cfg.MaxClients),
 	}
+	var tel telemetry.Scope
+	if reg := h.Tel.Registry(); reg != nil {
+		tel = reg.UniqueScope("selfrpc")
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{
 			s:       s,
@@ -92,6 +97,7 @@ func NewServer(h *host.Host, cfg ServerConfig) *Server {
 			scratch: h.Mem.Register(cfg.BlockSize*scratchRing, memory.PageSize2M, memory.LocalWrite),
 			buf:     make([]byte, cfg.BlockSize),
 		}
+		tel.Scope(fmt.Sprintf("server.w%d", i)).CounterVar("served", &w.Served)
 		s.workers = append(s.workers, w)
 	}
 	return s

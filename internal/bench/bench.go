@@ -25,6 +25,9 @@ type Options struct {
 	// Quick shrinks sweeps (fewer points, smaller preloads) for CI and
 	// `go test -bench`. The full sweeps reproduce the paper's axes.
 	Quick bool
+	// Metrics, when non-nil, collects a full telemetry dump (plus sampled
+	// series and trace events) for every data point.
+	Metrics *MetricsRecorder
 }
 
 // DefaultOptions is the full-fidelity configuration.

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"scalerpc/internal/cluster"
+	"scalerpc/internal/host"
+	"scalerpc/internal/memory"
+	"scalerpc/internal/nic"
+	"scalerpc/internal/sim"
+)
+
+// TestMeasureWindowExcludesWarmupEvents drives a continuous inbound-write
+// workload through measureWindow and checks that the reported deltas cover
+// only the measurement window — warmup-window events show up in the raw
+// cumulative counters but not in the delta.
+func TestMeasureWindowExcludesWarmupEvents(t *testing.T) {
+	opts := Options{Warmup: 200 * sim.Microsecond, Duration: 400 * sim.Microsecond, Seed: 1}
+	rec := &MetricsRecorder{}
+	opts.Metrics = rec
+
+	c := cluster.New(cluster.Default(2))
+	defer c.Close()
+	srv := c.Hosts[0]
+	pool := srv.Mem.Register(4096, memory.PageSize2M, memory.LocalWrite|memory.RemoteWrite)
+	ch := c.Hosts[1]
+	src := ch.Mem.Register(4096, memory.PageSize4K, memory.LocalWrite)
+	ccq := ch.NIC.CreateCQ()
+	cqp := ch.NIC.CreateQP(nic.RC, ccq, ccq)
+	scq := srv.NIC.CreateCQ()
+	sqp := srv.NIC.CreateQP(nic.RC, scq, scq)
+	if err := nic.Connect(cqp, sqp); err != nil {
+		t.Fatal(err)
+	}
+	ch.Spawn("writer", func(th *host.Thread) {
+		outstanding := 0
+		for {
+			th.PostSend(cqp, nic.SendWR{
+				Op: nic.OpWrite, Signaled: true,
+				LKey: src.LKey, LAddr: src.Base, Len: 32,
+				RKey: pool.RKey, RAddr: pool.Base,
+			})
+			outstanding++
+			for outstanding >= 4 {
+				outstanding -= len(th.WaitCQ(ccq, 4, 5*sim.Microsecond))
+			}
+		}
+	})
+
+	delta := measureWindow(c, opts, "warmup-window")
+	total := snapshotRaw(srv)
+	if delta.inMsgs == 0 {
+		t.Fatal("no messages measured")
+	}
+	if delta.inMsgs >= total.inMsgs {
+		t.Fatalf("warmup events leaked into the window: delta %d >= total %d",
+			delta.inMsgs, total.inMsgs)
+	}
+	// The warmup and measurement windows see the same steady-state workload,
+	// so the delta should be roughly Duration/(Warmup+Duration) of the total.
+	frac := float64(delta.inMsgs) / float64(total.inMsgs)
+	want := float64(opts.Duration) / float64(opts.Warmup+opts.Duration)
+	if frac < want-0.15 || frac > want+0.15 {
+		t.Fatalf("window fraction = %.2f, want ≈ %.2f", frac, want)
+	}
+
+	// The recorder captured the point, including at least one sampled series.
+	if len(rec.Experiments) != 1 || len(rec.Experiments[0].Points) != 1 {
+		t.Fatalf("recorder = %+v", rec)
+	}
+	pt := rec.Experiments[0].Points[0]
+	if pt.Label != "warmup-window" {
+		t.Fatalf("label = %q", pt.Label)
+	}
+	if !strings.Contains(string(pt.Metrics), `"series"`) ||
+		!strings.Contains(string(pt.Metrics), "nic0.in.messages") {
+		t.Fatalf("dump missing series or nic counters: %.200s", pt.Metrics)
+	}
+}
+
+// TestDriverWarmupWindowExcluded checks the RPC path's window: the driver's
+// MeasureFrom discards completions before the warmup boundary, so measured
+// throughput reflects only the measurement window.
+func TestDriverWarmupWindowExcluded(t *testing.T) {
+	base := Options{Warmup: 100 * sim.Microsecond, Duration: 400 * sim.Microsecond, Seed: 1, Quick: true}
+	long := base
+	long.Warmup = 300 * sim.Microsecond
+	run := func(o Options) rpcOut {
+		return runRPC(rpcRun{transport: "ScaleRPC", threads: 8, batch: 1, payload: 32, opts: o})
+	}
+	a, b := run(base), run(long)
+	if a.completed == 0 || b.completed == 0 {
+		t.Fatal("no completions")
+	}
+	// Same measurement duration with different warmups → similar counts; if
+	// warmup completions leaked, the longer-warmup run would report more.
+	ra, rb := float64(a.completed), float64(b.completed)
+	if rb > ra*1.3 || rb < ra*0.7 {
+		t.Fatalf("window not isolated from warmup: %v vs %v completions", a.completed, b.completed)
+	}
+}
+
+// TestMetricsJSONDeterministic guards the repo's determinism invariant end
+// to end: two full data points with the same (Config, seed) must produce
+// byte-identical metrics JSON, including sampled series and trace events.
+func TestMetricsJSONDeterministic(t *testing.T) {
+	run := func() []byte {
+		rec := &MetricsRecorder{}
+		rec.Begin("det")
+		opts := Options{Warmup: 100 * sim.Microsecond, Duration: 300 * sim.Microsecond,
+			Seed: 7, Quick: true, Metrics: rec}
+		runRPC(rpcRun{transport: "ScaleRPC", threads: 8, batch: 1, payload: 32, opts: opts})
+		return rec.JSON()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical runs produced different metrics JSON")
+	}
+	if !strings.Contains(string(a), "scalerpc.server.served") {
+		t.Fatal("dump missing scalerpc counters")
+	}
+}

@@ -217,7 +217,7 @@ func runDCTOutbound(nClients int, opts Options) (float64, float64) {
 			}
 		})
 	}
-	cnt := measureWindow(c, opts)
+	cnt := measureWindow(c, opts, fmt.Sprintf("dct-outbound/c%d", nClients))
 	packets := float64(c.Fabric.Port(0).Stats.TxMessages)
 	return mops(cnt.outWQEs, opts.Duration), packets / float64(cnt.outWQEs+1)
 }

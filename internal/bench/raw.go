@@ -53,12 +53,17 @@ func (a rawCounters) sub(b rawCounters) rawCounters {
 }
 
 // measureWindow runs warmup, snapshots, runs the measurement window, and
-// returns the counter deltas at the server.
-func measureWindow(c *cluster.Cluster, opts Options) rawCounters {
+// returns the counter deltas at the server — warmup-window events never
+// reach the reported rates. When metrics are being recorded the data
+// point's registry dump is captured under label.
+func measureWindow(c *cluster.Cluster, opts Options, label string) rawCounters {
+	opts.instrument(c)
 	c.Env.RunUntil(opts.Warmup)
 	start := snapshotRaw(c.Hosts[0])
 	c.Env.RunUntil(opts.Warmup + opts.Duration)
-	return snapshotRaw(c.Hosts[0]).sub(start)
+	out := snapshotRaw(c.Hosts[0]).sub(start)
+	opts.Metrics.Record(label, c)
+	return out
 }
 
 const rawMsgSize = 32
@@ -124,7 +129,7 @@ func runOutboundWrite(nClients int, opts Options) rawCounters {
 			}
 		})
 	}
-	return measureWindow(c, opts)
+	return measureWindow(c, opts, fmt.Sprintf("outbound-write/c%d", nClients))
 }
 
 // runInboundWrite measures nClients remote QPs each RC-writing 32 B
@@ -178,7 +183,7 @@ func runInboundWrite(nClients int, blockSize int, rotate bool, opts Options) raw
 			}
 		})
 	}
-	return measureWindow(c, opts)
+	return measureWindow(c, opts, fmt.Sprintf("inbound-write/c%d/bs%d", nClients, blockSize))
 }
 
 // runInboundUDSend measures nClients UD-sending 32 B messages to 10 server
@@ -248,7 +253,7 @@ func runInboundUDSend(nClients int, opts Options) rawCounters {
 			}
 		})
 	}
-	return measureWindow(c, opts)
+	return measureWindow(c, opts, fmt.Sprintf("ud-send/c%d", nClients))
 }
 
 func clientSweep(quick bool) []int {

@@ -98,6 +98,7 @@ func runRPC(r rpcRun) rpcOut {
 	}
 	c := cluster.New(cluster.Default(1 + r.clientHosts))
 	defer c.Close()
+	r.opts.instrument(c)
 	srv := c.Hosts[0]
 
 	var connect func(*host.Host, *sim.Signal) rpccore.Conn
@@ -161,6 +162,8 @@ func runRPC(r rpcRun) rpcOut {
 	out.tputMops = mops(out.completed, r.opts.Duration)
 	out.pcieRd = rate(rdEnd.PCIeRdCur, r.opts.Duration)
 	out.pcieItoM = rate(rdEnd.PCIeItoM, r.opts.Duration)
+	r.opts.Metrics.Record(fmt.Sprintf("%s/t%d/co%d/h%d/b%d/p%d",
+		r.transport, r.threads, r.coroutines, r.clientHosts, r.batch, r.payload), c)
 	return out
 }
 

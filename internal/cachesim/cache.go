@@ -17,7 +17,11 @@
 // ordinary cached data and no longer counts against the DDIO budget.
 package cachesim
 
-import "fmt"
+import (
+	"fmt"
+
+	"scalerpc/internal/telemetry"
+)
 
 // Stats counts cache events. All counters are cumulative.
 type Stats struct {
@@ -243,11 +247,25 @@ func (c *Cache) Flush() {
 	}
 }
 
-// ResetStats zeroes the counters.
-func (c *Cache) ResetStats() { c.Stats = Stats{} }
+// Reset zeroes the counters.
+func (c *Cache) Reset() { c.Stats = Stats{} }
 
 // Snapshot returns a copy of the counters.
 func (c *Cache) Snapshot() Stats { return c.Stats }
+
+// Register publishes the cache counters into a telemetry scope
+// (conventionally "llc<hostID>"). The embedded Stats struct remains the
+// storage; the registry observes the fields in place.
+func (c *Cache) Register(sc telemetry.Scope) {
+	sc.CounterVar("cpu.read.hit", &c.CPUReadHits)
+	sc.CounterVar("cpu.read.miss", &c.CPUReadMisses)
+	sc.CounterVar("cpu.write.hit", &c.CPUWriteHits)
+	sc.CounterVar("cpu.write.miss", &c.CPUWriteMisses)
+	sc.CounterVar("dma.update", &c.DMAUpdates)
+	sc.CounterVar("dma.alloc", &c.DMAAllocs)
+	sc.CounterVar("dma.evict", &c.DMAEvictions)
+	sc.CounterVar("evictions", &c.Evictions)
+}
 
 func (c *Cache) forEachLine(addr, size uint64, fn func(setBase int, tag uint64)) {
 	if size == 0 {

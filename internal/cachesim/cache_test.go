@@ -174,9 +174,9 @@ func TestStatsAccumulate(t *testing.T) {
 	if mr := s.MissRate(); mr != 0.5 {
 		t.Fatalf("MissRate = %f, want 0.5", mr)
 	}
-	c.ResetStats()
+	c.Reset()
 	if c.Snapshot() != (Stats{}) {
-		t.Fatal("ResetStats did not zero counters")
+		t.Fatal("Reset did not zero counters")
 	}
 }
 

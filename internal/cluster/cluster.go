@@ -12,6 +12,7 @@ import (
 	"scalerpc/internal/pcie"
 	"scalerpc/internal/sim"
 	"scalerpc/internal/stats"
+	"scalerpc/internal/telemetry"
 )
 
 // Config is the complete description of a simulated cluster.
@@ -43,6 +44,11 @@ type Cluster struct {
 	Fabric *fabric.Fabric
 	Hosts  []*host.Host
 	RNG    *stats.RNG
+
+	// Telemetry is the cluster-wide metrics registry. Every host's NIC,
+	// PCIe bus, LLC and CPU accounting registers into it at build time;
+	// RPC transports claim their scopes from it when constructed.
+	Telemetry *telemetry.Registry
 }
 
 // New builds a cluster from cfg.
@@ -50,9 +56,9 @@ func New(cfg Config) *Cluster {
 	env := sim.NewEnv()
 	fab := fabric.New(env, cfg.Fabric, cfg.Hosts)
 	rng := stats.NewRNG(cfg.Seed)
-	c := &Cluster{Cfg: cfg, Env: env, Fabric: fab, RNG: rng}
+	c := &Cluster{Cfg: cfg, Env: env, Fabric: fab, RNG: rng, Telemetry: telemetry.NewRegistry()}
 	for i := 0; i < cfg.Hosts; i++ {
-		c.Hosts = append(c.Hosts, host.New(env, i, cfg.Host, cfg.NIC, cfg.PCIe, fab, rng.Split()))
+		c.Hosts = append(c.Hosts, host.New(env, i, cfg.Host, cfg.NIC, cfg.PCIe, fab, rng.Split(), c.Telemetry))
 	}
 	return c
 }

@@ -16,6 +16,7 @@ import (
 	"scalerpc/internal/pcie"
 	"scalerpc/internal/sim"
 	"scalerpc/internal/stats"
+	"scalerpc/internal/telemetry"
 )
 
 // Config describes a machine.
@@ -62,10 +63,21 @@ type Host struct {
 	Mem   *memory.Registry
 	NIC   *nic.NIC
 	RNG   *stats.RNG
+
+	// Tel is the host's telemetry scope ("host<id>"); software layers
+	// derive their scopes from Tel.Registry(). Detached when the host is
+	// built without a registry.
+	Tel telemetry.Scope
+
+	// CPU time accounting across all of the host's threads, in virtual ns.
+	CPUWorkNs  uint64 // time charged against the core pool
+	CPUSleepNs uint64 // time blocked waiting for completions
 }
 
-// New assembles a host attached to fabric port id.
-func New(env *sim.Env, id int, cfg Config, nicCfg nic.Config, cost pcie.CostModel, fab *fabric.Fabric, rng *stats.RNG) *Host {
+// New assembles a host attached to fabric port id. reg may be nil; the host
+// then runs with detached telemetry at no cost. With a registry, the host
+// claims the scopes nic<id>, pcie.bus<id>, llc<id> and host<id>.
+func New(env *sim.Env, id int, cfg Config, nicCfg nic.Config, cost pcie.CostModel, fab *fabric.Fabric, rng *stats.RNG, reg *telemetry.Registry) *Host {
 	h := &Host{
 		ID:    id,
 		Env:   env,
@@ -86,6 +98,15 @@ func New(env *sim.Env, id int, cfg Config, nicCfg nic.Config, cost pcie.CostMode
 		Cost: cost,
 		RNG:  rng.Split(),
 	})
+	if reg != nil {
+		h.Tel = reg.Scope(fmt.Sprintf("host%d", id))
+		h.NIC.Register(reg.Scope(fmt.Sprintf("nic%d", id)))
+		h.Bus.Register(reg.Scope(fmt.Sprintf("pcie.bus%d", id)))
+		h.LLC.Register(reg.Scope(fmt.Sprintf("llc%d", id)))
+		cpu := h.Tel.Scope("cpu")
+		cpu.CounterVar("work_ns", &h.CPUWorkNs)
+		cpu.CounterVar("sleep_ns", &h.CPUSleepNs)
+	}
 	return h
 }
 
@@ -110,6 +131,7 @@ func (t *Thread) Work(d sim.Duration) {
 	if d <= 0 {
 		return
 	}
+	t.Host.CPUWorkNs += uint64(d)
 	t.Host.Cores.Use(t.P, d)
 }
 
@@ -159,7 +181,9 @@ func (t *Thread) PollCQ(cq *nic.CQ, max int) []nic.CQE {
 // WaitCQ blocks until the CQ has completions or d elapses, then polls.
 func (t *Thread) WaitCQ(cq *nic.CQ, max int, d sim.Duration) []nic.CQE {
 	if cq.Len() == 0 {
+		start := t.P.Now()
 		cq.Sig.WaitTimeout(t.P, d)
+		t.Host.CPUSleepNs += uint64(t.P.Now() - start)
 	}
 	return t.PollCQ(cq, max)
 }

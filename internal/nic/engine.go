@@ -5,6 +5,7 @@ import (
 
 	"scalerpc/internal/fabric"
 	"scalerpc/internal/sim"
+	"scalerpc/internal/telemetry"
 )
 
 // pktOp identifies a wire packet type.
@@ -110,6 +111,10 @@ func (n *NIC) processOut(job outJob) (occ sim.Duration, extraLat sim.Duration, a
 		n.Stats.QPCHits++
 	} else {
 		n.Stats.QPCMisses++
+		if n.trace.Enabled {
+			n.trace.Emit(n.env.Now(), "qpc_evict",
+				telemetry.A("nic", int64(n.id)), telemetry.A("qpn", int64(qp.QPN)))
+		}
 		n.bus.RecordDMARead(1)
 		occ += n.Cfg.CacheMissStall
 		extraLat += n.cost.DMAReadLatency - n.Cfg.CacheMissStall

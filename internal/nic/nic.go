@@ -36,6 +36,7 @@ import (
 	"scalerpc/internal/pcie"
 	"scalerpc/internal/sim"
 	"scalerpc/internal/stats"
+	"scalerpc/internal/telemetry"
 )
 
 // Config holds the NIC model parameters.
@@ -163,6 +164,10 @@ type NIC struct {
 
 	watches map[uint32][]*sim.Signal // rkey → signals woken on DMA write
 
+	// trace is the telemetry event sink; always non-nil (a disabled sink
+	// until Register attaches the NIC to a live registry).
+	trace *telemetry.Trace
+
 	// dropNextData, when positive, drops that many incoming RC data
 	// packets (fault injection for the retransmission path).
 	dropNextData int
@@ -197,6 +202,7 @@ func New(cfg Config, d Deps) *NIC {
 		qps:     make(map[uint32]*QP),
 		nextQPN: 1,
 		watches: make(map[uint32][]*sim.Signal),
+		trace:   telemetry.Scope{}.Trace(),
 	}
 	if cfg.StrictLRUCaches || d.RNG == nil {
 		n.qpcCache = newLRU(cfg.QPCCacheEntries)
@@ -210,6 +216,35 @@ func New(cfg Config, d Deps) *NIC {
 	d.Port.OnDeliver(n.deliver)
 	return n
 }
+
+// Register publishes the NIC counters into a telemetry scope (conventionally
+// "nic<hostID>") and attaches the scope's trace sink for QPC-eviction events.
+// The public Stats struct remains the storage; the registry observes the
+// fields in place.
+func (n *NIC) Register(sc telemetry.Scope) {
+	sc.CounterVar("out.wqes", &n.Stats.OutWQEs)
+	sc.CounterVar("in.messages", &n.Stats.InMessages)
+	sc.CounterVar("qpc.hit", &n.Stats.QPCHits)
+	sc.CounterVar("qpc.miss", &n.Stats.QPCMisses)
+	sc.CounterVar("wqe.hit", &n.Stats.WQEHits)
+	sc.CounterVar("wqe.miss", &n.Stats.WQEMisses)
+	sc.CounterVar("mtt.hit", &n.Stats.MTTHits)
+	sc.CounterVar("mtt.miss", &n.Stats.MTTMisses)
+	sc.CounterVar("qpc.touch.hit", &n.Stats.QPCTouchHits)
+	sc.CounterVar("qpc.touch.miss", &n.Stats.QPCTouchMisses)
+	sc.CounterVar("rnr.drops", &n.Stats.RNRDrops)
+	sc.CounterVar("ud.drops", &n.Stats.UDDrops)
+	sc.CounterVar("retransmits", &n.Stats.Retransmits)
+	sc.CounterVar("naks", &n.Stats.NAKs)
+	sc.CounterVar("dct.connects", &n.Stats.DCTConnects)
+	n.trace = sc.Trace()
+}
+
+// Snapshot returns a copy of the counters.
+func (n *NIC) Snapshot() Stats { return n.Stats }
+
+// Reset zeroes the counters.
+func (n *NIC) Reset() { n.Stats = Stats{} }
 
 // ID returns the NIC's fabric port id.
 func (n *NIC) ID() int { return n.id }

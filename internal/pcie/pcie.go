@@ -12,7 +12,10 @@
 //     Write Allocate mode (target line absent from the LLC).
 package pcie
 
-import "scalerpc/internal/sim"
+import (
+	"scalerpc/internal/sim"
+	"scalerpc/internal/telemetry"
+)
 
 // Counters is a snapshot of PCIe event counts. Rates are computed by the
 // harness from two snapshots and the elapsed virtual time.
@@ -45,6 +48,17 @@ type Bus struct {
 
 // NewBus returns a zeroed bus.
 func NewBus() *Bus { return &Bus{} }
+
+// Register publishes the bus counters into a telemetry scope (conventionally
+// "pcie.bus<hostID>"). The embedded Counters struct remains the storage; the
+// registry observes the fields in place.
+func (b *Bus) Register(sc telemetry.Scope) {
+	sc.CounterVar("rdcur", &b.PCIeRdCur)
+	sc.CounterVar("rfo", &b.RFO)
+	sc.CounterVar("itom", &b.ItoM)
+	sc.CounterVar("pcie_itom", &b.PCIeItoM)
+	sc.CounterVar("mmio_wr", &b.MMIOWr)
+}
 
 // Snapshot returns the current counter values.
 func (b *Bus) Snapshot() Counters { return b.Counters }

@@ -1,6 +1,10 @@
 package pcie
 
-import "testing"
+import (
+	"testing"
+
+	"scalerpc/internal/telemetry"
+)
 
 func TestCountersSub(t *testing.T) {
 	a := Counters{PCIeRdCur: 10, RFO: 5, ItoM: 7, PCIeItoM: 3, MMIOWr: 2}
@@ -77,5 +81,36 @@ func TestMMIOAndDMAReadCounters(t *testing.T) {
 	b.Reset()
 	if b.Snapshot() != (Counters{}) {
 		t.Fatal("Reset failed")
+	}
+}
+
+func TestBusRegisterObservesAndResets(t *testing.T) {
+	b := NewBus()
+	r := telemetry.NewRegistry()
+	b.Register(r.Scope("pcie.bus0"))
+	b.RecordDMARead(3)
+	b.RecordMMIO()
+	if v, ok := r.Value("pcie.bus0.rdcur"); !ok || v != 3 {
+		t.Fatalf("rdcur through registry = %v, %v", v, ok)
+	}
+	if v, _ := r.Value("pcie.bus0.mmio_wr"); v != 1 {
+		t.Fatalf("mmio_wr through registry = %v", v)
+	}
+	// Component Reset must be visible through the registered pointers.
+	b.Reset()
+	if v, _ := r.Value("pcie.bus0.rdcur"); v != 0 {
+		t.Fatalf("rdcur after Reset = %v", v)
+	}
+}
+
+func TestSnapshotSubWindowExcludesEarlierEvents(t *testing.T) {
+	b := NewBus()
+	b.RecordDMARead(5) // warmup traffic, to be excluded
+	start := b.Snapshot()
+	b.RecordDMARead(2)
+	b.RecordMMIO()
+	d := b.Snapshot().Sub(start)
+	if d.PCIeRdCur != 2 || d.MMIOWr != 1 {
+		t.Fatalf("window delta = %+v, want rdcur=2 mmio=1", d)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"scalerpc/internal/rpccore"
 	"scalerpc/internal/rpcwire"
 	"scalerpc/internal/sim"
+	"scalerpc/internal/telemetry"
 )
 
 // ClientState is the Figure 7 state of an RPCClient.
@@ -79,6 +80,17 @@ type Conn struct {
 	Retries uint64
 	// Switches counts context_switch_events observed.
 	Switches uint64
+
+	// trace is the server registry's event sink (always non-nil).
+	trace *telemetry.Trace
+}
+
+// traceState emits a client_state transition event.
+func (c *Conn) traceState(to ClientState) {
+	if c.trace.Enabled {
+		c.trace.Emit(c.h.Env.Now(), "client_state",
+			telemetry.A("client", int64(c.id)), telemetry.A("state", int64(to)))
+	}
 }
 
 // State returns the connection's Figure 7 state.
@@ -121,6 +133,7 @@ func (c *Conn) beginWarmup() {
 	c.stagedSpan = 0
 	c.state = StateWarmup
 	c.entryDirty = true
+	c.traceState(StateWarmup)
 }
 
 // stageRequest encodes the request into the next contiguous staging block.
@@ -281,6 +294,7 @@ func (c *Conn) Poll(t *host.Thread, fn func(rpccore.Response)) int {
 			}
 			if c.state == StateWarmup {
 				c.state = StateProcess
+				c.traceState(StateProcess)
 			}
 		}
 		if flags&rpcwire.FlagContextSwitch != 0 {
@@ -303,6 +317,7 @@ func (c *Conn) onContextSwitch(t *host.Thread) {
 	c.state = StateIdle
 	c.zone = -1
 	c.poolIdx = -1
+	c.traceState(StateIdle)
 	// Compact surviving requests to staging blocks 0..m-1.
 	m := 0
 	for b := range c.slots {
@@ -333,6 +348,7 @@ func (c *Conn) onContextSwitch(t *host.Thread) {
 		}
 		c.state = StateWarmup
 		c.entryDirty = true
+		c.traceState(StateWarmup)
 		c.flushEndpointEntry(t)
 	}
 }

@@ -1,6 +1,7 @@
 package scalerpc
 
 import (
+	"fmt"
 	"sort"
 
 	"scalerpc/internal/host"
@@ -8,6 +9,7 @@ import (
 	"scalerpc/internal/nic"
 	"scalerpc/internal/rpcwire"
 	"scalerpc/internal/sim"
+	"scalerpc/internal/telemetry"
 )
 
 // runScheduler is the priority-based scheduler (§3.2): it times the slices,
@@ -150,6 +152,10 @@ func (s *Server) fetchGroup(t *host.Thread, pool *rpcwire.Pool, g int, zoneOf fu
 		if span <= 0 || span > s.Cfg.BlockSize {
 			span = s.Cfg.BlockSize
 		}
+		if s.trace.Enabled {
+			s.trace.Emit(t.P.Now(), "warmup_fetch",
+				telemetry.A("client", int64(cid)), telemetry.A("blocks", int64(count-cs.fetchedUpTo)))
+		}
 		if span >= s.Cfg.BlockSize/2 {
 			// Large messages: one contiguous READ of whole blocks.
 			n := count - cs.fetchedUpTo
@@ -238,6 +244,10 @@ func (s *Server) contextSwitch(t *host.Thread) {
 		s.zoneOwner[i] = int(cid)
 	}
 	s.Stats.Switches++
+	if s.trace.Enabled {
+		s.trace.Emit(t.P.Now(), "context_switch",
+			telemetry.A("epoch", int64(s.epoch)), telemetry.A("group", int64(s.cur)))
+	}
 	s.draining = false
 	s.resumeSig.Broadcast()
 
@@ -500,6 +510,11 @@ func (s *Server) connect(ch *host.Host, sig *sim.Signal, pinned bool) *Conn {
 		conn.zone = cs.zone
 		conn.poolIdx = 0
 	}
+	cl := s.tel.Scope("client", fmt.Sprintf("%d", id))
+	cl.GaugeVar("priority", &cs.priority)
+	cl.CounterVar("retries", &conn.Retries)
+	cl.CounterVar("switches", &conn.Switches)
+	conn.trace = s.trace
 	ch.NIC.WatchRegion(respReg.RKey, sig)
 	return conn
 }

@@ -10,6 +10,7 @@ import (
 	"scalerpc/internal/rpccore"
 	"scalerpc/internal/rpcwire"
 	"scalerpc/internal/sim"
+	"scalerpc/internal/telemetry"
 )
 
 // endpointEntrySize is the per-client endpoint entry: staged-request
@@ -127,6 +128,12 @@ type Server struct {
 	schedScratchIdx int
 	schedBuf        []byte
 
+	// Telemetry: tel is this server's scope ("scalerpc", or "scalerpc#N"
+	// for later instances on the same registry); trace is always non-nil.
+	tel       telemetry.Scope
+	trace     *telemetry.Trace
+	handlerNs *telemetry.Histogram
+
 	started bool
 }
 
@@ -144,6 +151,23 @@ func NewServer(h *host.Host, cfg ServerConfig) *Server {
 		schedSig:  sim.NewSignal(h.Env),
 		resumeSig: sim.NewSignal(h.Env),
 	}
+	if reg := h.Tel.Registry(); reg != nil {
+		s.tel = reg.UniqueScope("scalerpc")
+	}
+	s.trace = s.tel.Trace()
+	srv := s.tel.Scope("server")
+	srv.CounterVar("switches", &s.Stats.Switches)
+	srv.CounterVar("warmup_reads", &s.Stats.WarmupReads)
+	srv.CounterVar("notifies", &s.Stats.Notifies)
+	srv.CounterVar("piggybacked", &s.Stats.Piggybacked)
+	srv.CounterVar("stale_drops", &s.Stats.StaleDrops)
+	srv.CounterVar("legacy_calls", &s.Stats.LegacyCalls)
+	srv.CounterVar("legacy_marked", &s.Stats.LegacyMarked)
+	srv.CounterVar("regroups", &s.Stats.Regroups)
+	srv.CounterVar("served", &s.Stats.Served)
+	srv.CounterVar("pinned_served", &s.Stats.PinnedServed)
+	srv.CounterVar("late_served", &s.Stats.LateServed)
+	s.handlerNs = srv.Histogram("handler_ns")
 	for i := range s.zoneOwner {
 		s.zoneOwner[i] = -1
 		s.warmOwner[i] = -1
@@ -163,9 +187,25 @@ func NewServer(h *host.Host, cfg ServerConfig) *Server {
 		// Workers wake on writes into either pool.
 		h.NIC.WatchRegion(s.pools[0].RKey(), w.sig)
 		h.NIC.WatchRegion(s.pools[1].RKey(), w.sig)
+		ws := srv.Scope(fmt.Sprintf("w%d", i))
+		ws.CounterVar("sweeps", &w.Sweeps)
+		ws.CounterVar("sleeps", &w.Sleeps)
+		ws.CounterVar("served", &w.Served)
 		s.workers = append(s.workers, w)
 	}
 	return s
+}
+
+// Snapshot returns a copy of the server counters.
+func (s *Server) Snapshot() Stats { return s.Stats }
+
+// Reset zeroes the server counters (per-worker and per-client counters
+// included, so a measurement window starts clean everywhere).
+func (s *Server) Reset() {
+	s.Stats = Stats{}
+	for _, w := range s.workers {
+		w.Sweeps, w.Sleeps, w.Served = 0, 0, 0
+	}
 }
 
 // Register installs a handler. Must precede Start.
@@ -303,6 +343,7 @@ func (s *Server) serve(t *host.Thread, w *worker, cs *clientState, slot int, hdr
 	}
 	start := t.P.Now()
 	n := s.handlers[hdr.Handler](t, cs.id, body, w.buf[rpcwire.HeaderSize:len(w.buf)-rpcwire.TrailerSize])
+	s.handlerNs.Observe(uint64(t.P.Now() - start))
 	if t.P.Now()-start > s.Cfg.LegacyThreshold && !s.legacy[hdr.Handler] {
 		// Record this call type (§3.5); subsequent requests run in legacy
 		// mode on a separate thread.

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"strings"
+
+	"scalerpc/internal/sim"
+)
+
+// Series is one sampled time series of a registered metric: cumulative
+// values at each tick of virtual time.
+type Series struct {
+	Metric string
+	T      []sim.Time
+	V      []float64
+}
+
+// Sampler records time series of registered metrics at a fixed virtual-time
+// interval. Metrics are selected by pattern: an exact name, a prefix ending
+// in '*' ("nic0.*"), or the lone "*" for everything. Patterns are
+// re-evaluated at every tick, so metrics registered mid-run (per-client
+// scopes) join their series at the next tick.
+type Sampler struct {
+	Interval sim.Duration
+
+	reg      *Registry
+	patterns []string
+	until    sim.Time
+	stopped  bool
+
+	series map[string]*Series
+	order  []string // series creation order, deterministic
+}
+
+// Sample starts a sampler on env that ticks every interval up to and
+// including the until horizon (a positive until is required so an
+// Env.Run() to exhaustion cannot be kept alive forever by the sampler).
+// The first tick fires at t=interval.
+func (r *Registry) Sample(env *sim.Env, interval sim.Duration, until sim.Time, patterns ...string) *Sampler {
+	if interval <= 0 {
+		panic("telemetry: non-positive sample interval")
+	}
+	if until <= 0 {
+		panic("telemetry: sampler needs a positive horizon")
+	}
+	s := &Sampler{
+		Interval: interval,
+		reg:      r,
+		patterns: patterns,
+		until:    until,
+		series:   make(map[string]*Series),
+	}
+	r.samplers = append(r.samplers, s)
+	var tick func()
+	tick = func() {
+		if s.stopped || env.Now() > s.until {
+			return
+		}
+		s.record(env.Now())
+		if env.Now()+interval <= s.until {
+			env.At(interval, tick)
+		}
+	}
+	env.At(interval, tick)
+	return s
+}
+
+// Stop ends sampling early; already recorded points are kept.
+func (s *Sampler) Stop() { s.stopped = true }
+
+// Series returns the recorded series in first-match order.
+func (s *Sampler) SeriesList() []*Series {
+	out := make([]*Series, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, s.series[name])
+	}
+	return out
+}
+
+func (s *Sampler) match(name string) bool {
+	for _, p := range s.patterns {
+		if p == "*" || p == name {
+			return true
+		}
+		if strings.HasSuffix(p, "*") && strings.HasPrefix(name, p[:len(p)-1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// record appends one sample of every matching metric.
+func (s *Sampler) record(now sim.Time) {
+	for _, name := range s.reg.order {
+		if !s.match(name) {
+			continue
+		}
+		se := s.series[name]
+		if se == nil {
+			se = &Series{Metric: name}
+			s.series[name] = se
+			s.order = append(s.order, name)
+		}
+		se.T = append(se.T, now)
+		se.V = append(se.V, s.reg.entries[name].value())
+	}
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+import "scalerpc/internal/sim"
+
+// DefaultTraceCap bounds how many trace events a Trace retains; further
+// emissions are counted in Dropped. The cap keeps metrics-enabled runs of
+// high-rate workloads (a warmup fetch per RDMA READ, a state transition
+// per request) from growing without bound.
+const DefaultTraceCap = 65536
+
+// Attr is one key/value attribute of a trace event. Values are int64 —
+// enough for ids, zones, epochs and virtual-time stamps.
+type Attr struct {
+	K string
+	V int64
+}
+
+// A builds an attribute.
+func A(k string, v int64) Attr { return Attr{K: k, V: v} }
+
+// Event is one structured trace event.
+type Event struct {
+	At    sim.Time
+	Kind  string
+	Attrs []Attr
+}
+
+// Trace collects structured events (context switches, warmup fetches,
+// QP-cache evictions, client state transitions). Emission is gated on
+// Enabled; callers on hot paths should check Enabled before building
+// attributes so a disabled trace costs one predictable branch.
+type Trace struct {
+	Enabled bool
+	// Cap overrides DefaultTraceCap when positive.
+	Cap     int
+	Events  []Event
+	Dropped uint64
+}
+
+// Emit appends one event if the trace is enabled and under its cap.
+func (t *Trace) Emit(at sim.Time, kind string, attrs ...Attr) {
+	if !t.Enabled {
+		return
+	}
+	cap := t.Cap
+	if cap <= 0 {
+		cap = DefaultTraceCap
+	}
+	if len(t.Events) >= cap {
+		t.Dropped++
+		return
+	}
+	t.Events = append(t.Events, Event{At: at, Kind: kind, Attrs: attrs})
+}
+
+// Reset discards collected events but keeps the enabled state.
+func (t *Trace) Reset() {
+	t.Events = nil
+	t.Dropped = 0
+}
