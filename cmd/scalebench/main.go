@@ -15,6 +15,8 @@
 //	-duration MS  measurement window per data point, in virtual ms
 //	-metrics FILE write a full telemetry dump (registry + sampled series +
 //	              trace events, per data point) as JSON to FILE
+//	-faults FILE  install the fault scenario (JSON, see internal/faults) on
+//	              every cluster the experiments build
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"time"
 
 	"scalerpc/internal/bench"
+	"scalerpc/internal/faults"
 	"scalerpc/internal/sim"
 )
 
@@ -34,6 +37,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	durMS := flag.Float64("duration", 0, "measurement window per point (virtual ms); 0 = default")
 	metricsPath := flag.String("metrics", "", "write a per-point telemetry dump (JSON) to this file")
+	faultsPath := flag.String("faults", "", "fault scenario (JSON) to install on every experiment cluster")
 	flag.Parse()
 
 	args := flag.Args()
@@ -49,6 +53,14 @@ func main() {
 	opts.Seed = *seed
 	if *durMS > 0 {
 		opts.Duration = sim.Duration(*durMS * float64(sim.Millisecond))
+	}
+	if *faultsPath != "" {
+		sc, err := faults.LoadScenario(*faultsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts.Faults = sc
 	}
 	if *metricsPath != "" {
 		opts.Metrics = &bench.MetricsRecorder{}
@@ -117,5 +129,5 @@ func usage() {
   scalebench list
   scalebench run <id> [<id>...]
   scalebench all
-  scalebench [-quick] [-csv DIR] [-seed N] [-duration MS] [-metrics FILE] <id>...`)
+  scalebench [-quick] [-csv DIR] [-seed N] [-duration MS] [-metrics FILE] [-faults FILE] <id>...`)
 }

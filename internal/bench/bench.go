@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"scalerpc/internal/faults"
 	"scalerpc/internal/sim"
 )
 
@@ -28,6 +29,9 @@ type Options struct {
 	// Metrics, when non-nil, collects a full telemetry dump (plus sampled
 	// series and trace events) for every data point.
 	Metrics *MetricsRecorder
+	// Faults, when non-nil, installs this fault scenario on every cluster
+	// the experiments build (the scalebench -faults flag).
+	Faults *faults.Scenario
 }
 
 // DefaultOptions is the full-fidelity configuration.

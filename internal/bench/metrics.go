@@ -69,11 +69,15 @@ func (m *MetricsRecorder) WriteFile(path string) error {
 	return os.WriteFile(path, m.JSON(), 0o644)
 }
 
-// instrument enables trace collection and interval sampling on a freshly
-// built cluster when metrics are being recorded. Server-side (host 0)
-// hardware metrics and every RPC-transport scope are sampled; the horizon
-// covers the warmup and measurement windows.
+// instrument applies the fault scenario (if any) to a freshly built
+// cluster, and enables trace collection and interval sampling when metrics
+// are being recorded. Server-side (host 0) hardware metrics and every
+// RPC-transport scope are sampled; the horizon covers the warmup and
+// measurement windows.
 func (o Options) instrument(c *cluster.Cluster) {
+	if o.Faults != nil {
+		c.InstallFaults(o.Faults)
+	}
 	if o.Metrics == nil {
 		return
 	}
@@ -89,6 +93,6 @@ func (o Options) instrument(c *cluster.Cluster) {
 	// Server-scoped patterns only: per-client scopes (hundreds of series at
 	// paper scale) still appear in the final dump, just not as time series.
 	c.Telemetry.Sample(c.Env, interval, horizon,
-		"nic0.*", "pcie.bus0.*", "llc0.*", "scalerpc.server.*",
+		"nic0.*", "pcie.bus0.*", "llc0.*", "faults.*", "scalerpc.server.*",
 		"rawrpc.server.*", "herdrpc.server.*", "fasstrpc.server.*", "selfrpc.server.*")
 }

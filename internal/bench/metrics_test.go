@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"scalerpc/internal/cluster"
+	"scalerpc/internal/faults"
 	"scalerpc/internal/host"
 	"scalerpc/internal/memory"
 	"scalerpc/internal/nic"
@@ -120,5 +121,32 @@ func TestMetricsJSONDeterministic(t *testing.T) {
 	}
 	if !strings.Contains(string(a), "scalerpc.server.served") {
 		t.Fatal("dump missing scalerpc counters")
+	}
+}
+
+// TestMetricsJSONDeterministicUnderFaults extends the determinism invariant
+// to a lossy run: with a fault scenario installed, every injected drop, every
+// retransmission, and every recovery decision comes off the same seeded RNG
+// in the same virtual-time order, so two runs still produce byte-identical
+// metrics JSON.
+func TestMetricsJSONDeterministicUnderFaults(t *testing.T) {
+	run := func() []byte {
+		rec := &MetricsRecorder{}
+		rec.Begin("det-lossy")
+		opts := Options{Warmup: 100 * sim.Microsecond, Duration: 300 * sim.Microsecond,
+			Seed: 7, Quick: true, Metrics: rec,
+			Faults: faults.DropAll("drop2pct", 0.02)}
+		runRPC(rpcRun{transport: "ScaleRPC", threads: 8, batch: 1, payload: 32, opts: opts})
+		return rec.JSON()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical lossy runs produced different metrics JSON")
+	}
+	dump := string(a)
+	for _, name := range []string{"faults.injected.drops", "nic0.qp.retransmits"} {
+		if !strings.Contains(dump, name) {
+			t.Fatalf("lossy dump missing %q", name)
+		}
 	}
 }

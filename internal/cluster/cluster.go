@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"scalerpc/internal/fabric"
+	"scalerpc/internal/faults"
 	"scalerpc/internal/host"
 	"scalerpc/internal/nic"
 	"scalerpc/internal/pcie"
@@ -49,6 +50,10 @@ type Cluster struct {
 	// PCIe bus, LLC and CPU accounting registers into it at build time;
 	// RPC transports claim their scopes from it when constructed.
 	Telemetry *telemetry.Registry
+
+	// Faults is the installed fault plane, nil on clean runs. Set by
+	// InstallFaults.
+	Faults *faults.Plane
 }
 
 // New builds a cluster from cfg.
@@ -65,6 +70,27 @@ func New(cfg Config) *Cluster {
 
 // Close tears down the simulation, terminating all live processes.
 func (c *Cluster) Close() { c.Env.Close() }
+
+// InstallFaults activates a fault scenario on this cluster: the plane takes
+// over the fabric's interceptor, its counters join the registry under the
+// "faults" scope, and every host NIC gets the scenario's reliability tuning
+// (enabling the RC retransmit timer, which lossless runs leave off). The
+// plane's RNG derives from the cluster seed unless the scenario pins its
+// own, so fault decisions replay deterministically with the run.
+func (c *Cluster) InstallFaults(sc *faults.Scenario) *faults.Plane {
+	rng := c.RNG.Split()
+	if sc.Seed != 0 {
+		rng = stats.NewRNG(sc.Seed)
+	}
+	p := faults.New(c.Env, sc, rng)
+	p.Install(c.Fabric)
+	p.Register(c.Telemetry.UniqueScope("faults"))
+	for _, h := range c.Hosts {
+		p.TuneNIC(&h.NIC.Cfg)
+	}
+	c.Faults = p
+	return p
+}
 
 // ConnectRC creates and connects an RC QP pair between hosts a and b using
 // the given CQs (out-of-band setup).

@@ -3,10 +3,12 @@
 // SX-1012 with 56 Gbps FDR links).
 //
 // Each port serializes transmissions at link bandwidth in each direction
-// independently; messages between a port pair are delivered in FIFO order
-// (InfiniBand links are lossless and ordered thanks to link-level flow
-// control, which is why RC retransmission logic in the NIC model never
-// fires outside fault-injection tests).
+// independently; messages between a port pair are delivered in FIFO order.
+// InfiniBand links are lossless and ordered thanks to link-level flow
+// control, so by default nothing is ever dropped; the deterministic fault
+// plane in internal/faults installs an Interceptor (SetInterceptor) to
+// inject drops, corruption, duplication and latency spikes, which is what
+// exercises the NIC model's RC retransmission machinery.
 package fabric
 
 import (
@@ -66,11 +68,36 @@ type Port struct {
 // must not block).
 func (p *Port) OnDeliver(fn func(*Message)) { p.deliver = fn }
 
+// Verdict is an Interceptor's decision for one message. The zero value
+// delivers the message unmodified.
+type Verdict struct {
+	// Drop discards the message at the switch: the source uplink is still
+	// consumed (the packet left the NIC) but nothing reaches the
+	// destination port.
+	Drop bool
+	// Corrupt models an ICRC failure: the message traverses the full path
+	// and consumes bandwidth at both ends, then the receiving port
+	// discards it without invoking the delivery handler.
+	Corrupt bool
+	// Duplicate delivers a second copy immediately after the first, each
+	// paying its own serialization (a retransmitted packet whose original
+	// was only delayed, or a misbehaving switch).
+	Duplicate bool
+	// ExtraDelay is added to the switch latency (a latency spike).
+	ExtraDelay sim.Duration
+}
+
+// Interceptor inspects every message entering the switch and decides its
+// fate. Installed with SetInterceptor; called inline from Send, so it must
+// not block. internal/faults provides the standard implementation.
+type Interceptor func(*Message) Verdict
+
 // Fabric is the switch plus all ports.
 type Fabric struct {
-	env   *sim.Env
-	cfg   Config
-	ports []*Port
+	env       *sim.Env
+	cfg       Config
+	ports     []*Port
+	intercept Interceptor
 	// bytesPerNs is the per-direction port bandwidth.
 	bytesPerNs float64
 }
@@ -103,13 +130,49 @@ func (f *Fabric) wireTime(payload int) sim.Duration {
 	return d
 }
 
+// SetInterceptor installs fn as the switch's fault hook, consulted once
+// per Send (per injected duplicate the hook is not re-consulted). Passing
+// nil removes the hook. This is the sanctioned entry point for
+// internal/faults — fault planes must not reach into fabric private state.
+func (f *Fabric) SetInterceptor(fn Interceptor) { f.intercept = fn }
+
 // Send transmits msg from its Src port to its Dst port, modelling
 // serialization on the source uplink, switch latency, and serialization on
 // the destination downlink. Delivery invokes the destination port's handler.
+// An installed Interceptor may drop, corrupt, duplicate or delay the
+// message first.
 func (f *Fabric) Send(msg *Message) {
 	if msg.Src < 0 || msg.Src >= len(f.ports) || msg.Dst < 0 || msg.Dst >= len(f.ports) {
 		panic(fmt.Sprintf("fabric: bad ports src=%d dst=%d", msg.Src, msg.Dst))
 	}
+	var v Verdict
+	if f.intercept != nil {
+		v = f.intercept(msg)
+	}
+	if v.Drop {
+		// Switch drop: the uplink serialized the packet, then it vanished.
+		src := f.ports[msg.Src]
+		now := f.env.Now()
+		wt := f.wireTime(msg.Bytes)
+		txStart := now
+		if src.txFree > txStart {
+			txStart = src.txFree
+		}
+		src.txFree = txStart + wt
+		src.Stats.TxMessages++
+		src.Stats.TxBytes += uint64(msg.Bytes + f.cfg.WireOverheadBytes)
+		return
+	}
+	f.transmit(msg, v.ExtraDelay, !v.Corrupt)
+	if v.Duplicate {
+		f.transmit(msg, v.ExtraDelay, true)
+	}
+}
+
+// transmit schedules one copy of msg through the switch. When deliver is
+// false the copy consumes bandwidth end to end but the receiving port
+// discards it (ICRC corruption).
+func (f *Fabric) transmit(msg *Message, extraDelay sim.Duration, deliver bool) {
 	src, dst := f.ports[msg.Src], f.ports[msg.Dst]
 	now := f.env.Now()
 	wt := f.wireTime(msg.Bytes)
@@ -121,7 +184,7 @@ func (f *Fabric) Send(msg *Message) {
 	txEnd := txStart + wt
 	src.txFree = txEnd
 
-	rxStart := txEnd + f.cfg.SwitchLatency
+	rxStart := txEnd + f.cfg.SwitchLatency + extraDelay
 	if dst.rxFree > rxStart {
 		rxStart = dst.rxFree
 	}
@@ -134,7 +197,7 @@ func (f *Fabric) Send(msg *Message) {
 	f.env.At(rxEnd-now, func() {
 		dst.Stats.RxMessages++
 		dst.Stats.RxBytes += uint64(msg.Bytes + f.cfg.WireOverheadBytes)
-		if dst.deliver != nil {
+		if deliver && dst.deliver != nil {
 			dst.deliver(msg)
 		}
 	})

@@ -1,0 +1,232 @@
+// Package faults is the deterministic fault-injection plane: a seeded,
+// virtual-time schedule of link faults (drop / corrupt / duplicate / delay),
+// link flaps, node crashes and restarts, and named custom events, injected
+// into the fabric through fabric.SetInterceptor and into the NICs through
+// their reliability knobs.
+//
+// Everything is driven by the simulator clock and one split of the cluster
+// RNG, so a (workload, scenario, seed) triple replays byte-identically —
+// the property the determinism tests pin down. The plane itself only decides
+// message fates and fires hooks; recovery is the consumers' job: the NIC's
+// RC engine retransmits on timeout/NAK, the ScaleRPC client reconnects after
+// a QP error, and the ScaleRPC server evicts clients that stop responding.
+package faults
+
+import (
+	"scalerpc/internal/fabric"
+	"scalerpc/internal/nic"
+	"scalerpc/internal/sim"
+	"scalerpc/internal/stats"
+	"scalerpc/internal/telemetry"
+)
+
+// PlaneStats counts injected faults (not their downstream effects — those
+// show up in the NIC and transport counters).
+type PlaneStats struct {
+	Drops    uint64 // messages dropped by link-fault rules
+	Corrupts uint64
+	Dups     uint64
+	Delays   uint64
+
+	LinkDownDrops uint64 // messages dropped because an endpoint was down
+	Flaps         uint64
+	Crashes       uint64
+	Restarts      uint64
+	Events        uint64
+}
+
+// Plane executes one Scenario against one cluster.
+type Plane struct {
+	env   *sim.Env
+	sc    *Scenario
+	rng   *stats.RNG
+	Stats PlaneStats
+
+	// flapDepth counts overlapping down-windows per node; dead marks
+	// crashed (and not yet restarted) nodes.
+	flapDepth map[int]int
+	dead      map[int]bool
+
+	onCrash   []func(node int)
+	onRestart []func(node int)
+	onEvent   map[string][]func(Event)
+}
+
+// New builds a plane and schedules the scenario's timed entries on env.
+// Call before Env.Run; hooks registered afterwards (OnCrash etc.) still
+// fire, since dispatch reads the hook lists at event time.
+func New(env *sim.Env, sc *Scenario, rng *stats.RNG) *Plane {
+	p := &Plane{
+		env:       env,
+		sc:        sc,
+		rng:       rng,
+		flapDepth: make(map[int]int),
+		dead:      make(map[int]bool),
+		onEvent:   make(map[string][]func(Event)),
+	}
+	p.schedule()
+	return p
+}
+
+// Scenario returns the schedule this plane executes.
+func (p *Plane) Scenario() *Scenario { return p.sc }
+
+// at schedules fn at absolute virtual time t (clamped to now).
+func (p *Plane) at(t int64, fn func()) {
+	delay := sim.Time(t) - p.env.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	p.env.At(sim.Duration(delay), fn)
+}
+
+func (p *Plane) schedule() {
+	for _, fl := range p.sc.Flaps {
+		fl := fl
+		p.at(fl.At, func() {
+			p.Stats.Flaps++
+			p.flapDepth[fl.Node]++
+		})
+		p.at(fl.At+fl.DownNs, func() { p.flapDepth[fl.Node]-- })
+	}
+	for _, cr := range p.sc.Crashes {
+		cr := cr
+		p.at(cr.At, func() { p.crash(cr.Node) })
+		if cr.RestartAfterNs > 0 {
+			p.at(cr.At+cr.RestartAfterNs, func() { p.restart(cr.Node) })
+		}
+	}
+	for _, ev := range p.sc.Events {
+		ev := ev
+		p.at(ev.At, func() {
+			p.Stats.Events++
+			for _, fn := range p.onEvent[ev.Kind] {
+				fn(ev)
+			}
+		})
+	}
+}
+
+func (p *Plane) crash(node int) {
+	if p.dead[node] {
+		return
+	}
+	p.dead[node] = true
+	p.Stats.Crashes++
+	for _, fn := range p.onCrash {
+		fn(node)
+	}
+}
+
+func (p *Plane) restart(node int) {
+	if !p.dead[node] {
+		return
+	}
+	delete(p.dead, node)
+	p.Stats.Restarts++
+	for _, fn := range p.onRestart {
+		fn(node)
+	}
+}
+
+// CrashNode kills a node immediately, outside any scenario schedule (tests
+// and interactive experiments).
+func (p *Plane) CrashNode(node int) { p.crash(node) }
+
+// RestartNode revives a previously crashed node.
+func (p *Plane) RestartNode(node int) { p.restart(node) }
+
+// NodeDown reports whether the node is currently unreachable (crashed or
+// inside a flap window).
+func (p *Plane) NodeDown(node int) bool {
+	return p.dead[node] || p.flapDepth[node] > 0
+}
+
+// OnCrash registers a hook fired when a node crashes (consumers pause the
+// node's processes, invalidate its registrations, fail its QPs).
+func (p *Plane) OnCrash(fn func(node int)) { p.onCrash = append(p.onCrash, fn) }
+
+// OnRestart registers a hook fired when a crashed node comes back.
+func (p *Plane) OnRestart(fn func(node int)) { p.onRestart = append(p.onRestart, fn) }
+
+// OnEvent binds behaviour to a named scenario event kind.
+func (p *Plane) OnEvent(kind string, fn func(Event)) {
+	p.onEvent[kind] = append(p.onEvent[kind], fn)
+}
+
+// Install points the fabric's interceptor at this plane.
+func (p *Plane) Install(fab *fabric.Fabric) { fab.SetInterceptor(p.intercept) }
+
+// intercept decides one message's fate. Down endpoints drop everything;
+// otherwise the first matching link rule draws the dice. All randomness
+// comes from the plane's RNG in fabric call order, which the single-threaded
+// simulator makes deterministic.
+func (p *Plane) intercept(msg *fabric.Message) fabric.Verdict {
+	if p.NodeDown(msg.Src) || p.NodeDown(msg.Dst) {
+		p.Stats.LinkDownDrops++
+		return fabric.Verdict{Drop: true}
+	}
+	now := int64(p.env.Now())
+	for i := range p.sc.Links {
+		lf := &p.sc.Links[i]
+		if !lf.matches(msg.Src, msg.Dst, now) {
+			continue
+		}
+		var v fabric.Verdict
+		if lf.DropRate > 0 && p.rng.Float64() < lf.DropRate {
+			p.Stats.Drops++
+			v.Drop = true
+			return v
+		}
+		if lf.CorruptRate > 0 && p.rng.Float64() < lf.CorruptRate {
+			p.Stats.Corrupts++
+			v.Corrupt = true
+		}
+		if lf.DupRate > 0 && p.rng.Float64() < lf.DupRate {
+			p.Stats.Dups++
+			v.Duplicate = true
+		}
+		if lf.DelayNs > 0 && (lf.DelayRate <= 0 || lf.DelayRate >= 1 || p.rng.Float64() < lf.DelayRate) {
+			p.Stats.Delays++
+			v.ExtraDelay = sim.Duration(lf.DelayNs)
+		}
+		return v
+	}
+	return fabric.Verdict{}
+}
+
+// TuneNIC applies the scenario's reliability overrides to a NIC config. The
+// lossless default disables the requester retransmit timer, which would turn
+// every injected drop of a window-final packet into a hang, so a plane
+// always enables it — 20µs unless the scenario says otherwise.
+func (p *Plane) TuneNIC(cfg *nic.Config) {
+	t := p.sc.NIC
+	if t.RetransmitTimeoutNs > 0 {
+		cfg.RetransmitTimeout = sim.Duration(t.RetransmitTimeoutNs)
+	} else if cfg.RetransmitTimeout <= 0 {
+		cfg.RetransmitTimeout = 20 * sim.Microsecond
+	}
+	if t.RetryCount > 0 {
+		cfg.RetryCount = t.RetryCount
+	}
+	if t.RNRTimeoutNs > 0 {
+		cfg.RNRTimeout = sim.Duration(t.RNRTimeoutNs)
+	}
+	if t.RNRRetryCount > 0 {
+		cfg.RNRRetryCount = t.RNRRetryCount
+	}
+}
+
+// Register exposes the plane's counters under the given scope (conventionally
+// "faults", giving faults.injected.drops etc. in -metrics dumps).
+func (p *Plane) Register(sc telemetry.Scope) {
+	sc.CounterVar("injected.drops", &p.Stats.Drops)
+	sc.CounterVar("injected.corrupts", &p.Stats.Corrupts)
+	sc.CounterVar("injected.dups", &p.Stats.Dups)
+	sc.CounterVar("injected.delays", &p.Stats.Delays)
+	sc.CounterVar("link.down_drops", &p.Stats.LinkDownDrops)
+	sc.CounterVar("flaps", &p.Stats.Flaps)
+	sc.CounterVar("crashes", &p.Stats.Crashes)
+	sc.CounterVar("restarts", &p.Stats.Restarts)
+	sc.CounterVar("events", &p.Stats.Events)
+}

@@ -1,0 +1,298 @@
+package faults_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"scalerpc/internal/cluster"
+	"scalerpc/internal/fabric"
+	"scalerpc/internal/faults"
+	"scalerpc/internal/memory"
+	"scalerpc/internal/nic"
+	"scalerpc/internal/sim"
+	"scalerpc/internal/stats"
+)
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := &faults.Scenario{
+		Name: "kitchen-sink",
+		Seed: 99,
+		Links: []faults.LinkFault{
+			{Src: 0, Dst: 2, From: 1000, Until: 9000, DropRate: 0.01, CorruptRate: 0.002},
+			{Src: -1, Dst: -1, DupRate: 0.005, DelayRate: 0.1, DelayNs: 3000},
+		},
+		Flaps:   []faults.Flap{{Node: 1, At: 5000, DownNs: 2000}},
+		Crashes: []faults.Crash{{Node: 2, At: 7000, RestartAfterNs: 4000}},
+		Events:  []faults.Event{{Kind: "mr-invalidate", Node: 1, At: 6000}},
+		NIC:     faults.NICTuning{RetransmitTimeoutNs: 10000, RetryCount: 5},
+	}
+	back, err := faults.ParseScenario(sc.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc, back) {
+		t.Fatalf("round trip mutated the scenario:\n%+v\nvs\n%+v", sc, back)
+	}
+}
+
+func TestValidateRejectsBrokenScenarios(t *testing.T) {
+	bad := []*faults.Scenario{
+		{Links: []faults.LinkFault{{Src: -1, Dst: -1, DropRate: 1.5}}},
+		{Links: []faults.LinkFault{{Src: -1, Dst: -1, CorruptRate: -0.1}}},
+		{Links: []faults.LinkFault{{Src: -1, Dst: -1, From: -5}}},
+		{Flaps: []faults.Flap{{Node: 0, At: 100}}}, // down_ns missing
+		{Crashes: []faults.Crash{{Node: 0, At: -1}}},
+		{Events: []faults.Event{{At: 100}}}, // kind missing
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("scenario %d validated but should not have", i)
+		}
+	}
+	if _, err := faults.ParseScenario([]byte(`{"links":[{"src":-1,"dst":-1,"drop_rate":2}]}`)); err == nil {
+		t.Error("ParseScenario accepted an out-of-range rate")
+	}
+	if _, err := faults.ParseScenario([]byte(`not json`)); err == nil {
+		t.Error("ParseScenario accepted garbage")
+	}
+	if err := faults.DropAll("ok", 0.02).Validate(); err != nil {
+		t.Errorf("DropAll scenario invalid: %v", err)
+	}
+}
+
+// TestSameSeedSameFates pins the determinism contract: two planes built from
+// the same (scenario, seed) over identical traffic must make identical
+// per-message decisions, down to delivery times.
+func TestSameSeedSameFates(t *testing.T) {
+	sc := &faults.Scenario{
+		Name: "dice",
+		Links: []faults.LinkFault{{
+			Src: -1, Dst: -1,
+			DropRate: 0.3, CorruptRate: 0.1, DupRate: 0.2, DelayRate: 0.1, DelayNs: 2000,
+		}},
+	}
+	type delivery struct {
+		at      sim.Time
+		payload interface{}
+	}
+	run := func() (faults.PlaneStats, []delivery) {
+		env := sim.NewEnv()
+		fab := fabric.New(env, fabric.DefaultConfig(), 2)
+		p := faults.New(env, sc, stats.NewRNG(42))
+		p.Install(fab)
+		var got []delivery
+		fab.Port(1).OnDeliver(func(m *fabric.Message) {
+			got = append(got, delivery{at: env.Now(), payload: m.Payload})
+		})
+		for i := 0; i < 400; i++ {
+			i := i
+			env.At(sim.Duration(i)*100, func() {
+				fab.Send(&fabric.Message{Src: 0, Dst: 1, Bytes: 64 + i%512, Payload: i})
+			})
+		}
+		env.Run()
+		return p.Stats, got
+	}
+	s1, d1 := run()
+	s2, d2 := run()
+	if s1 != s2 {
+		t.Fatalf("same seed, different fault stats:\n%+v\nvs\n%+v", s1, s2)
+	}
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatalf("same seed, different deliveries: %d vs %d messages", len(d1), len(d2))
+	}
+	// The rates are high enough that every fault kind must have fired.
+	if s1.Drops == 0 || s1.Corrupts == 0 || s1.Dups == 0 || s1.Delays == 0 {
+		t.Fatalf("a fault kind never fired: %+v", s1)
+	}
+	// Drops and corruptions must actually reduce deliveries (dups add some
+	// back, but 30% drop + 10% corrupt dominates 20% dup).
+	if len(d1) >= 400 {
+		t.Fatalf("%d deliveries out of 400 sends despite drops", len(d1))
+	}
+}
+
+func TestFlapWindowBlocksTraffic(t *testing.T) {
+	sc := &faults.Scenario{
+		Name:  "flap",
+		Flaps: []faults.Flap{{Node: 1, At: 10_000, DownNs: 10_000}},
+	}
+	env := sim.NewEnv()
+	fab := fabric.New(env, fabric.DefaultConfig(), 2)
+	p := faults.New(env, sc, stats.NewRNG(1))
+	p.Install(fab)
+	delivered := 0
+	fab.Port(1).OnDeliver(func(*fabric.Message) { delivered++ })
+	probe := func(at sim.Duration, wantDown bool) {
+		env.At(at, func() {
+			if p.NodeDown(1) != wantDown {
+				t.Errorf("NodeDown(1) at %d = %v, want %v", at, !wantDown, wantDown)
+			}
+			fab.Send(&fabric.Message{Src: 0, Dst: 1, Bytes: 32})
+		})
+	}
+	probe(5_000, false)  // before the flap
+	probe(15_000, true)  // inside the window
+	probe(25_000, false) // after recovery
+	env.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered = %d, want 2 (the in-flap send is dropped)", delivered)
+	}
+	if p.Stats.Flaps != 1 || p.Stats.LinkDownDrops != 1 {
+		t.Fatalf("stats = %+v, want 1 flap and 1 down-drop", p.Stats)
+	}
+}
+
+func TestCrashRestartSchedulingAndHooks(t *testing.T) {
+	sc := &faults.Scenario{
+		Name:    "crash",
+		Crashes: []faults.Crash{{Node: 2, At: 1_000, RestartAfterNs: 2_000}},
+	}
+	env := sim.NewEnv()
+	p := faults.New(env, sc, stats.NewRNG(1))
+	var crashedAt, restartedAt sim.Time
+	var crashedNode int
+	p.OnCrash(func(node int) { crashedNode, crashedAt = node, env.Now() })
+	p.OnRestart(func(node int) { restartedAt = env.Now() })
+	env.At(1_500, func() {
+		if !p.NodeDown(2) {
+			t.Error("node 2 not down mid-crash")
+		}
+	})
+	env.Run()
+	if crashedNode != 2 || crashedAt != 1_000 {
+		t.Fatalf("crash hook: node %d at %d, want node 2 at 1000", crashedNode, crashedAt)
+	}
+	if restartedAt != 3_000 {
+		t.Fatalf("restart at %d, want 3000", restartedAt)
+	}
+	if p.NodeDown(2) {
+		t.Fatal("node 2 still down after restart")
+	}
+	if p.Stats.Crashes != 1 || p.Stats.Restarts != 1 {
+		t.Fatalf("stats = %+v", p.Stats)
+	}
+	// Manual kills are idempotent.
+	p.CrashNode(2)
+	p.CrashNode(2)
+	if p.Stats.Crashes != 2 || !p.NodeDown(2) {
+		t.Fatalf("manual crash: stats = %+v, down = %v", p.Stats, p.NodeDown(2))
+	}
+	p.RestartNode(2)
+	p.RestartNode(2)
+	if p.Stats.Restarts != 2 || p.NodeDown(2) {
+		t.Fatalf("manual restart: stats = %+v", p.Stats)
+	}
+}
+
+func TestTuneNICEnablesTimerAndAppliesOverrides(t *testing.T) {
+	env := sim.NewEnv()
+	p := faults.New(env, &faults.Scenario{Name: "defaults"}, stats.NewRNG(1))
+	var cfg nic.Config
+	p.TuneNIC(&cfg)
+	if cfg.RetransmitTimeout != 20*sim.Microsecond {
+		t.Fatalf("default RetransmitTimeout = %d, want 20µs", cfg.RetransmitTimeout)
+	}
+	p2 := faults.New(env, &faults.Scenario{
+		Name: "tuned",
+		NIC:  faults.NICTuning{RetransmitTimeoutNs: 5000, RetryCount: 3, RNRTimeoutNs: 4000, RNRRetryCount: 2},
+	}, stats.NewRNG(1))
+	var cfg2 nic.Config
+	p2.TuneNIC(&cfg2)
+	if cfg2.RetransmitTimeout != 5000 || cfg2.RetryCount != 3 ||
+		cfg2.RNRTimeout != 4000 || cfg2.RNRRetryCount != 2 {
+		t.Fatalf("overrides not applied: %+v", cfg2)
+	}
+}
+
+// TestMRInvalidateEventFullCircle binds the stock "mr-invalidate" event kind
+// to an actual deregistration on a live cluster: writes before the event
+// land, writes after fail with a remote access error — the fault plane
+// driving a real consumer through virtual time.
+func TestMRInvalidateEventFullCircle(t *testing.T) {
+	c := cluster.New(cluster.Default(2))
+	defer c.Close()
+	sc := &faults.Scenario{
+		Name:   "mr",
+		Events: []faults.Event{{Kind: "mr-invalidate", Node: 1, At: 20_000}},
+	}
+	p := c.InstallFaults(sc)
+	a, b := c.Hosts[0], c.Hosts[1]
+	cq := a.NIC.CreateCQ()
+	qa := a.NIC.CreateQP(nic.RC, cq, cq)
+	cqB := b.NIC.CreateCQ()
+	qb := b.NIC.CreateQP(nic.RC, cqB, cqB)
+	nic.Connect(qa, qb)
+	src := a.Mem.Register(64, memory.PageSize4K, memory.LocalWrite)
+	dst := b.Mem.Register(64, memory.PageSize4K, memory.LocalWrite|memory.RemoteWrite)
+	p.OnEvent("mr-invalidate", func(ev faults.Event) {
+		if ev.Node != 1 {
+			t.Errorf("event node = %d, want 1", ev.Node)
+		}
+		b.Mem.Deregister(dst)
+	})
+	write := func(at sim.Duration, wrid uint64) {
+		c.Env.At(at, func() {
+			qa.PostSend(nic.SendWR{WRID: wrid, Op: nic.OpWrite, Signaled: true,
+				LKey: src.LKey, LAddr: src.Base, Len: 8,
+				RKey: dst.RKey, RAddr: dst.Base})
+		})
+	}
+	write(0, 1)      // lands
+	write(30_000, 2) // region gone → remote access error
+	c.Env.Run()
+	cqes := cq.Poll(8)
+	if len(cqes) != 2 {
+		t.Fatalf("completions = %d, want 2", len(cqes))
+	}
+	if cqes[0].WRID != 1 || cqes[0].Status != nic.CQOK {
+		t.Fatalf("pre-event write: %+v, want CQOK", cqes[0])
+	}
+	if cqes[1].WRID != 2 || cqes[1].Status != nic.CQRemoteAccessError {
+		t.Fatalf("post-event write: %+v, want CQRemoteAccessError", cqes[1])
+	}
+	if p.Stats.Events != 1 {
+		t.Fatalf("Events = %d, want 1", p.Stats.Events)
+	}
+}
+
+// TestRegisterExposesCounters checks the telemetry naming contract used by
+// the -metrics dumps and the sampler patterns.
+func TestRegisterExposesCounters(t *testing.T) {
+	c := cluster.New(cluster.Default(2))
+	defer c.Close()
+	c.InstallFaults(faults.DropAll("d", 0.3))
+	a, b := c.Hosts[0], c.Hosts[1]
+	cq := a.NIC.CreateCQ()
+	qa := a.NIC.CreateQP(nic.RC, cq, cq)
+	cqB := b.NIC.CreateCQ()
+	qb := b.NIC.CreateQP(nic.RC, cqB, cqB)
+	nic.Connect(qa, qb)
+	src := a.Mem.Register(64, memory.PageSize4K, memory.LocalWrite)
+	dst := b.Mem.Register(64, memory.PageSize4K, memory.LocalWrite|memory.RemoteWrite)
+	for i := 0; i < 20; i++ {
+		qa.PostSend(nic.SendWR{Op: nic.OpWrite, Signaled: true,
+			LKey: src.LKey, LAddr: src.Base, Len: 8,
+			RKey: dst.RKey, RAddr: dst.Base})
+	}
+	c.Env.Run()
+	raw, err := json.Marshal(c.Telemetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := string(raw)
+	for _, name := range []string{
+		"faults.injected.drops", "faults.injected.corrupts", "faults.injected.dups",
+		"faults.injected.delays", "faults.link.down_drops", "faults.flaps",
+		"faults.crashes", "faults.restarts", "faults.events",
+	} {
+		if !strings.Contains(dump, name) {
+			t.Fatalf("registry dump missing %q", name)
+		}
+	}
+	if c.Faults.Stats.Drops == 0 {
+		t.Fatal("no drops at 30% rate over 20 writes")
+	}
+}

@@ -1,0 +1,193 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// LinkFault injects probabilistic per-message faults on matching directed
+// links during a virtual-time window. The first matching rule decides a
+// message's fate, so order more specific rules before catch-alls.
+type LinkFault struct {
+	// Src/Dst select the directed link by fabric port; -1 matches any port.
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+
+	// From/Until bound the active window in virtual nanoseconds since the
+	// start of the run; Until == 0 means "until the end of time".
+	From  int64 `json:"from_ns,omitempty"`
+	Until int64 `json:"until_ns,omitempty"`
+
+	// DropRate is the probability a matched message vanishes at the switch.
+	DropRate float64 `json:"drop_rate,omitempty"`
+	// CorruptRate is the probability a matched message arrives with a bad
+	// ICRC (consumes full path bandwidth, then the receiver discards it).
+	CorruptRate float64 `json:"corrupt_rate,omitempty"`
+	// DupRate is the probability a matched message is delivered twice.
+	DupRate float64 `json:"dup_rate,omitempty"`
+	// DelayNs adds a latency spike to a DelayRate fraction of matched
+	// messages (DelayRate 0 with DelayNs > 0 means every message).
+	DelayRate float64 `json:"delay_rate,omitempty"`
+	DelayNs   int64   `json:"delay_ns,omitempty"`
+}
+
+// matches reports whether the rule applies to a message on src→dst at time
+// now (virtual ns).
+func (lf *LinkFault) matches(src, dst int, now int64) bool {
+	if lf.Src >= 0 && lf.Src != src {
+		return false
+	}
+	if lf.Dst >= 0 && lf.Dst != dst {
+		return false
+	}
+	if now < lf.From {
+		return false
+	}
+	if lf.Until > 0 && now >= lf.Until {
+		return false
+	}
+	return true
+}
+
+// Flap takes a node's link fully down for a window: every message to or from
+// the node is dropped at the switch (both directions, modelling a port or
+// cable failure), then service resumes.
+type Flap struct {
+	Node   int   `json:"node"`
+	At     int64 `json:"at_ns"`
+	DownNs int64 `json:"down_ns"`
+}
+
+// Crash kills a node at At: its link goes down and the registered OnCrash
+// hooks fire (consumers pause the node's processes and invalidate its
+// memory registrations). RestartAfterNs > 0 brings the node back after that
+// long — a pause/resume; 0 leaves it dead for the rest of the run.
+type Crash struct {
+	Node           int   `json:"node"`
+	At             int64 `json:"at_ns"`
+	RestartAfterNs int64 `json:"restart_after_ns,omitempty"`
+}
+
+// Event is a named scheduled hook with no built-in semantics: consumers bind
+// behaviour with Plane.OnEvent. The stock kinds used by tests are
+// "mr-invalidate" (deregister a node's exposed memory region, so remote
+// accesses start failing with access errors) and anything experiment code
+// invents.
+type Event struct {
+	Kind string `json:"kind"`
+	Node int    `json:"node"`
+	At   int64  `json:"at_ns"`
+}
+
+// NICTuning overrides the NIC reliability knobs for a faulty run. Zero
+// fields keep the defaults TuneNIC picks (the stock lossless configuration
+// disables the retransmit timer entirely, which would turn every lost
+// packet into a hang).
+type NICTuning struct {
+	RetransmitTimeoutNs int64 `json:"retransmit_timeout_ns,omitempty"`
+	RetryCount          int   `json:"retry_count,omitempty"`
+	RNRTimeoutNs        int64 `json:"rnr_timeout_ns,omitempty"`
+	RNRRetryCount       int   `json:"rnr_retry_count,omitempty"`
+}
+
+// Scenario is a complete, serializable fault schedule. Driven entirely by
+// virtual time and a seeded RNG, the same scenario over the same workload
+// produces byte-identical runs.
+type Scenario struct {
+	Name string `json:"name"`
+	// Seed, when non-zero, seeds the plane's RNG directly; 0 derives it
+	// from the cluster seed, so the whole run is still one seed.
+	Seed    uint64      `json:"seed,omitempty"`
+	Links   []LinkFault `json:"links,omitempty"`
+	Flaps   []Flap      `json:"flaps,omitempty"`
+	Crashes []Crash     `json:"crashes,omitempty"`
+	Events  []Event     `json:"events,omitempty"`
+	NIC     NICTuning   `json:"nic,omitempty"`
+}
+
+// DropAll returns a minimal scenario dropping every message with the given
+// probability on every link — the workhorse for loss-rate sweeps.
+func DropAll(name string, rate float64) *Scenario {
+	return &Scenario{
+		Name:  name,
+		Links: []LinkFault{{Src: -1, Dst: -1, DropRate: rate}},
+	}
+}
+
+// ParseScenario decodes and validates a JSON scenario.
+func ParseScenario(data []byte) (*Scenario, error) {
+	var sc Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return nil, fmt.Errorf("faults: parse scenario: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// LoadScenario reads a scenario from a JSON file.
+func LoadScenario(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faults: %w", err)
+	}
+	sc, err := ParseScenario(data)
+	if err != nil {
+		return nil, fmt.Errorf("faults: %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// Validate checks rates and times for sanity.
+func (s *Scenario) Validate() error {
+	checkRate := func(what string, r float64) error {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("faults: %s %g outside [0,1]", what, r)
+		}
+		return nil
+	}
+	for i, lf := range s.Links {
+		for what, r := range map[string]float64{
+			"drop_rate": lf.DropRate, "corrupt_rate": lf.CorruptRate,
+			"dup_rate": lf.DupRate, "delay_rate": lf.DelayRate,
+		} {
+			if err := checkRate(fmt.Sprintf("links[%d].%s", i, what), r); err != nil {
+				return err
+			}
+		}
+		if lf.From < 0 || lf.Until < 0 || lf.DelayNs < 0 {
+			return fmt.Errorf("faults: links[%d] has a negative time", i)
+		}
+	}
+	for i, fl := range s.Flaps {
+		if fl.At < 0 || fl.DownNs <= 0 {
+			return fmt.Errorf("faults: flaps[%d] needs at_ns >= 0 and down_ns > 0", i)
+		}
+	}
+	for i, cr := range s.Crashes {
+		if cr.At < 0 || cr.RestartAfterNs < 0 {
+			return fmt.Errorf("faults: crashes[%d] has a negative time", i)
+		}
+	}
+	for i, ev := range s.Events {
+		if ev.Kind == "" {
+			return fmt.Errorf("faults: events[%d] missing kind", i)
+		}
+		if ev.At < 0 {
+			return fmt.Errorf("faults: events[%d] has a negative time", i)
+		}
+	}
+	return nil
+}
+
+// JSON renders the scenario back out (stable field order via struct tags),
+// handy for writing example files.
+func (s *Scenario) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic(err) // no unmarshalable types in Scenario
+	}
+	return append(b, '\n')
+}

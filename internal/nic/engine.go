@@ -22,6 +22,7 @@ const (
 	pktAtomicResp
 	pktAck
 	pktNak
+	pktRnrNak
 )
 
 func (o pktOp) isData() bool {
@@ -99,6 +100,17 @@ func (n *NIC) outStep() {
 func (n *NIC) processOut(job outJob) (occ sim.Duration, extraLat sim.Duration, act func()) {
 	qp := job.qp
 	wr := job.wr
+	if qp.err != nil {
+		// The QP errored while this WQE sat in the engine queue. Fresh posts
+		// flush with an error CQE; retransmissions were already flushed when
+		// the QP entered the error state, so they vanish silently.
+		if !job.retrans && qp.SendCQ != nil {
+			return n.Cfg.OutboundBaseCost, 0, func() {
+				qp.SendCQ.push(CQE{WRID: wr.WRID, QPN: qp.QPN, Op: wr.Op, Status: CQFlushError})
+			}
+		}
+		return n.Cfg.OutboundBaseCost, 0, nil
+	}
 	n.Stats.OutWQEs++
 
 	occ = n.Cfg.OutboundBaseCost
@@ -211,7 +223,8 @@ func (n *NIC) processOut(job outJob) (occ sim.Duration, extraLat sim.Duration, a
 			pkt.psn = qp.sendPSN
 			qp.sendPSN++
 			needResp := wr.Op == OpRead || wr.Op == OpCompSwap || wr.Op == OpFetchAdd
-			qp.inflight = append(qp.inflight, inflightWR{psn: pkt.psn, wr: wr, needResp: needResp})
+			qp.inflight = append(qp.inflight, inflightWR{psn: pkt.psn, wr: wr, needResp: needResp, inline: job.inlineData})
+			n.armTimer(qp)
 		}
 	}
 
@@ -313,13 +326,23 @@ func (n *NIC) sendCtl(dstNIC int, pkt *packet, wireBytes int) {
 	n.fab.Send(&fabric.Message{Src: n.id, Dst: dstNIC, Bytes: wireBytes, Payload: pkt})
 }
 
-// rcAccept performs responder-side PSN sequencing for an RC data packet.
-// It returns false if the packet must be dropped (gap or duplicate).
-func (n *NIC) rcAccept(qp *QP, pkt *packet) bool {
+// rcCheck outcomes: the packet is next in sequence (accepted, PSN
+// advanced), a duplicate of an already-delivered one, or ahead of a gap.
+const (
+	rcAccepted = iota
+	rcDuplicate
+	rcGap
+)
+
+// rcCheck performs responder-side PSN sequencing for an RC data packet.
+// Gaps are NAKed once per episode here; duplicate handling is op-specific
+// (writes/sends re-ACK, reads re-execute, atomics replay) and left to the
+// caller.
+func (n *NIC) rcCheck(qp *QP, pkt *packet) int {
 	if pkt.psn == qp.expectPSN {
 		qp.expectPSN++
 		qp.nakSent = false
-		return true
+		return rcAccepted
 	}
 	if pkt.psn > qp.expectPSN {
 		// Sequence gap: drop and NAK once per gap.
@@ -330,13 +353,17 @@ func (n *NIC) rcAccept(qp *QP, pkt *packet) bool {
 				op: pktNak, transport: RC, dstQPN: pkt.srcQPN, psn: qp.expectPSN,
 			}, 0)
 		}
-		return false
+		return rcGap
 	}
-	// Duplicate of an already-delivered packet: re-ACK, drop.
+	return rcDuplicate
+}
+
+// reAck acknowledges a duplicate of an already-delivered packet so the
+// requester (whose ACK was lost) can advance its inflight window.
+func (n *NIC) reAck(qp *QP, pkt *packet) {
 	n.sendCtl(pkt.srcNIC, &packet{
 		op: pktAck, transport: RC, dstQPN: pkt.srcQPN, psn: pkt.psn,
 	}, 0)
-	return false
 }
 
 // processIn handles one arrived packet, returning engine occupancy and the
@@ -355,8 +382,14 @@ func (n *NIC) processIn(pkt *packet) (occ sim.Duration, act func()) {
 		if qp == nil {
 			return occ, nil
 		}
-		if pkt.transport == RC && !n.rcAccept(qp, pkt) {
-			return occ, nil
+		if pkt.transport == RC {
+			switch n.rcCheck(qp, pkt) {
+			case rcGap:
+				return occ, nil
+			case rcDuplicate:
+				n.reAck(qp, pkt)
+				return occ, nil
+			}
 		}
 		reg, dst, err := n.mem.TranslateRemote(pkt.rkey, pkt.raddr, len(pkt.data), true)
 		if err != nil {
@@ -404,15 +437,28 @@ func (n *NIC) processIn(pkt *packet) (occ sim.Duration, act func()) {
 		if qp == nil {
 			return occ, nil
 		}
-		if pkt.transport == RC && !n.rcAccept(qp, pkt) {
-			return occ, nil
+		if pkt.transport == RC {
+			if pkt.psn == qp.expectPSN && qp.RecvQueueLen() == 0 {
+				// Receiver not ready: leave the PSN window untouched and
+				// NAK so the requester backs off and retransmits (real RC
+				// never discards an in-sequence send silently).
+				n.Stats.RNRDrops++
+				n.sendCtl(pkt.srcNIC, &packet{
+					op: pktRnrNak, transport: RC, dstQPN: pkt.srcQPN, psn: pkt.psn,
+				}, 0)
+				return occ, nil
+			}
+			switch n.rcCheck(qp, pkt) {
+			case rcGap:
+				return occ, nil
+			case rcDuplicate:
+				n.reAck(qp, pkt)
+				return occ, nil
+			}
 		}
 		rwr, ok := qp.popRecv()
 		if !ok {
 			n.Stats.RNRDrops++
-			if pkt.transport == RC {
-				qp.err = n.errorf("RC send with no posted recv (RNR)")
-			}
 			return occ, nil
 		}
 		// Fetch the recv WQE descriptor from host memory.
@@ -452,8 +498,12 @@ func (n *NIC) processIn(pkt *packet) (occ sim.Duration, act func()) {
 		if qp == nil {
 			return occ, nil
 		}
-		if pkt.transport == RC && !n.rcAccept(qp, pkt) {
-			return occ, nil
+		if pkt.transport == RC {
+			// Duplicate READs (their response was lost) are re-executed:
+			// reads are idempotent and the requester still needs the data.
+			if n.rcCheck(qp, pkt) == rcGap {
+				return occ, nil
+			}
 		}
 		reg, src, err := n.mem.TranslateRemote(pkt.rkey, pkt.raddr, pkt.size, false)
 		if err != nil {
@@ -478,8 +528,23 @@ func (n *NIC) processIn(pkt *packet) (occ sim.Duration, act func()) {
 		if qp == nil {
 			return occ, nil
 		}
-		if pkt.transport == RC && !n.rcAccept(qp, pkt) {
-			return occ, nil
+		if pkt.transport == RC {
+			switch n.rcCheck(qp, pkt) {
+			case rcGap:
+				return occ, nil
+			case rcDuplicate:
+				// Atomics are not idempotent: replay the cached result
+				// instead of re-executing.
+				if old, ok := qp.replayAtomic(pkt.psn); ok {
+					return occ, func() {
+						n.sendCtl(pkt.srcNIC, &packet{
+							op: pktAtomicResp, transport: pkt.transport, dstQPN: pkt.srcQPN,
+							psn: pkt.psn, wrID: pkt.wrID, signaled: pkt.signaled, compare: old,
+						}, 8)
+					}
+				}
+				return occ, nil
+			}
 		}
 		reg, buf, err := n.mem.TranslateRemote(pkt.rkey, pkt.raddr, 8, true)
 		if err != nil {
@@ -500,6 +565,9 @@ func (n *NIC) processIn(pkt *packet) (occ sim.Duration, act func()) {
 			_, allocs := n.llc.DMAWrite(pkt.raddr, 8)
 			n.bus.RecordDeviceWrite(pkt.raddr, 8, n.llc.LineSize(), allocs)
 			n.wakeWatches(reg.RKey)
+			if pkt.transport == RC {
+				qp.rememberAtomic(pkt.psn, old)
+			}
 			n.sendCtl(pkt.srcNIC, &packet{
 				op: pktAtomicResp, transport: pkt.transport, dstQPN: pkt.srcQPN, psn: pkt.psn,
 				wrID: pkt.wrID, signaled: pkt.signaled, compare: old,
@@ -521,6 +589,14 @@ func (n *NIC) processIn(pkt *packet) (occ sim.Duration, act func()) {
 		}
 		n.touchQPC(pkt.dstQPN)
 		return occ, func() { n.handleNak(qp, pkt) }
+
+	case pktRnrNak:
+		occ = n.Cfg.InboundAckCost
+		if qp == nil {
+			return occ, nil
+		}
+		n.touchQPC(pkt.dstQPN)
+		return occ, func() { n.handleRnrNak(qp, pkt) }
 
 	case pktReadResp, pktAtomicResp:
 		occ = n.Cfg.InboundWriteCost
@@ -572,6 +648,8 @@ func (n *NIC) remoteError(pkt *packet, qp *QP) {
 func (qp *QP) handleAck(pkt *packet) {
 	if pkt.status != CQOK {
 		qp.err = qp.nic.errorf("remote access error on %v (psn %d)", qp.Type, pkt.psn)
+		qp.nic.Stats.QPErrors++
+		qp.cancelTimer()
 		// Complete the offending WQE with an error.
 		if idx := qp.findInflight(pkt.psn); idx >= 0 {
 			wr := qp.inflight[idx].wr
@@ -582,26 +660,33 @@ func (qp *QP) handleAck(pkt *packet) {
 		}
 		return
 	}
+	advanced := false
 	for len(qp.inflight) > 0 {
 		f := qp.inflight[0]
 		if f.psn > pkt.psn || f.needResp {
 			break
 		}
 		qp.inflight = qp.inflight[1:]
+		advanced = true
 		if f.wr.Signaled {
 			qp.SendCQ.push(CQE{WRID: f.wr.WRID, QPN: qp.QPN, Op: f.wr.Op, Status: CQOK, ByteLen: f.wr.Len})
 		}
+	}
+	if advanced {
+		qp.noteProgress()
 	}
 }
 
 // handleResp completes a READ/ATOMIC and everything before it.
 func (qp *QP) handleResp(pkt *packet) {
+	advanced := false
 	for len(qp.inflight) > 0 {
 		f := qp.inflight[0]
 		if f.psn > pkt.psn {
 			break
 		}
 		qp.inflight = qp.inflight[1:]
+		advanced = true
 		if f.psn == pkt.psn {
 			if f.wr.Signaled {
 				op := f.wr.Op
@@ -610,11 +695,14 @@ func (qp *QP) handleResp(pkt *packet) {
 					ByteLen: len(pkt.data), AtomicOld: pkt.compare,
 				})
 			}
-			return
+			break
 		}
 		if f.wr.Signaled {
 			qp.SendCQ.push(CQE{WRID: f.wr.WRID, QPN: qp.QPN, Op: f.wr.Op, Status: CQOK, ByteLen: f.wr.Len})
 		}
+	}
+	if advanced {
+		qp.noteProgress()
 	}
 }
 
@@ -630,19 +718,110 @@ func (qp *QP) findInflight(psn uint64) int {
 
 // handleNak retransmits all inflight WQEs at or after the NAKed psn.
 func (n *NIC) handleNak(qp *QP, pkt *packet) {
+	if qp.err != nil {
+		return
+	}
+	n.retransmitFrom(qp, pkt.psn)
+	qp.cancelTimer()
+	n.armTimer(qp)
+}
+
+// handleRnrNak backs off and replays after the responder reported an empty
+// receive queue. The responder left its PSN window untouched, so the replay
+// starts from the NAKed packet.
+func (n *NIC) handleRnrNak(qp *QP, pkt *packet) {
+	if qp.err != nil {
+		return
+	}
+	n.Stats.RNRNaks++
+	qp.rnrRetries++
+	if qp.rnrRetries > n.Cfg.rnrRetryLimit() {
+		n.enterQPError(qp, n.errorf("RNR retry count exceeded on QPN %d (peer recv queue empty)", qp.QPN), CQRNRRetryExceeded)
+		return
+	}
+	qp.cancelTimer() // hold the retransmit timeout during the backoff
+	psn := pkt.psn
+	gen := qp.timerGen
+	n.env.At(n.Cfg.rnrTimeout(), func() {
+		if gen != qp.timerGen || qp.err != nil {
+			return
+		}
+		n.retransmitFrom(qp, psn)
+		n.armTimer(qp)
+	})
+}
+
+// retransmitFrom rebuilds outbound jobs for every inflight WQE at or after
+// psn (go-back-N) and queues them ahead of new work, preserving PSN order.
+func (n *NIC) retransmitFrom(qp *QP, psn uint64) {
 	var jobs []outJob
 	for _, f := range qp.inflight {
-		if f.psn >= pkt.psn {
+		if f.psn >= psn {
 			n.Stats.Retransmits++
-			jobs = append(jobs, outJob{qp: qp, wr: f.wr, retrans: true, psn: f.psn})
+			n.Stats.QPRetransmits++
+			jobs = append(jobs, outJob{qp: qp, wr: f.wr, inlineData: f.inline, retrans: true, psn: f.psn})
 		}
 	}
 	if len(jobs) == 0 {
 		return
 	}
-	// Retransmissions go to the front of the queue, preserving their order.
 	rest := append([]outJob{}, n.outQ[n.outHead:]...)
 	n.outQ = append(jobs, rest...)
 	n.outHead = 0
 	n.outKick()
+}
+
+// armTimer schedules the retransmit timeout for the oldest inflight WQE.
+// Disabled unless Config.RetransmitTimeout is positive (the default fabric is
+// lossless, so the timer would only add events). Each arm supersedes any
+// previous timer via the generation counter.
+func (n *NIC) armTimer(qp *QP) {
+	if n.Cfg.RetransmitTimeout <= 0 || qp.err != nil || len(qp.inflight) == 0 {
+		return
+	}
+	qp.timerGen++
+	gen := qp.timerGen
+	n.env.At(n.Cfg.RetransmitTimeout, func() { n.onTimeout(qp, gen) })
+}
+
+// onTimeout fires when the oldest inflight WQE went unacknowledged for a full
+// RetransmitTimeout: go-back-N from the start of the window, or give up and
+// error the QP once the retry budget is spent.
+func (n *NIC) onTimeout(qp *QP, gen uint64) {
+	if gen != qp.timerGen || qp.err != nil || len(qp.inflight) == 0 {
+		return
+	}
+	qp.retries++
+	if qp.retries > n.Cfg.retryLimit() {
+		n.enterQPError(qp, n.errorf("RC retry count exceeded on QPN %d (peer unreachable)", qp.QPN), CQRetryExceeded)
+		return
+	}
+	n.retransmitFrom(qp, qp.inflight[0].psn)
+	n.armTimer(qp)
+}
+
+// enterQPError transitions the QP to the error state: the oldest inflight WQE
+// completes with the given status, the rest flush with CQFlushError, and all
+// further posts are rejected until the QP is recreated.
+func (n *NIC) enterQPError(qp *QP, err error, status CQEStatus) {
+	if qp.err != nil {
+		return
+	}
+	qp.err = err
+	n.Stats.QPErrors++
+	qp.cancelTimer()
+	for i, f := range qp.inflight {
+		st := status
+		if i > 0 {
+			st = CQFlushError
+		}
+		if qp.SendCQ != nil {
+			qp.SendCQ.push(CQE{WRID: f.wr.WRID, QPN: qp.QPN, Op: f.wr.Op, Status: st})
+		}
+	}
+	qp.inflight = nil
+	if n.trace.Enabled {
+		n.trace.Emit(n.env.Now(), "qp_error",
+			telemetry.A("nic", int64(n.id)), telemetry.A("qpn", int64(qp.QPN)))
+	}
 }

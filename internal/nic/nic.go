@@ -84,6 +84,26 @@ type Config struct {
 	// real hardware.
 	CQDepth int
 
+	// RetransmitTimeout enables requester-side timeout retransmission on
+	// RC/DCT QPs: whenever the oldest inflight WQE goes unacknowledged for
+	// this long, every inflight WQE is retransmitted (go-back-N) and the
+	// QP's retry counter increments. Zero (the default) disables the
+	// timer — on a lossless fabric the NAK path alone recovers every gap,
+	// and the fault plane (internal/faults) raises this when it makes the
+	// fabric lossy.
+	RetransmitTimeout sim.Duration
+	// RetryCount is how many consecutive timeouts are tolerated before the
+	// QP enters the error state and flushes its inflight WQEs with
+	// CQRetryExceeded. Zero means the default (7, as in ibverbs).
+	RetryCount int
+	// RNRTimeout is the requester's back-off before retransmitting a send
+	// that drew an RNR NAK (receiver not ready: no posted recv). Zero
+	// means the default (8 µs).
+	RNRTimeout sim.Duration
+	// RNRRetryCount bounds consecutive RNR NAKs before the QP errors with
+	// CQRNRRetryExceeded. Zero means the default (7).
+	RNRRetryCount int
+
 	// StrictLRUCaches switches the on-NIC caches from randomized
 	// replacement (realistic gradual degradation; the default) to strict
 	// LRU (useful in tests asserting exact eviction behaviour).
@@ -112,6 +132,31 @@ func DefaultConfig() Config {
 	}
 }
 
+// retryLimit returns the effective RetryCount (zero selects the ibverbs
+// default of 7).
+func (c Config) retryLimit() int {
+	if c.RetryCount > 0 {
+		return c.RetryCount
+	}
+	return 7
+}
+
+// rnrRetryLimit returns the effective RNRRetryCount (zero → 7).
+func (c Config) rnrRetryLimit() int {
+	if c.RNRRetryCount > 0 {
+		return c.RNRRetryCount
+	}
+	return 7
+}
+
+// rnrTimeout returns the effective RNRTimeout (zero → 8 µs).
+func (c Config) rnrTimeout() sim.Duration {
+	if c.RNRTimeout > 0 {
+		return c.RNRTimeout
+	}
+	return 8 * sim.Microsecond
+}
+
 // Stats counts NIC-level events.
 type Stats struct {
 	OutWQEs    uint64
@@ -126,11 +171,15 @@ type Stats struct {
 	// (ACKs, READ responses) touching the QP context cache.
 	QPCTouchHits   uint64
 	QPCTouchMisses uint64
-	RNRDrops       uint64 // sends arriving with no posted recv (UD)
+	RNRDrops       uint64 // sends arriving with no posted recv (UD/UC drop; RC NAKs instead)
 	UDDrops        uint64 // injected unreliable-datagram losses
-	Retransmits    uint64
-	NAKs           uint64
+	Retransmits    uint64 // retransmitted WQEs, any cause (NAK, timeout, RNR)
+	NAKs           uint64 // sequence-gap NAKs sent (responder side)
 	DCTConnects    uint64 // DCT context switches (connect packets sent)
+	// Per-QP retry machinery (requester side).
+	QPRetransmits uint64 // WQEs retransmitted by the timeout/RNR retry path
+	RNRNaks       uint64 // RNR NAKs received
+	QPErrors      uint64 // QPs that entered the error state
 }
 
 // NIC is one simulated RNIC.
@@ -237,6 +286,9 @@ func (n *NIC) Register(sc telemetry.Scope) {
 	sc.CounterVar("retransmits", &n.Stats.Retransmits)
 	sc.CounterVar("naks", &n.Stats.NAKs)
 	sc.CounterVar("dct.connects", &n.Stats.DCTConnects)
+	sc.CounterVar("qp.retransmits", &n.Stats.QPRetransmits)
+	sc.CounterVar("qp.rnr_naks", &n.Stats.RNRNaks)
+	sc.CounterVar("qp.errors", &n.Stats.QPErrors)
 	n.trace = sc.Trace()
 }
 

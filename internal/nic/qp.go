@@ -122,6 +122,16 @@ const (
 	CQLocalError
 	CQRemoteAccessError
 	CQLengthError
+	// CQRetryExceeded flushes a WQE whose retransmit timer fired more than
+	// Config.RetryCount times with no acknowledgement (the peer is dead or
+	// the link is down); the QP transitions to the error state.
+	CQRetryExceeded
+	// CQRNRRetryExceeded flushes a WQE after the peer answered RNR NAK more
+	// than Config.RNRRetryCount times (its receive queue stayed empty).
+	CQRNRRetryExceeded
+	// CQFlushError flushes a WQE posted before, but processed after, the
+	// QP entered the error state.
+	CQFlushError
 )
 
 // CQE is a completion queue entry.
@@ -212,7 +222,24 @@ type inflightWR struct {
 	psn      uint64
 	wr       SendWR
 	needResp bool // READ/ATOMIC: completes via response, not ACK
+	// inline holds the payload captured at post time for inline WRs, so a
+	// retransmission resends the original bytes even if the source buffer
+	// was reused meanwhile.
+	inline []byte
 }
+
+// atomicEcho caches a recently executed atomic's result so a duplicate
+// request (its response was lost) can be replayed without re-executing the
+// non-idempotent operation — the responder-side "atomic response cache" of
+// real RC hardware.
+type atomicEcho struct {
+	psn uint64
+	old uint64
+}
+
+// atomicEchoCap bounds the per-QP atomic replay history; it comfortably
+// exceeds any inflight window this model produces.
+const atomicEchoCap = 64
 
 // QP is a simulated queue pair.
 type QP struct {
@@ -239,6 +266,17 @@ type QP struct {
 	expectPSN uint64
 	inflight  []inflightWR
 	nakSent   bool
+
+	// Requester-side retry machinery (active when Config.RetransmitTimeout
+	// is positive). timerGen invalidates scheduled timer callbacks: any
+	// progress bumps it, so a stale timeout finds gen mismatched and does
+	// nothing.
+	timerGen   uint64
+	retries    int // consecutive timeouts without progress
+	rnrRetries int // consecutive RNR NAKs without progress
+
+	// Responder-side atomic replay ring (see atomicEcho).
+	atomicHist []atomicEcho
 
 	err error
 }
@@ -387,4 +425,35 @@ func (qp *QP) popRecv() (RecvWR, bool) {
 		qp.recvHead = 0
 	}
 	return wr, true
+}
+
+// rememberAtomic records an executed atomic's old value for duplicate
+// replay.
+func (qp *QP) rememberAtomic(psn, old uint64) {
+	if len(qp.atomicHist) >= atomicEchoCap {
+		qp.atomicHist = qp.atomicHist[1:]
+	}
+	qp.atomicHist = append(qp.atomicHist, atomicEcho{psn: psn, old: old})
+}
+
+// replayAtomic looks up the cached result of an already-executed atomic.
+func (qp *QP) replayAtomic(psn uint64) (uint64, bool) {
+	for _, e := range qp.atomicHist {
+		if e.psn == psn {
+			return e.old, true
+		}
+	}
+	return 0, false
+}
+
+// cancelTimer invalidates any scheduled retransmit timeout.
+func (qp *QP) cancelTimer() { qp.timerGen++ }
+
+// noteProgress resets the retry counters after an acknowledgement advanced
+// the inflight window, and re-arms the timer if work remains outstanding.
+func (qp *QP) noteProgress() {
+	qp.retries = 0
+	qp.rnrRetries = 0
+	qp.cancelTimer()
+	qp.nic.armTimer(qp)
 }

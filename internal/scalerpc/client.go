@@ -80,6 +80,8 @@ type Conn struct {
 	Retries uint64
 	// Switches counts context_switch_events observed.
 	Switches uint64
+	// Reconnects counts connection rebuilds after a QP error.
+	Reconnects uint64
 
 	// trace is the server registry's event sink (always non-nil).
 	trace *telemetry.Trace
@@ -239,9 +241,13 @@ func (c *Conn) flushEndpointEntry(t *host.Thread) {
 	t.PostSend(c.qp, wr)
 }
 
-// Poll drains responses, advances the state machine, and flushes any
-// pending endpoint-entry update.
+// Poll drains responses, advances the state machine, flushes any pending
+// endpoint-entry update, and — after a QP error — rebuilds the connection.
 func (c *Conn) Poll(t *host.Thread, fn func(rpccore.Response)) int {
+	if c.qp.Err() != nil {
+		c.reconnect(t)
+		return 0
+	}
 	c.flushEndpointEntry(t)
 	got := 0
 	switched := false
@@ -352,5 +358,44 @@ func (c *Conn) onContextSwitch(t *host.Thread) {
 		c.flushEndpointEntry(t)
 	}
 }
+
+// reconnect rebuilds the connection after a QP error (timeout/RNR retries
+// exhausted or a remote access error): back off, re-admit through the
+// server, then treat the failure like a context switch — every unanswered
+// request is compacted into the staging area and re-offered in a fresh
+// warmup round, giving the same at-least-once semantics as the switch race.
+// If the link is still down the new QP errors too and the next Poll retries,
+// so the backoff paces reconnect attempts through an outage.
+func (c *Conn) reconnect(t *host.Thread) {
+	if d := c.s.Cfg.ReconnectBackoff; d > 0 {
+		t.P.Sleep(d)
+	}
+	c.s.Reconnect(c)
+	c.Reconnects++
+	c.traceState(StateIdle)
+	if c.pinned {
+		// Pinned clients skip warmup; pick up the (possibly new) reserved
+		// zone and resend in place.
+		cs := c.s.clients[c.id]
+		c.state = StateProcess
+		c.zone = cs.zone
+		c.poolIdx = 0
+		c.pinned = cs.pinned
+		if cs.pinned {
+			return
+		}
+		// Reserved zones were exhausted on readmission; fall back to the
+		// grouped path below.
+		c.state = StateIdle
+	}
+	c.onContextSwitch(t)
+}
+
+// Reconnect forces a teardown and readmission even if the QP has not errored
+// yet. Poll calls the same path automatically after a QP error; consumers
+// that learn of a failure out of band (an application-level timeout, a
+// cluster-membership notification) use this instead of waiting for Poll to
+// notice.
+func (c *Conn) Reconnect(t *host.Thread) { c.reconnect(t) }
 
 var _ rpccore.Conn = (*Conn)(nil)

@@ -63,6 +63,17 @@ type ServerConfig struct {
 	// direction): pinned clients are never context-switched out, trading
 	// a little NIC-cache headroom for RC-level tail latency.
 	ReservedZones int
+	// ProbeSlices is how many consecutive slices a client may go without a
+	// single served request before the scheduler posts a liveness probe (a
+	// 0-byte RC write) on its QP. A dead client's probe exhausts the RC
+	// retry budget and errors the QP, which evicts it at its group's next
+	// switch; an idle-but-alive client absorbs the probe invisibly.
+	// 0 disables probing (dead clients are then only caught when a
+	// response or warmup READ happens to fail).
+	ProbeSlices int
+	// ReconnectBackoff is how long a client waits after finding its QP in
+	// the error state before rebuilding the connection.
+	ReconnectBackoff sim.Duration
 }
 
 // DefaultServerConfig returns the paper's evaluation configuration.
@@ -82,6 +93,8 @@ func DefaultServerConfig() ServerConfig {
 		LegacyThreshold:    20 * sim.Microsecond,
 		SyncPeriod:         100 * sim.Millisecond,
 		ReservedZones:      4,
+		ProbeSlices:        1,
+		ReconnectBackoff:   20 * sim.Microsecond,
 	}
 }
 
@@ -109,4 +122,7 @@ type Stats struct {
 	Served       uint64 // requests answered
 	PinnedServed uint64 // requests answered on reserved (latency-sensitive) zones
 	LateServed   uint64 // switch-racing requests answered by the late sweep
+	Probes       uint64 // liveness probes posted to silent clients
+	Evictions    uint64 // clients evicted after their QP errored
+	Readmits     uint64 // failed clients re-admitted via Reconnect
 }

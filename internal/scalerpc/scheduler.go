@@ -36,7 +36,30 @@ func (s *Server) runScheduler(t *host.Thread) {
 		}
 		if len(s.groups) >= 2 {
 			s.contextSwitch(t)
+		} else if len(s.groups) == 1 {
+			s.soloScan(t)
 		}
+	}
+}
+
+// soloScan keeps failure detection alive when a single group means no
+// context switches ever run: dead members must still be probed and evicted
+// at slice boundaries, or a crashed client would hold its zone forever.
+func (s *Server) soloScan(t *host.Thread) {
+	out := append([]uint16(nil), s.groups[0]...)
+	evict := s.scanFailures(t, out)
+	for _, cid := range out {
+		if cs := s.clients[cid]; cs != nil {
+			cs.served = 0
+			cs.bytes = 0
+		}
+	}
+	for _, cid := range evict {
+		s.Stats.Evictions++
+		if s.trace.Enabled {
+			s.trace.Emit(t.P.Now(), "client_evicted", telemetry.A("client", int64(cid)))
+		}
+		s.Disconnect(cid)
 	}
 }
 
@@ -218,15 +241,21 @@ func (s *Server) contextSwitch(t *host.Thread) {
 
 	// Outgoing group: zones revoked; members whose drain responses did not
 	// carry the event get an explicit context_switch_event write.
-	out := s.groups[s.cur]
+	out := append([]uint16(nil), s.groups[s.cur]...)
 	for _, cid := range out {
 		cs := s.clients[cid]
+		if cs == nil {
+			continue
+		}
 		cs.zone = -1
 		if cs.notifiedEpoch != s.epoch {
 			s.notifyControl(t, cs)
 			s.Stats.Notifies++
 		}
 	}
+	// Failure detection reads cs.served, so it must precede updatePriorities
+	// (which zeroes the slice window).
+	evict := s.scanFailures(t, out)
 	s.updatePriorities(out)
 
 	// Promote the warmed group.
@@ -251,10 +280,20 @@ func (s *Server) contextSwitch(t *host.Thread) {
 	s.draining = false
 	s.resumeSig.Broadcast()
 
+	// Evictions happen after the promotion so group/zone bookkeeping is
+	// settled; a forced regroup then redistributes the survivors.
+	for _, cid := range evict {
+		s.Stats.Evictions++
+		if s.trace.Enabled {
+			s.trace.Emit(t.P.Now(), "client_evicted", telemetry.A("client", int64(cid)))
+		}
+		s.Disconnect(cid)
+	}
+
 	// Rebuild groups once per full rotation (so every group is served each
-	// rotation regardless of priority), or immediately when the lazy size
-	// bounds are violated by joins/leaves.
-	if s.cur == 0 || s.sizeBoundsViolated() {
+	// rotation regardless of priority), immediately when the lazy size
+	// bounds are violated by joins/leaves, or after an eviction.
+	if s.cur == 0 || len(evict) > 0 || s.sizeBoundsViolated() {
 		s.regroup()
 	}
 
@@ -329,11 +368,46 @@ func (s *Server) notifyControl(t *host.Thread, cs *clientState) {
 	cs.notifiedEpoch = s.epoch
 }
 
+// scanFailures inspects the outgoing group for dead clients: members whose
+// QP already sits in the error state (their NIC stopped acknowledging —
+// crashed node, downed link, invalidated response region) are returned for
+// eviction, and members who went Cfg.ProbeSlices consecutive slices without
+// a single served request get a liveness probe — a 0-byte unsignaled RC
+// write to the response region that either lands invisibly (the client is
+// merely idle) or exhausts the RC retry budget and errors the QP before the
+// group's next slice, so the eviction completes one rotation later.
+func (s *Server) scanFailures(t *host.Thread, out []uint16) []uint16 {
+	var evict []uint16
+	for _, cid := range out {
+		cs := s.clients[cid]
+		if cs == nil {
+			continue
+		}
+		if cs.qp.Err() != nil {
+			evict = append(evict, cid)
+			continue
+		}
+		if cs.served > 0 {
+			cs.missedSlices = 0
+			continue
+		}
+		cs.missedSlices++
+		if s.Cfg.ProbeSlices > 0 && cs.missedSlices >= s.Cfg.ProbeSlices {
+			s.Stats.Probes++
+			t.PostSend(cs.qp, nic.SendWR{Op: nic.OpWrite, RKey: cs.respRKey, RAddr: cs.respAddr})
+		}
+	}
+	return evict
+}
+
 // updatePriorities folds the last slice's observations into each outgoing
 // client's priority P_i = T_i / S_i (§3.2).
 func (s *Server) updatePriorities(group []uint16) {
 	for _, cid := range group {
 		cs := s.clients[cid]
+		if cs == nil {
+			continue
+		}
 		avgSize := 1.0
 		if cs.served > 0 {
 			avgSize = float64(cs.bytes) / float64(cs.served)
@@ -514,6 +588,7 @@ func (s *Server) connect(ch *host.Host, sig *sim.Signal, pinned bool) *Conn {
 	cl.GaugeVar("priority", &cs.priority)
 	cl.CounterVar("retries", &conn.Retries)
 	cl.CounterVar("switches", &conn.Switches)
+	cl.CounterVar("reconnects", &conn.Reconnects)
 	conn.trace = s.trace
 	ch.NIC.WatchRegion(respReg.RKey, sig)
 	return conn
@@ -552,6 +627,9 @@ func (s *Server) place(cs *clientState) {
 // Disconnect removes a client (log-out); groups merge lazily at the next
 // switch if the departure violates the size bounds.
 func (s *Server) Disconnect(id uint16) {
+	if int(id) >= len(s.clients) {
+		return
+	}
 	cs := s.clients[id]
 	if cs == nil {
 		return
@@ -573,6 +651,64 @@ func (s *Server) Disconnect(id uint16) {
 	}
 	s.clients[id] = nil
 	s.Host.NIC.DestroyQP(cs.qp)
+}
+
+// Reconnect re-admits an existing Conn whose QP failed (retry-count
+// exceeded, remote access error, or the server evicted it while its link
+// was down). Both ends get fresh QPs and CQs; the client keeps its identity
+// and its staging/response regions, so requests still held in the staging
+// area survive the reconnect and go back out through a fresh warmup round.
+func (s *Server) Reconnect(c *Conn) {
+	c.h.NIC.DestroyQP(c.qp)
+	cs := s.clients[c.id]
+	if cs != nil {
+		s.Host.NIC.DestroyQP(cs.qp)
+	}
+	scq := s.Host.NIC.CreateCQ()
+	ccq := c.h.NIC.CreateCQ()
+	sqp := s.Host.NIC.CreateQP(nic.RC, scq, scq)
+	cqp := c.h.NIC.CreateQP(nic.RC, ccq, ccq)
+	if err := nic.Connect(sqp, cqp); err != nil {
+		panic(err)
+	}
+	if cs == nil {
+		// Evicted while away: rejoin under the same id with the same
+		// regions. The warmup round counter keeps increasing client-side,
+		// so the fresh clientState's round mismatch makes the first
+		// endpoint-entry fetch idempotent.
+		cs = &clientState{
+			id:        c.id,
+			qp:        sqp,
+			respAddr:  c.resp.Region.Base,
+			respRKey:  c.resp.Region.RKey,
+			stageAddr: c.stage.Base,
+			stageRKey: c.stage.RKey,
+			zone:      -1,
+			warmZone:  -1,
+			pinned:    c.pinned,
+		}
+		s.clients[c.id] = cs
+		if c.pinned {
+			if z := s.reservedZoneFor(cs); z >= 0 {
+				cs.zone = z
+				cs.group = -1
+			} else {
+				cs.pinned = false
+				s.place(cs)
+			}
+		} else {
+			s.place(cs)
+		}
+	} else {
+		cs.qp = sqp
+		cs.fetchedUpTo = 0
+		cs.missedSlices = 0
+	}
+	c.qp = cqp
+	s.Stats.Readmits++
+	if s.trace.Enabled {
+		s.trace.Emit(c.h.Env.Now(), "client_readmit", telemetry.A("client", int64(c.id)))
+	}
 }
 
 // GroupCount returns the number of connection groups.

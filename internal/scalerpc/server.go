@@ -61,6 +61,11 @@ type clientState struct {
 	// reached this client piggybacked on a response.
 	notifiedEpoch uint64
 
+	// missedSlices counts consecutive slices in which this client had zero
+	// requests served; at Cfg.ProbeSlices the scheduler posts a liveness
+	// probe (see detectFailures).
+	missedSlices int
+
 	// pinned marks a latency-sensitive client on a reserved zone: it is
 	// never grouped, never switched, and always served from pool 0.
 	pinned bool
@@ -167,6 +172,9 @@ func NewServer(h *host.Host, cfg ServerConfig) *Server {
 	srv.CounterVar("served", &s.Stats.Served)
 	srv.CounterVar("pinned_served", &s.Stats.PinnedServed)
 	srv.CounterVar("late_served", &s.Stats.LateServed)
+	srv.CounterVar("probes", &s.Stats.Probes)
+	srv.CounterVar("evictions", &s.Stats.Evictions)
+	srv.CounterVar("readmits", &s.Stats.Readmits)
 	s.handlerNs = srv.Histogram("handler_ns")
 	for i := range s.zoneOwner {
 		s.zoneOwner[i] = -1
@@ -285,6 +293,11 @@ func (w *worker) sweep(t *host.Thread) int {
 				continue
 			}
 			cs := s.clients[owner]
+			if cs == nil {
+				// The owner was evicted mid-slice; the zone is reassigned at
+				// the next switch.
+				continue
+			}
 			if cs.pinned {
 				pool = pinnedPool
 			} else {
