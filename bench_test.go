@@ -50,7 +50,7 @@ func writeBenchJSON(path string) error {
 	}{Metrics: &bench.MetricsRecorder{}}
 	opts := bench.QuickOptions()
 	opts.Metrics = out.Metrics
-	for _, id := range []string{"fig8", "fig10"} {
+	for _, id := range []string{"fig8", "fig10", "loadlat"} {
 		e, ok := bench.Lookup(id)
 		if !ok {
 			continue
@@ -119,3 +119,11 @@ func BenchmarkSec51UDLargeTransfer(b *testing.B) { runExperiment(b, "sec51") }
 
 // BenchmarkAblation isolates each ScaleRPC design mechanism.
 func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablate") }
+
+// Open-loop loadgen experiments (internal/loadgen). BenchmarkLoadKnee runs
+// two full binary searches at 400 clients — by far the heaviest entry here;
+// select it explicitly (-bench=LoadKnee) rather than via -bench=. in CI.
+func BenchmarkLoadLat(b *testing.B)    { runExperiment(b, "loadlat") }
+func BenchmarkLoadMix(b *testing.B)    { runExperiment(b, "loadmix") }
+func BenchmarkLoadFaults(b *testing.B) { runExperiment(b, "loadfaults") }
+func BenchmarkLoadKnee(b *testing.B)   { runExperiment(b, "loadknee") }

@@ -17,6 +17,8 @@
 //	              trace events, per data point) as JSON to FILE
 //	-faults FILE  install the fault scenario (JSON, see internal/faults) on
 //	              every cluster the experiments build
+//	-artifacts DIR write every artifact an experiment emits (e.g. the
+//	              loadgen BENCH_loadgen_*.json reports) into DIR
 package main
 
 import (
@@ -38,6 +40,7 @@ func main() {
 	durMS := flag.Float64("duration", 0, "measurement window per point (virtual ms); 0 = default")
 	metricsPath := flag.String("metrics", "", "write a per-point telemetry dump (JSON) to this file")
 	faultsPath := flag.String("faults", "", "fault scenario (JSON) to install on every experiment cluster")
+	artifactsDir := flag.String("artifacts", "", "directory to write experiment artifacts (BENCH_*.json)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -83,22 +86,22 @@ func main() {
 		for _, e := range bench.Experiments() {
 			ids = append(ids, e.ID)
 		}
-		runAll(ids, opts, *csvDir)
+		runAll(ids, opts, *csvDir, *artifactsDir)
 		return
 	case "run":
 		if len(args) < 2 {
 			usage()
 			os.Exit(2)
 		}
-		runAll(args[1:], opts, *csvDir)
+		runAll(args[1:], opts, *csvDir, *artifactsDir)
 		return
 	default:
 		// Bare experiment ids also work: `scalebench fig8`.
-		runAll(args, opts, *csvDir)
+		runAll(args, opts, *csvDir, *artifactsDir)
 	}
 }
 
-func runAll(ids []string, opts bench.Options, csvDir string) {
+func runAll(ids []string, opts bench.Options, csvDir, artifactsDir string) {
 	for _, id := range ids {
 		e, ok := bench.Lookup(id)
 		if !ok {
@@ -121,6 +124,20 @@ func runAll(ids []string, opts bench.Options, csvDir string) {
 				os.Exit(1)
 			}
 		}
+		if artifactsDir != "" && len(res.Artifacts) > 0 {
+			if err := os.MkdirAll(artifactsDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			for _, a := range res.Artifacts {
+				path := filepath.Join(artifactsDir, a.Name)
+				if err := os.WriteFile(path, a.Data, 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("(artifact: %s)\n", path)
+			}
+		}
 	}
 }
 
@@ -129,5 +146,5 @@ func usage() {
   scalebench list
   scalebench run <id> [<id>...]
   scalebench all
-  scalebench [-quick] [-csv DIR] [-seed N] [-duration MS] [-metrics FILE] [-faults FILE] <id>...`)
+  scalebench [-quick] [-csv DIR] [-seed N] [-duration MS] [-metrics FILE] [-faults FILE] [-artifacts DIR] <id>...`)
 }

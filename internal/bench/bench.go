@@ -67,15 +67,24 @@ type Table struct {
 	Rows   [][]string
 }
 
+// Artifact is a machine-readable file an experiment emits alongside its
+// rendered tables — e.g. the loadgen experiments attach their full open-loop
+// reports as BENCH_loadgen_*.json. scalebench -artifacts writes them out.
+type Artifact struct {
+	Name string
+	Data []byte
+}
+
 // Result is one experiment's output.
 type Result struct {
-	ID     string
-	Title  string
-	XLabel string
-	YLabel string
-	Series []Series
-	Tables []Table
-	Notes  []string
+	ID        string
+	Title     string
+	XLabel    string
+	YLabel    string
+	Series    []Series
+	Tables    []Table
+	Notes     []string
+	Artifacts []Artifact
 }
 
 // AddPoint appends (x, y) to the named series, creating it if needed.
@@ -88,6 +97,11 @@ func (r *Result) AddPoint(label string, x, y float64) {
 		}
 	}
 	r.Series = append(r.Series, Series{Label: label, X: []float64{x}, Y: []float64{y}})
+}
+
+// AddArtifact attaches a machine-readable output file to the result.
+func (r *Result) AddArtifact(name string, data []byte) {
+	r.Artifacts = append(r.Artifacts, Artifact{Name: name, Data: data})
 }
 
 // Note records a verbatim observation (may contain literal % signs).

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLoadgenExperimentsRegistered(t *testing.T) {
+	for _, id := range []string{"loadlat", "loadknee", "loadmix", "loadfaults"} {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+}
+
+// TestLoadmixQuickDeterministic reruns the cheapest artifact-emitting
+// experiment and requires byte-identical output: the whole loadgen stack —
+// arrival streams, tenant routing, transport, telemetry — must be a pure
+// function of the seed.
+func TestLoadmixQuickDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full quick runs")
+	}
+	run := func() []Artifact {
+		e, _ := Lookup("loadmix")
+		return e.Run(QuickOptions()).Artifacts
+	}
+	a, b := run(), run()
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("artifacts = %d, %d, want 1 each", len(a), len(b))
+	}
+	if a[0].Name != "BENCH_loadgen_mix.json" {
+		t.Fatalf("artifact name = %q", a[0].Name)
+	}
+	if !bytes.Equal(a[0].Data, b[0].Data) {
+		t.Fatal("same-seed loadmix runs produced different artifact bytes")
+	}
+}
+
+// TestLoadmixReservedZonesIsolate asserts the experiment's headline claim:
+// pinning the latency-sensitive tenant onto reserved zones cuts its p99 by
+// an order of magnitude without costing the bulk tenant throughput.
+func TestLoadmixReservedZonesIsolate(t *testing.T) {
+	e, _ := Lookup("loadmix")
+	res := e.Run(QuickOptions())
+	var p99 []float64
+	for _, s := range res.Series {
+		if s.Label == "latsens-p99us" {
+			p99 = s.Y
+		}
+	}
+	if len(p99) != 2 {
+		t.Fatalf("latsens-p99us series = %v", p99)
+	}
+	shared, reserved := p99[0], p99[1]
+	if reserved*5 > shared {
+		t.Fatalf("reserved zones p99 %.1fus not well under shared %.1fus", reserved, shared)
+	}
+}

@@ -1,0 +1,115 @@
+package loadgen
+
+import (
+	"math"
+
+	"scalerpc/internal/sim"
+	"scalerpc/internal/stats"
+)
+
+// arrivalStream generates one client's intended arrival times: an open-loop
+// sequence driven only by virtual time and the client's own RNG, never by
+// completions. Rates are per-client (the workload's offered rate divided
+// down by tenant share and client count); the phase schedule scales the
+// instantaneous rate and repeats for the lifetime of the stream.
+type arrivalStream struct {
+	kind   ArrivalKind
+	rng    *stats.RNG
+	rate   float64 // base arrivals per second
+	phases []Phase
+	cycle  sim.Duration // total schedule length, 0 when unshaped
+	next   sim.Time     // next intended arrival
+}
+
+func newArrivalStream(kind ArrivalKind, rng *stats.RNG, rate float64, phases []Phase, start sim.Time) *arrivalStream {
+	s := &arrivalStream{kind: kind, rng: rng, rate: rate, phases: phases}
+	for _, p := range phases {
+		s.cycle += p.Dur
+	}
+	if s.cycle <= 0 {
+		s.phases = nil
+	}
+	// Desynchronize clients: the first arrival lands a random fraction of
+	// one mean gap after start, so a thousand same-rate clients do not all
+	// fire at the same instant.
+	s.next = start + s.gapAt(start, s.rng.Float64())
+	return s
+}
+
+// multAt returns the phase multiplier in effect at time t.
+func (s *arrivalStream) multAt(t sim.Time) float64 {
+	if s.phases == nil {
+		return 1
+	}
+	off := t % s.cycle
+	for _, p := range s.phases {
+		if off < p.Dur {
+			return p.Mult
+		}
+		off -= p.Dur
+	}
+	return 1
+}
+
+// silenceEnd returns the next time ≥ t with a positive multiplier, walking
+// phase boundaries; if the whole schedule is silent, t + one full cycle
+// (the caller's horizon check then terminates the stream).
+func (s *arrivalStream) silenceEnd(t sim.Time) sim.Time {
+	start := t
+	for hops := 0; hops <= len(s.phases); hops++ {
+		if s.multAt(t) > 0 {
+			return t
+		}
+		off := t % s.cycle
+		for _, p := range s.phases {
+			if off < p.Dur {
+				t += p.Dur - off
+				break
+			}
+			off -= p.Dur
+		}
+	}
+	return start + s.cycle
+}
+
+// gapAt draws the inter-arrival gap following an arrival at time t, from a
+// single uniform draw u (one RNG draw per arrival regardless of process
+// kind, so same-seed streams stay aligned across arrival-kind comparisons).
+func (s *arrivalStream) gapAt(t sim.Time, u float64) sim.Duration {
+	mult := s.multAt(t)
+	if mult <= 0 {
+		// Silent phase: jump to the end of the silence, then one gap at
+		// the resumed rate.
+		resume := s.silenceEnd(t)
+		return (resume - t) + s.gapFor(s.multAt(resume), u)
+	}
+	return s.gapFor(mult, u)
+}
+
+func (s *arrivalStream) gapFor(mult, u float64) sim.Duration {
+	if s.rate <= 0 || mult <= 0 {
+		return sim.Second // effectively idle
+	}
+	meanNs := 1e9 / (s.rate * mult)
+	var g sim.Duration
+	switch s.kind {
+	case ArrivalUniform:
+		g = sim.Duration(meanNs)
+	default: // ArrivalPoisson: invert the exponential CDF
+		g = sim.Duration(-meanNs * math.Log(1-u))
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// peek returns the next intended arrival time without consuming it.
+func (s *arrivalStream) peek() sim.Time { return s.next }
+
+// pop consumes the current arrival and schedules the following one.
+func (s *arrivalStream) pop() sim.Time {
+	at := s.next
+	s.next = at + s.gapAt(at, s.rng.Float64())
+	return at
+}

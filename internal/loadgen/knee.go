@@ -1,0 +1,94 @@
+package loadgen
+
+// The knee finder answers the capacity-planning question directly: binary
+// search over offered rate for the highest load whose open-loop run still
+// meets every tenant's SLO. Below the knee an open-loop system is stable
+// (backlog bounded, latency near service time); above it the backlog — and
+// therefore CO-free latency — grows without bound, so the pass/fail
+// predicate is sharply monotone in rate and bisection converges fast.
+
+// KneeTrial records one probe of the search.
+type KneeTrial struct {
+	Rate float64 `json:"rate"`
+	Pass bool    `json:"pass"`
+	// P99Us and AchievedMops summarize the trial (first tenant with an
+	// SLO, or the aggregate when none declares one).
+	P99Us        float64 `json:"p99_us"`
+	AchievedMops float64 `json:"achieved_mops"`
+}
+
+// KneeOptions bounds the search.
+type KneeOptions struct {
+	// Lo and Hi bracket the search in requests/second. Lo should pass and
+	// Hi should fail for a meaningful knee; the result notes when the
+	// bracket saturates instead.
+	Lo, Hi float64
+	// Iters is the number of bisection steps (default 7: bracket ratio
+	// resolved to <1%· 2^-7).
+	Iters int
+}
+
+// KneeResult is the outcome of a knee search.
+type KneeResult struct {
+	// SustainableRate is the highest probed rate that met the SLO (0 when
+	// even Lo fails).
+	SustainableRate float64 `json:"sustainable_rate"`
+	// SustainableMops is the achieved throughput at that rate.
+	SustainableMops float64 `json:"sustainable_mops"`
+	// Saturated reports that Hi itself passed — the true knee lies above
+	// the bracket.
+	Saturated bool        `json:"saturated"`
+	Trials    []KneeTrial `json:"trials"`
+}
+
+// TrialFunc runs one open-loop trial at the given offered rate and returns
+// its report. Each call must build a fresh, identically-seeded system so
+// trials are independent and the whole search is deterministic.
+type TrialFunc func(rate float64) *Report
+
+// FindKnee bisects [opt.Lo, opt.Hi] for the maximum sustainable rate.
+func FindKnee(opt KneeOptions, trial TrialFunc) KneeResult {
+	if opt.Iters <= 0 {
+		opt.Iters = 7
+	}
+	res := KneeResult{}
+	probe := func(rate float64) (bool, KneeTrial) {
+		rep := trial(rate)
+		kt := KneeTrial{Rate: rate, Pass: rep.Pass, AchievedMops: rep.AchievedMops}
+		for _, tr := range rep.Tenants {
+			if tr.SLO.Defined() {
+				kt.P99Us = tr.P99Us
+				break
+			}
+		}
+		if kt.P99Us == 0 && len(rep.Tenants) > 0 {
+			kt.P99Us = rep.Tenants[0].P99Us
+		}
+		res.Trials = append(res.Trials, kt)
+		if rep.Pass && rate > res.SustainableRate {
+			res.SustainableRate = rate
+			res.SustainableMops = rep.AchievedMops
+		}
+		return rep.Pass, kt
+	}
+
+	loPass, _ := probe(opt.Lo)
+	if !loPass {
+		return res // knee below the bracket
+	}
+	hiPass, _ := probe(opt.Hi)
+	if hiPass {
+		res.Saturated = true
+		return res // knee above the bracket
+	}
+	lo, hi := opt.Lo, opt.Hi
+	for i := 0; i < opt.Iters; i++ {
+		mid := (lo + hi) / 2
+		if pass, _ := probe(mid); pass {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return res
+}

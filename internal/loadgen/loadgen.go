@@ -1,0 +1,211 @@
+// Package loadgen is the open-loop load-generation and SLO layer: a
+// deterministic, virtual-time workload generator that drives any transport
+// implementing rpccore.Conn and answers the question the closed-loop
+// figure benches cannot — what offered load can a server *sustain* while
+// meeting a latency SLO.
+//
+// The pieces, mirroring how real load-testing harnesses are built:
+//
+//   - Arrival processes (arrival.go): requests arrive at *intended* times
+//     drawn from a Poisson or fixed-rate process, optionally shaped by a
+//     repeating phase schedule (bursts, ramps, quiet periods). Arrivals
+//     are independent of completions — the definition of open loop.
+//
+//   - Multi-tenant mixes (this file): the offered load splits across
+//     tenants by explicit share or by Zipf popularity rank; each tenant
+//     has its own key-popularity skew, request-size distribution, and SLO.
+//
+//   - Coordinated-omission-free accounting (runner.go): every request's
+//     latency is measured from its intended arrival time, not from when
+//     the transport finally accepted it. When the transport falls behind,
+//     requests queue in a per-client backlog and the queueing delay lands
+//     in the latency distribution instead of silently vanishing — the
+//     mistake closed-loop harnesses make under overload.
+//
+//   - SLO evaluation (slo.go): per-tenant quantile limits plus a
+//     completion-fraction floor, evaluated from exact-ish interpolated
+//     histogram quantiles.
+//
+//   - Knee finding (knee.go): a binary search over offered rate for the
+//     maximum load that still meets every tenant's SLO — the "sustainable
+//     throughput" a capacity planner actually wants.
+//
+// Everything runs in sim virtual time from seeded stats RNGs: the same
+// (Workload, seed, cluster config) replays byte-identically, reports
+// included.
+package loadgen
+
+import (
+	"fmt"
+
+	"scalerpc/internal/sim"
+	"scalerpc/internal/stats"
+)
+
+// SizeKind selects a request-size distribution shape.
+type SizeKind uint8
+
+// Request-size distribution kinds.
+const (
+	// SizeFixed issues requests of exactly Min bytes.
+	SizeFixed SizeKind = iota
+	// SizeUniform draws uniformly from [Min, Max].
+	SizeUniform
+	// SizeLogNormal draws exp(N(Mu, Sigma)) clamped to [Min, Max] — the
+	// heavy-tailed shape real RPC size traces show.
+	SizeLogNormal
+)
+
+// SizeDist describes one tenant's request-size distribution in bytes.
+// The zero value means fixed 32-byte requests.
+type SizeDist struct {
+	Kind SizeKind `json:"kind"`
+	Min  int      `json:"min,omitempty"`
+	Max  int      `json:"max,omitempty"`
+	// Mu/Sigma parameterize SizeLogNormal in log space.
+	Mu    float64 `json:"mu,omitempty"`
+	Sigma float64 `json:"sigma,omitempty"`
+}
+
+// FixedSize is the SizeDist issuing exactly n-byte requests.
+func FixedSize(n int) SizeDist { return SizeDist{Kind: SizeFixed, Min: n} }
+
+// Sample draws one request size.
+func (d SizeDist) Sample(rng *stats.RNG) int {
+	min := d.Min
+	if min <= 0 {
+		min = 32
+	}
+	switch d.Kind {
+	case SizeUniform:
+		if d.Max <= min {
+			return min
+		}
+		return min + rng.Intn(d.Max-min+1)
+	case SizeLogNormal:
+		v := int(rng.LogNormal(d.Mu, d.Sigma))
+		if v < min {
+			v = min
+		}
+		if d.Max > 0 && v > d.Max {
+			v = d.Max
+		}
+		return v
+	default:
+		return min
+	}
+}
+
+// TenantSpec describes one tenant of the workload.
+type TenantSpec struct {
+	// Name labels the tenant in telemetry scopes and reports.
+	Name string `json:"name"`
+	// Share is the tenant's fraction of the total offered rate. Shares
+	// are normalized across tenants; when every tenant leaves Share 0,
+	// shares follow Zipf popularity rank (Workload.TenantSkew).
+	Share float64 `json:"share,omitempty"`
+	// Keys is the tenant's key-space size; each request samples a key by
+	// Zipf(KeySkew) popularity and embeds it in the payload header. 0
+	// disables key sampling.
+	Keys uint64 `json:"keys,omitempty"`
+	// KeySkew is the tenant's key-popularity Zipf theta.
+	KeySkew float64 `json:"key_skew,omitempty"`
+	// Size is the tenant's request-size distribution.
+	Size SizeDist `json:"size"`
+	// SLO is the tenant's latency/completion objective (zero = no SLO).
+	SLO SLO `json:"slo"`
+}
+
+// ArrivalKind selects the arrival process.
+type ArrivalKind uint8
+
+// Arrival processes.
+const (
+	// ArrivalPoisson draws exponential inter-arrival gaps (memoryless open
+	// traffic, the realistic default).
+	ArrivalPoisson ArrivalKind = iota
+	// ArrivalUniform spaces arrivals exactly 1/rate apart (deterministic
+	// paced load, useful for debugging and worst-case phase alignment).
+	ArrivalUniform
+)
+
+// Phase is one segment of a repeating rate schedule: for Dur of virtual
+// time the offered rate is scaled by Mult (0 silences arrivals entirely —
+// an off period). An empty schedule means a constant multiplier of 1.
+type Phase struct {
+	Dur  sim.Duration `json:"dur_ns"`
+	Mult float64      `json:"mult"`
+}
+
+// Workload is a complete open-loop workload description.
+type Workload struct {
+	// Name labels the workload in reports.
+	Name string `json:"name"`
+	// OfferedRate is the total intended arrival rate across all tenants
+	// and clients, in requests per second of virtual time.
+	OfferedRate float64 `json:"offered_rate"`
+	// Arrival selects the arrival process.
+	Arrival ArrivalKind `json:"arrival"`
+	// Phases optionally shapes the rate over time; the schedule repeats.
+	Phases []Phase `json:"phases,omitempty"`
+	// Tenants is the tenant mix. Empty means one default tenant.
+	Tenants []TenantSpec `json:"tenants,omitempty"`
+	// TenantSkew is the Zipf theta used to derive tenant shares when no
+	// tenant sets an explicit Share (rank = position in Tenants).
+	TenantSkew float64 `json:"tenant_skew,omitempty"`
+	// Handler is the RPC handler id requests invoke.
+	Handler uint8 `json:"handler"`
+	// Warmup precedes the measurement window; arrivals flow but are not
+	// measured.
+	Warmup sim.Duration `json:"warmup_ns"`
+	// Duration is the measurement window. Arrivals stop at Warmup+Duration.
+	Duration sim.Duration `json:"duration_ns"`
+	// Drain bounds how long the runner waits for in-flight requests after
+	// arrivals stop; in-window requests still unanswered at the deadline
+	// count as abandoned. 0 means a generous default.
+	Drain sim.Duration `json:"drain_ns,omitempty"`
+	// Seed drives every RNG in the workload.
+	Seed uint64 `json:"seed"`
+	// PollInterval bounds client sleep while waiting for responses or the
+	// next arrival. 0 means a sane default.
+	PollInterval sim.Duration `json:"poll_interval_ns,omitempty"`
+}
+
+// withDefaults returns w with zero fields resolved.
+func (w Workload) withDefaults() Workload {
+	if len(w.Tenants) == 0 {
+		w.Tenants = []TenantSpec{{Name: "default"}}
+	}
+	for i := range w.Tenants {
+		if w.Tenants[i].Name == "" {
+			w.Tenants[i].Name = fmt.Sprintf("t%d", i)
+		}
+	}
+	if w.Drain <= 0 {
+		w.Drain = 2 * sim.Millisecond
+	}
+	if w.PollInterval <= 0 {
+		w.PollInterval = 5 * sim.Microsecond
+	}
+	if w.Seed == 0 {
+		w.Seed = 1
+	}
+	return w
+}
+
+// shares returns the normalized per-tenant shares of the offered rate.
+func (w Workload) shares() []float64 {
+	out := make([]float64, len(w.Tenants))
+	sum := 0.0
+	for i, ts := range w.Tenants {
+		out[i] = ts.Share
+		sum += ts.Share
+	}
+	if sum <= 0 {
+		return stats.ZipfShares(len(w.Tenants), w.TenantSkew)
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

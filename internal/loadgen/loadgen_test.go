@@ -1,0 +1,325 @@
+package loadgen_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"scalerpc/internal/cluster"
+	"scalerpc/internal/host"
+	"scalerpc/internal/loadgen"
+	"scalerpc/internal/rpccore"
+	"scalerpc/internal/sim"
+	"scalerpc/internal/stats"
+	"scalerpc/internal/telemetry"
+)
+
+// fakeConn is a deterministic single-server queue standing in for a real
+// transport: each accepted request occupies the server for svc of virtual
+// time, responses appear in arrival order. With open-loop input this is an
+// M/D/1 (Poisson) or D/D/1 (uniform) queue with known capacity 1/svc —
+// exactly the behaviour the coordinated-omission accounting and the knee
+// finder are specified against.
+type fakeConn struct {
+	env       *sim.Env
+	sig       *sim.Signal
+	svc       sim.Duration
+	window    int
+	inflight  int
+	busyUntil sim.Time
+	ready     []rpccore.Response
+}
+
+func newFakeConn(env *sim.Env, sig *sim.Signal, svc sim.Duration, window int) *fakeConn {
+	return &fakeConn{env: env, sig: sig, svc: svc, window: window}
+}
+
+func (f *fakeConn) TrySend(t *host.Thread, handler uint8, payload []byte, reqID uint64) bool {
+	if f.inflight >= f.window {
+		return false
+	}
+	f.inflight++
+	start := f.env.Now()
+	if f.busyUntil > start {
+		start = f.busyUntil
+	}
+	done := start + f.svc
+	f.busyUntil = done
+	f.env.At(done-f.env.Now(), func() {
+		f.ready = append(f.ready, rpccore.Response{ReqID: reqID})
+		f.sig.Broadcast()
+	})
+	return true
+}
+
+func (f *fakeConn) Poll(t *host.Thread, fn func(rpccore.Response)) int {
+	n := len(f.ready)
+	for _, r := range f.ready {
+		f.inflight--
+		fn(r)
+	}
+	f.ready = f.ready[:0]
+	return n
+}
+
+func (f *fakeConn) Outstanding() int { return f.inflight }
+func (f *fakeConn) SlotCount() int   { return f.window }
+
+// runFake executes w over n fake-conn clients with the given service time
+// and returns the report plus the registry dump.
+func runFake(t *testing.T, w loadgen.Workload, n int, svc sim.Duration, window int) (*loadgen.Report, []byte) {
+	t.Helper()
+	c := cluster.New(cluster.Default(1))
+	defer c.Close()
+	clients := make([]loadgen.Client, n)
+	nt := len(w.Tenants)
+	if nt == 0 {
+		nt = 1
+	}
+	for i := range clients {
+		sig := sim.NewSignal(c.Env)
+		clients[i] = loadgen.Client{
+			Host:   c.Hosts[0],
+			Conn:   newFakeConn(c.Env, sig, svc, window),
+			Sig:    sig,
+			Tenant: i % nt,
+		}
+	}
+	r := loadgen.NewRunner(w, clients, c.Telemetry.UniqueScope("loadgen"))
+	r.Start(c.Env)
+	c.Env.RunUntil(r.DrainDeadline() + sim.Microsecond)
+	return r.Report(), c.Telemetry.JSON()
+}
+
+func baseWorkload() loadgen.Workload {
+	return loadgen.Workload{
+		Name:        "unit",
+		OfferedRate: 200_000,
+		Warmup:      200 * sim.Microsecond,
+		Duration:    2 * sim.Millisecond,
+		Seed:        7,
+		Handler:     1,
+	}
+}
+
+func TestSameSeedRunsAreByteIdentical(t *testing.T) {
+	w := baseWorkload()
+	w.Tenants = []loadgen.TenantSpec{
+		{Name: "a", Keys: 1024, KeySkew: 0.9, Size: loadgen.SizeDist{Kind: loadgen.SizeLogNormal, Min: 16, Max: 1024, Mu: 5, Sigma: 1}},
+		{Name: "b", Size: loadgen.FixedSize(64)},
+	}
+	r1, m1 := runFake(t, w, 4, 3*sim.Microsecond, 8)
+	r2, m2 := runFake(t, w, 4, 3*sim.Microsecond, 8)
+	if !bytes.Equal(r1.JSON(), r2.JSON()) {
+		t.Fatal("same-seed reports differ")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("same-seed telemetry dumps differ")
+	}
+	if r1.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	w.Seed = 8
+	r3, _ := runFake(t, w, 4, 3*sim.Microsecond, 8)
+	if bytes.Equal(r1.JSON(), r3.JSON()) {
+		t.Fatal("different seeds produced identical reports")
+	}
+}
+
+func TestOpenLoopOffersIndependentOfService(t *testing.T) {
+	// The offered count must depend only on the arrival process — a slow
+	// server does not throttle an open-loop generator (it just builds
+	// backlog), unlike a closed loop.
+	w := baseWorkload()
+	w.Arrival = loadgen.ArrivalUniform
+	fast, _ := runFake(t, w, 1, 1*sim.Microsecond, 8)
+	slow, _ := runFake(t, w, 1, 40*sim.Microsecond, 8)
+	if fast.Offered != slow.Offered {
+		t.Fatalf("offered load changed with service time: %d vs %d", fast.Offered, slow.Offered)
+	}
+	want := w.OfferedRate * float64(w.Duration) / 1e9
+	if math.Abs(float64(fast.Offered)-want) > 0.02*want+2 {
+		t.Fatalf("offered = %d, want ~%.0f", fast.Offered, want)
+	}
+}
+
+func TestCoordinatedOmissionFreeLatency(t *testing.T) {
+	// Uniform arrivals every 5µs into a 15µs/request server: the queue
+	// grows by one request per 7.5µs, so waiting time — measured from
+	// *intended* arrival — must dwarf the service time by the end of the
+	// window. A send-time-based (coordinated-omission) measurement would
+	// report ~service time.
+	w := baseWorkload()
+	w.Arrival = loadgen.ArrivalUniform
+	w.OfferedRate = 200_000 // 5µs gap
+	w.Duration = 1 * sim.Millisecond
+	w.Warmup = 0
+	w.Drain = 20 * sim.Millisecond // let the queue fully drain
+	rep, _ := runFake(t, w, 1, 15*sim.Microsecond, 4)
+	tr := rep.Tenants[0]
+	if tr.Abandoned != 0 {
+		t.Fatalf("drain window too short: %d abandoned", tr.Abandoned)
+	}
+	if tr.P50Us < 10*15 {
+		t.Fatalf("median latency %.1fus does not include queueing (svc 15us)", tr.P50Us)
+	}
+	if tr.QueueP99Us < 100 {
+		t.Fatalf("queue delay p99 %.1fus too small for a saturated open loop", tr.QueueP99Us)
+	}
+	if tr.BacklogPeak < 20 {
+		t.Fatalf("backlog peak %d, want the queue to have built up", tr.BacklogPeak)
+	}
+	// The same offered load against a fast server shows only service time.
+	fastRep, _ := runFake(t, w, 1, 1*sim.Microsecond, 4)
+	if p := fastRep.Tenants[0].P99Us; p > 10 {
+		t.Fatalf("unloaded p99 %.1fus, want ~service time", p)
+	}
+}
+
+func TestPhaseScheduleShapesArrivals(t *testing.T) {
+	// Rate r with schedule [off, 2x] must offer ~the same total as a flat
+	// run (average multiplier 1) but squeezed into half the time.
+	w := baseWorkload()
+	w.Arrival = loadgen.ArrivalUniform
+	w.Warmup = 0
+	w.Duration = 2 * sim.Millisecond
+	w.Phases = []loadgen.Phase{
+		{Dur: 250 * sim.Microsecond, Mult: 0},
+		{Dur: 250 * sim.Microsecond, Mult: 2},
+	}
+	shaped, _ := runFake(t, w, 1, 1*sim.Microsecond, 8)
+	w.Phases = nil
+	flat, _ := runFake(t, w, 1, 1*sim.Microsecond, 8)
+	ratio := float64(shaped.Offered) / float64(flat.Offered)
+	if math.Abs(ratio-1) > 0.1 {
+		t.Fatalf("burst schedule offered %.2fx the flat load, want ~1x", ratio)
+	}
+}
+
+func TestTenantSharesFollowZipfAndExplicit(t *testing.T) {
+	w := baseWorkload()
+	w.Duration = 4 * sim.Millisecond
+	w.TenantSkew = 0.99
+	w.Tenants = []loadgen.TenantSpec{{Name: "t0"}, {Name: "t1"}, {Name: "t2"}}
+	rep, _ := runFake(t, w, 3, 1*sim.Microsecond, 8)
+	shares := stats.ZipfShares(3, 0.99)
+	for i, tr := range rep.Tenants {
+		got := float64(tr.Offered) / float64(rep.Offered)
+		if math.Abs(got-shares[i]) > 0.05 {
+			t.Fatalf("tenant %d offered share %.3f, want ~%.3f", i, got, shares[i])
+		}
+	}
+
+	w.Tenants = []loadgen.TenantSpec{{Name: "big", Share: 3}, {Name: "small", Share: 1}}
+	rep, _ = runFake(t, w, 2, 1*sim.Microsecond, 8)
+	got := float64(rep.Tenants[0].Offered) / float64(rep.Offered)
+	if math.Abs(got-0.75) > 0.05 {
+		t.Fatalf("explicit share: big tenant got %.3f, want ~0.75", got)
+	}
+}
+
+func TestSLOEvaluation(t *testing.T) {
+	h := stats.NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Record(int64(10 * sim.Microsecond))
+	}
+	pass, fails := loadgen.P99(50).Evaluate(h, 1000, 1000)
+	if !pass || len(fails) != 0 {
+		t.Fatalf("10us latency must pass p99<=50us: %v", fails)
+	}
+	pass, fails = loadgen.P99(5).Evaluate(h, 1000, 1000)
+	if pass || len(fails) == 0 {
+		t.Fatal("10us latency must fail p99<=5us")
+	}
+	// Completion floor: 1% abandoned fails the default 99.9% floor.
+	pass, _ = loadgen.P99(50).Evaluate(h, 1000, 990)
+	if pass {
+		t.Fatal("99% completion must fail the default floor")
+	}
+	var none loadgen.SLO
+	if pass, _ = none.Evaluate(h, 1000, 0); !pass {
+		t.Fatal("zero SLO must always pass")
+	}
+}
+
+func TestKneeFinderLocatesCapacity(t *testing.T) {
+	// 2 clients × (1 req / 10µs) = 200k req/s of true capacity. The knee
+	// must land in the stable region just below it.
+	const svc = 10 * sim.Microsecond
+	trial := func(rate float64) *loadgen.Report {
+		w := baseWorkload()
+		w.OfferedRate = rate
+		w.Duration = 4 * sim.Millisecond
+		w.Drain = 1 * sim.Millisecond
+		w.Tenants = []loadgen.TenantSpec{{Name: "main", SLO: loadgen.P99(120)}}
+		rep, _ := runFake(t, w, 2, svc, 8)
+		return rep
+	}
+	res := loadgen.FindKnee(loadgen.KneeOptions{Lo: 20_000, Hi: 800_000, Iters: 8}, trial)
+	if res.Saturated {
+		t.Fatal("bracket saturated; Hi should overload the fake server")
+	}
+	if res.SustainableRate < 100_000 || res.SustainableRate > 230_000 {
+		t.Fatalf("knee at %.0f req/s, want near the 200k capacity", res.SustainableRate)
+	}
+	if len(res.Trials) < 4 {
+		t.Fatalf("only %d trials recorded", len(res.Trials))
+	}
+	// Stability: the same search replays identically.
+	res2 := loadgen.FindKnee(loadgen.KneeOptions{Lo: 20_000, Hi: 800_000, Iters: 8}, trial)
+	if res.SustainableRate != res2.SustainableRate {
+		t.Fatalf("knee not stable: %.0f vs %.0f", res.SustainableRate, res2.SustainableRate)
+	}
+}
+
+func TestAbandonedCountedAtDrainDeadline(t *testing.T) {
+	// A server far below the offered rate with a short drain must abandon
+	// measured requests and fail any SLO with a completion floor.
+	w := baseWorkload()
+	w.OfferedRate = 500_000
+	w.Duration = 1 * sim.Millisecond
+	w.Warmup = 0
+	w.Drain = 100 * sim.Microsecond
+	w.Tenants = []loadgen.TenantSpec{{Name: "over", SLO: loadgen.P99(1000)}}
+	rep, _ := runFake(t, w, 1, 50*sim.Microsecond, 2)
+	if rep.Abandoned == 0 {
+		t.Fatal("overloaded run with short drain must abandon requests")
+	}
+	if rep.Pass {
+		t.Fatal("abandonment must fail the SLO completion floor")
+	}
+	if rep.Offered != rep.Completed+rep.Abandoned+rep.Errors {
+		t.Fatalf("accounting leak: offered %d != completed %d + abandoned %d + errors %d",
+			rep.Offered, rep.Completed, rep.Abandoned, rep.Errors)
+	}
+}
+
+func TestTelemetryScopesRegistered(t *testing.T) {
+	c := cluster.New(cluster.Default(1))
+	defer c.Close()
+	sig := sim.NewSignal(c.Env)
+	w := baseWorkload()
+	w.Duration = 200 * sim.Microsecond
+	w.Tenants = []loadgen.TenantSpec{{Name: "solo"}}
+	r := loadgen.NewRunner(w, []loadgen.Client{{
+		Host: c.Hosts[0], Conn: newFakeConn(c.Env, sig, sim.Microsecond, 4), Sig: sig,
+	}}, c.Telemetry.UniqueScope("loadgen"))
+	r.Start(c.Env)
+	c.Env.RunUntil(r.DrainDeadline() + sim.Microsecond)
+	for _, name := range []string{
+		"loadgen.tenant.solo.offered", "loadgen.tenant.solo.completed",
+		"loadgen.tenant.solo.abandoned", "loadgen.tenant.solo.errors",
+		"loadgen.tenant.solo.backlog", "loadgen.tenant.solo.lat_ns",
+		"loadgen.tenant.solo.queue_ns",
+	} {
+		if _, ok := c.Telemetry.Value(name); !ok {
+			t.Fatalf("metric %q not registered", name)
+		}
+	}
+	if v, _ := c.Telemetry.Value("loadgen.tenant.solo.completed"); v == 0 {
+		t.Fatal("completed counter stayed zero")
+	}
+	// Detached scope works too.
+	r2 := loadgen.NewRunner(w, nil, telemetry.Scope{})
+	_ = r2.Report()
+}

@@ -1,0 +1,70 @@
+package loadgen
+
+import "encoding/json"
+
+// TenantReport is one tenant's measured outcome over the window.
+type TenantReport struct {
+	Name    string  `json:"name"`
+	Share   float64 `json:"share"`
+	Clients int     `json:"clients"`
+
+	Offered   uint64 `json:"offered"`
+	Completed uint64 `json:"completed"`
+	Abandoned uint64 `json:"abandoned"`
+	Errors    uint64 `json:"errors"`
+
+	AchievedMops float64 `json:"achieved_mops"`
+
+	// Latency (from intended arrival) quantiles, in microseconds.
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
+	MaxUs  float64 `json:"max_us"`
+
+	// QueueP99Us is the p99 of send delay (intended arrival → transport
+	// accept): how long requests sat in the open-loop backlog.
+	QueueP99Us float64 `json:"queue_p99_us"`
+	// BacklogPeak is the largest backlog observed across the tenant's
+	// clients at any instant.
+	BacklogPeak uint64 `json:"backlog_peak"`
+
+	// LatHist is the full log2 latency histogram (bucket bit → count),
+	// so reports embed the distribution, not just its quantiles.
+	LatHist map[string]uint64 `json:"lat_hist,omitempty"`
+
+	SLO      SLO      `json:"slo"`
+	SLOPass  bool     `json:"slo_pass"`
+	SLOFails []string `json:"slo_fails,omitempty"`
+}
+
+// Report is the outcome of one open-loop run.
+type Report struct {
+	Name        string  `json:"name"`
+	OfferedRate float64 `json:"offered_rate"`
+	DurationNs  int64   `json:"duration_ns"`
+
+	Offered   uint64 `json:"offered"`
+	Completed uint64 `json:"completed"`
+	Abandoned uint64 `json:"abandoned"`
+	Errors    uint64 `json:"errors"`
+
+	OfferedMops  float64 `json:"offered_mops"`
+	AchievedMops float64 `json:"achieved_mops"`
+
+	// Pass aggregates every tenant's SLO verdict.
+	Pass bool `json:"pass"`
+
+	Tenants []TenantReport `json:"tenants"`
+}
+
+// JSON renders the report with indentation. Output is deterministic: all
+// fields are ordered structs and LatHist keys are zero-padded bit labels,
+// which encoding/json emits sorted.
+func (r *Report) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", " ")
+	if err != nil { // no unmarshalable types in Report
+		panic(err)
+	}
+	return b
+}

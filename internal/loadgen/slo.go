@@ -1,0 +1,58 @@
+package loadgen
+
+import (
+	"fmt"
+
+	"scalerpc/internal/stats"
+)
+
+// SLOTarget is one latency objective: the q-quantile of request latency
+// (measured from intended arrival time) must not exceed LimitUs.
+type SLOTarget struct {
+	Q       float64 `json:"q"`        // e.g. 0.99
+	LimitUs float64 `json:"limit_us"` // e.g. 100
+}
+
+// SLO is a tenant's service-level objective: any number of quantile
+// targets plus a completion floor. The zero SLO has no targets and always
+// passes.
+type SLO struct {
+	Targets []SLOTarget `json:"targets,omitempty"`
+	// MinCompletion is the minimum fraction of in-window offered requests
+	// that must complete within the drain deadline (abandoned requests are
+	// latency-unbounded, so a sustainable system completes essentially all
+	// of them). 0 means 0.999 whenever Targets is non-empty.
+	MinCompletion float64 `json:"min_completion,omitempty"`
+}
+
+// P99 is shorthand for the common single-target SLO "p99 ≤ limitUs".
+func P99(limitUs float64) SLO {
+	return SLO{Targets: []SLOTarget{{Q: 0.99, LimitUs: limitUs}}}
+}
+
+// Defined reports whether the SLO constrains anything.
+func (s SLO) Defined() bool { return len(s.Targets) > 0 || s.MinCompletion > 0 }
+
+// Evaluate checks the SLO against a tenant's measured latency histogram
+// and completion counts, returning pass/fail and a human-readable reason
+// per violated target.
+func (s SLO) Evaluate(lat *stats.Histogram, offered, completed uint64) (bool, []string) {
+	var fails []string
+	minC := s.MinCompletion
+	if minC == 0 && len(s.Targets) > 0 {
+		minC = 0.999
+	}
+	if minC > 0 && offered > 0 {
+		frac := float64(completed) / float64(offered)
+		if frac < minC {
+			fails = append(fails, fmt.Sprintf("completion %.4f < %.4f", frac, minC))
+		}
+	}
+	for _, tg := range s.Targets {
+		gotUs := float64(lat.Quantile(tg.Q)) / 1e3
+		if gotUs > tg.LimitUs {
+			fails = append(fails, fmt.Sprintf("p%g %.1fus > %.1fus", tg.Q*100, gotUs, tg.LimitUs))
+		}
+	}
+	return len(fails) == 0, fails
+}

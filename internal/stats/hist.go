@@ -46,6 +46,9 @@ func bucketLow(i int) int64 {
 	return base + base*int64(frac)/bucketsPerOctave
 }
 
+// bucketHigh returns the exclusive upper bound of bucket i.
+func bucketHigh(i int) int64 { return bucketLow(i + 1) }
+
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
 	return &Histogram{min: math.MaxInt64, max: math.MinInt64}
@@ -97,7 +100,11 @@ func (h *Histogram) Max() int64 {
 	return h.max
 }
 
-// Quantile returns the approximate q-quantile (0 ≤ q ≤ 1).
+// Quantile returns the approximate q-quantile (0 ≤ q ≤ 1), interpolating
+// linearly within the winning bucket: the target rank's position among the
+// bucket's samples picks a proportional point in [bucketLow, bucketHigh)
+// instead of snapping to the bucket boundary, so quantiles move smoothly
+// with q rather than in bucket-sized steps.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h.total == 0 {
 		return 0
@@ -108,12 +115,16 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if q >= 1 {
 		return h.max
 	}
-	target := uint64(q * float64(h.total))
+	target := q * float64(h.total)
 	var cum uint64
 	for i, c := range h.counts {
-		cum += c
-		if cum > target {
-			v := bucketLow(i)
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) > target {
+			lo, hi := bucketLow(i), bucketHigh(i)
+			frac := (target - float64(cum)) / float64(c)
+			v := lo + int64(frac*float64(hi-lo))
 			if v < h.min {
 				v = h.min
 			}
@@ -122,6 +133,7 @@ func (h *Histogram) Quantile(q float64) int64 {
 			}
 			return v
 		}
+		cum += c
 	}
 	return h.max
 }

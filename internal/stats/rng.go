@@ -119,66 +119,3 @@ func (r *RNG) Perm(n int) []int {
 	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
 	return p
 }
-
-// Zipf generates Zipf-distributed integers in [0, n) with exponent theta,
-// using the standard rejection-inversion-free CDF table for small n or
-// Gray's approximation for large n. This implementation precomputes the
-// normalization constant and samples by inversion with the harmonic
-// approximation, which is accurate enough for workload skew modelling.
-type Zipf struct {
-	rng   *RNG
-	n     uint64
-	theta float64
-	alpha float64
-	zetan float64
-	eta   float64
-	zeta2 float64
-}
-
-// NewZipf returns a Zipf sampler over [0, n) with skew theta (0 < theta < 1
-// typical; theta→0 approaches uniform).
-func NewZipf(rng *RNG, n uint64, theta float64) *Zipf {
-	z := &Zipf{rng: rng, n: n, theta: theta}
-	z.zeta2 = zetaStatic(2, theta)
-	z.zetan = zetaStatic(n, theta)
-	z.alpha = 1.0 / (1.0 - theta)
-	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
-	return z
-}
-
-func zetaStatic(n uint64, theta float64) float64 {
-	// Exact for small n; integral approximation beyond a cutoff keeps setup
-	// cost bounded for large key spaces.
-	const cutoff = 1 << 20
-	if n <= cutoff {
-		sum := 0.0
-		for i := uint64(1); i <= n; i++ {
-			sum += 1 / math.Pow(float64(i), theta)
-		}
-		return sum
-	}
-	sum := 0.0
-	for i := uint64(1); i <= cutoff; i++ {
-		sum += 1 / math.Pow(float64(i), theta)
-	}
-	// ∫ x^-theta dx from cutoff to n.
-	sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(cutoff), 1-theta)) / (1 - theta)
-	return sum
-}
-
-// Next returns the next Zipf variate in [0, n).
-func (z *Zipf) Next() uint64 {
-	u := z.rng.Float64()
-	uz := u * z.zetan
-	if uz < 1 {
-		return 0
-	}
-	if uz < 1+math.Pow(0.5, z.theta) {
-		return 1
-	}
-	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
-	if v >= z.n {
-		v = z.n - 1
-	}
-	return v
-}

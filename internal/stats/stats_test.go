@@ -178,6 +178,53 @@ func TestHistogramRelativeError(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	// Interpolated quantiles must track an exact sorted-sample reference to
+	// well under one bucket width (~6.25% relative at 16 buckets/octave),
+	// across distribution shapes.
+	dists := map[string]func(r *RNG) int64{
+		"uniform":   func(r *RNG) int64 { return int64(r.Intn(1_000_000)) + 1 },
+		"exp":       func(r *RNG) int64 { return int64(r.Exp(50_000)) + 1 },
+		"lognormal": func(r *RNG) int64 { return int64(r.LogNormal(10, 1.5)) + 1 },
+	}
+	for name, gen := range dists {
+		h := NewHistogram()
+		r := NewRNG(99)
+		samples := make([]int64, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			v := gen(r)
+			h.Record(v)
+			samples = append(samples, v)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			got := h.Quantile(q)
+			want := Percentile(samples, q*100)
+			relErr := math.Abs(float64(got-want)) / float64(want)
+			if relErr > 0.07 {
+				t.Errorf("%s q=%v: interpolated %d vs exact %d (rel err %.3f)", name, q, got, want, relErr)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantileSpansBucket(t *testing.T) {
+	// All mass in one bucket: quantiles must move within the bucket rather
+	// than snapping to its lower bound.
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Record(1 << 20) // single value, single bucket
+	}
+	lo := h.Quantile(0.01)
+	hi := h.Quantile(0.99)
+	if hi < lo {
+		t.Fatalf("quantiles not monotone: %d > %d", lo, hi)
+	}
+	// Clamped to observed min/max despite interpolation.
+	if lo < h.Min() || hi > h.Max() {
+		t.Fatalf("quantiles escaped [min,max]: %d..%d vs %d..%d", lo, hi, h.Min(), h.Max())
+	}
+}
+
 func TestHistogramCDF(t *testing.T) {
 	h := NewHistogram()
 	for i := 0; i < 100; i++ {

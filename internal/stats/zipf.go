@@ -1,0 +1,104 @@
+package stats
+
+import "math"
+
+// This file is the repository's one Zipf implementation, shared by every
+// skewed-workload generator (key popularity in the KV/metadata benches,
+// tenant and key mixes in internal/loadgen). Two forms are provided:
+//
+//   - Zipf, a sampler producing Zipf-distributed ranks in [0, n) from a
+//     seeded RNG — deterministic for a given (seed, n, theta), so the same
+//     run replays byte-identically;
+//   - ZipfShares, the closed-form probability mass of each rank — for
+//     callers that want deterministic *shares* (e.g. splitting an offered
+//     load across tenants by popularity) rather than a sample stream.
+//
+// Skew convention follows the YCSB/Gray parameterization: rank i is drawn
+// with probability proportional to 1/i^theta, theta in [0, 1). theta→0
+// approaches uniform; theta 0.99 is the standard "heavily skewed" setting.
+
+// Zipf generates Zipf-distributed integers in [0, n) with exponent theta.
+// This implementation precomputes the normalization constant and samples by
+// inversion with the harmonic approximation (Gray et al.'s method, as used
+// by YCSB), which is accurate enough for workload skew modelling and costs
+// one RNG draw plus one Pow per sample.
+type Zipf struct {
+	rng   *RNG
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with skew theta (0 ≤ theta < 1;
+// theta→0 approaches uniform). The sampler draws exclusively from rng, so
+// two samplers built over equal (seed, n, theta) produce identical
+// sequences.
+func NewZipf(rng *RNG, n uint64, theta float64) *Zipf {
+	z := &Zipf{rng: rng, n: n, theta: theta}
+	z.zeta2 = zetaStatic(2, theta)
+	z.zetan = zetaStatic(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zetaStatic(n uint64, theta float64) float64 {
+	// Exact for small n; integral approximation beyond a cutoff keeps setup
+	// cost bounded for large key spaces.
+	const cutoff = 1 << 20
+	if n <= cutoff {
+		sum := 0.0
+		for i := uint64(1); i <= n; i++ {
+			sum += 1 / math.Pow(float64(i), theta)
+		}
+		return sum
+	}
+	sum := 0.0
+	for i := uint64(1); i <= cutoff; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	// ∫ x^-theta dx from cutoff to n.
+	sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(cutoff), 1-theta)) / (1 - theta)
+	return sum
+}
+
+// Next returns the next Zipf variate in [0, n). Rank 0 is the most popular.
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// ZipfShares returns the exact probability mass of each rank in a Zipf
+// distribution over n items with skew theta: shares[i] ∝ 1/(i+1)^theta,
+// normalized to sum to 1. It involves no randomness — the workhorse for
+// deterministically splitting an aggregate rate across n tenants by
+// popularity rank. theta 0 yields equal shares; n ≤ 0 returns nil.
+func ZipfShares(n int, theta float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	shares := make([]float64, n)
+	sum := 0.0
+	for i := range shares {
+		shares[i] = 1 / math.Pow(float64(i+1), theta)
+		sum += shares[i]
+	}
+	for i := range shares {
+		shares[i] /= sum
+	}
+	return shares
+}

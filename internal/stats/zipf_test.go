@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(NewRNG(77), 4096, 0.99)
+	b := NewZipf(NewRNG(77), 4096, 0.99)
+	for i := 0; i < 10000; i++ {
+		va, vb := a.Next(), b.Next()
+		if va != vb {
+			t.Fatalf("same-seed Zipf diverged at draw %d: %d != %d", i, va, vb)
+		}
+	}
+}
+
+func TestZipfFrequencyDistribution(t *testing.T) {
+	// Empirical rank frequencies should track the closed-form shares: rank
+	// popularity decreasing, and the head ranks near their expected mass.
+	const n, theta, draws = 100, 0.99, 200000
+	z := NewZipf(NewRNG(31), n, theta)
+	counts := make([]float64, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	shares := ZipfShares(n, theta)
+	for rank := 0; rank < 5; rank++ {
+		got := counts[rank] / draws
+		want := shares[rank]
+		if math.Abs(got-want) > 0.25*want+0.005 {
+			t.Fatalf("rank %d frequency %.4f, want ~%.4f", rank, got, want)
+		}
+	}
+	// Popularity must decay: the first decile out-draws the last decile by
+	// a wide margin under theta 0.99.
+	var head, tail float64
+	for i := 0; i < n/10; i++ {
+		head += counts[i]
+		tail += counts[n-1-i]
+	}
+	if head < 5*tail {
+		t.Fatalf("head decile %v not ≫ tail decile %v", head, tail)
+	}
+}
+
+func TestZipfSharesProperties(t *testing.T) {
+	shares := ZipfShares(64, 0.9)
+	sum := 0.0
+	for i, s := range shares {
+		sum += s
+		if s <= 0 {
+			t.Fatalf("share[%d] = %g, want > 0", i, s)
+		}
+		if i > 0 && s > shares[i-1] {
+			t.Fatalf("shares not decreasing at %d: %g > %g", i, s, shares[i-1])
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %g, want 1", sum)
+	}
+	// Ratio between rank 0 and rank 9 must follow 10^theta.
+	want := math.Pow(10, 0.9)
+	if got := shares[0] / shares[9]; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("share ratio 0/9 = %g, want %g", got, want)
+	}
+	// theta 0 is uniform.
+	for _, s := range ZipfShares(10, 0) {
+		if math.Abs(s-0.1) > 1e-12 {
+			t.Fatalf("theta=0 share %g, want 0.1", s)
+		}
+	}
+	if ZipfShares(0, 1) != nil {
+		t.Fatal("ZipfShares(0) must be nil")
+	}
+}

@@ -90,6 +90,15 @@ func (h *Histogram) Observe(v uint64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// Bucket returns the count in log2 bucket bit: observations v with
+// bits.Len64(v) == bit, i.e. 2^(bit-1) ≤ v < 2^bit (bit 0 holds v == 0).
+func (h *Histogram) Bucket(bit int) uint64 {
+	if bit < 0 || bit >= histBuckets {
+		return 0
+	}
+	return h.buckets[bit]
+}
+
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() uint64 { return h.sum }
 
@@ -99,6 +108,42 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the approximate q-quantile (0 ≤ q ≤ 1) of the recorded
+// observations. The target rank selects a log2 bucket [2^(bit-1), 2^bit);
+// the rank's position among that bucket's observations then interpolates
+// linearly inside the bucket, so quantiles do not snap to powers of two.
+// Accuracy is bounded by the bucket width (a factor of two), adequate for
+// SLO-style latency thresholds; use stats.Histogram where ~4% relative
+// error matters.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.count)
+	var cum uint64
+	for bit, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= target {
+			if bit == 0 {
+				return 0
+			}
+			lo := float64(uint64(1) << uint(bit-1))
+			frac := (target - float64(cum)) / float64(c)
+			return lo + frac*lo // bucket spans [lo, 2*lo)
+		}
+		cum += c
+	}
+	return 0
 }
 
 // Reset zeroes the histogram.

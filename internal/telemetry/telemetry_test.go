@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"sort"
 	"strings"
 	"testing"
 
@@ -215,5 +216,66 @@ func TestJSONDumpDeterministicAndComplete(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Fatalf("dump missing %q:\n%s", want, s)
 		}
+	}
+}
+
+func TestHistogramQuantileInterpolates(t *testing.T) {
+	// Against an exact sorted reference over a uniform distribution the
+	// log2-bucket interpolation should land well inside the factor-of-two
+	// bucket width (uniform mass is the interpolation's model, so the error
+	// is dominated by within-bucket density mismatch at the extremes).
+	h := &Histogram{}
+	const n = 100000
+	samples := make([]uint64, 0, n)
+	seed := uint64(12345)
+	for i := 0; i < n; i++ {
+		// splitmix-style scramble for a cheap deterministic uniform stream.
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		v := (z^(z>>27))%1_000_000 + 1
+		h.Observe(v)
+		samples = append(samples, v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		want := float64(samples[int(q*float64(n-1))])
+		relErr := got/want - 1
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		if relErr > 0.30 {
+			t.Errorf("q=%v: interpolated %.0f vs exact %.0f (rel err %.3f)", q, got, want, relErr)
+		}
+	}
+	// Monotone in q and bounded by the bucket ceiling.
+	prev := 0.0
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %f < %f", q, v, prev)
+		}
+		prev = v
+	}
+	if h.Quantile(1) > 1<<21 {
+		t.Fatalf("q=1 escaped the top bucket: %f", h.Quantile(1))
+	}
+	if (&Histogram{}).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+}
+
+func TestHistogramQuantileZeroBucket(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 10; i++ {
+		h.Observe(0)
+	}
+	h.Observe(1024)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("median of mostly-zero observations = %f, want 0", got)
+	}
+	if got := h.Quantile(0.99); got < 1024 || got >= 2048 {
+		t.Fatalf("p99 = %f, want within [1024, 2048)", got)
 	}
 }
