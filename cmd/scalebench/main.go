@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	scalebench list                 # show experiment ids
+//	scalebench -list                # show experiment ids
+//	scalebench list                 # same, as a subcommand
 //	scalebench run fig8 [fig9 ...]  # run selected experiments
 //	scalebench all                  # run everything
 //
@@ -34,6 +35,7 @@ import (
 )
 
 func main() {
+	list := flag.Bool("list", false, "print registered experiments and exit")
 	quick := flag.Bool("quick", false, "shrunken sweeps (CI-sized)")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
 	seed := flag.Uint64("seed", 1, "simulation seed")
@@ -42,6 +44,11 @@ func main() {
 	faultsPath := flag.String("faults", "", "fault scenario (JSON) to install on every experiment cluster")
 	artifactsDir := flag.String("artifacts", "", "directory to write experiment artifacts (BENCH_*.json)")
 	flag.Parse()
+
+	if *list {
+		listExperiments()
+		return
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -77,9 +84,7 @@ func main() {
 
 	switch args[0] {
 	case "list":
-		for _, e := range bench.Experiments() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
-		}
+		listExperiments()
 		return
 	case "all":
 		var ids []string
@@ -141,9 +146,15 @@ func runAll(ids []string, opts bench.Options, csvDir, artifactsDir string) {
 	}
 }
 
+func listExperiments() {
+	for _, e := range bench.Experiments() {
+		fmt.Printf("%-10s %s\n", e.ID, e.Title)
+	}
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  scalebench list
+  scalebench -list | list
   scalebench run <id> [<id>...]
   scalebench all
   scalebench [-quick] [-csv DIR] [-seed N] [-duration MS] [-metrics FILE] [-faults FILE] [-artifacts DIR] <id>...`)

@@ -1,0 +1,275 @@
+// Elastic membership for the RawWrite baseline, mirroring the ScaleRPC
+// control-plane integration so the churn experiment compares like with
+// like. The structural difference is on-message: RawWrite's statically
+// mapped pool has no scheduler to regroup, so a departed client's zone
+// keeps its static mapping (and the server keeps sweeping it) until the
+// control plane drops the client outright — the footprint never shrinks
+// on a graceful leave, which is exactly the design the paper criticizes.
+package rawrpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"scalerpc/internal/ctrlplane"
+	"scalerpc/internal/host"
+	"scalerpc/internal/memory"
+	"scalerpc/internal/nic"
+	"scalerpc/internal/rpcwire"
+	"scalerpc/internal/sim"
+)
+
+// ServiceName is the control-plane service a RawWrite server registers.
+const ServiceName = "rawrpc"
+
+// Join request payload: respAddr u64 | respRKey u32.
+const joinReqSize = 8 + 4
+
+// Join/resume response payload: id u16 (the zone is the id — static map).
+const joinRespSize = 2
+
+// ErrNotManaged is returned by Rejoin on a connection that was admitted
+// through the legacy Connect backdoor rather than the control plane.
+var ErrNotManaged = errors.New("rawrpc: connection not admitted through the control plane")
+
+// BindControlPlane registers this server with its host's control-plane
+// manager so clients can Join in-band.
+func (s *Server) BindControlPlane(m *ctrlplane.Manager) {
+	if m.Host() != s.Host {
+		panic("rawrpc: control-plane manager runs on a different host")
+	}
+	m.RegisterService(ServiceName, &ctrlAdapter{s: s})
+}
+
+type ctrlAdapter struct{ s *Server }
+
+// Accept admits a new client on the next static zone (reusing zones of
+// dropped clients). A cold rejoin with the same response region reclaims
+// the still-parked identity.
+func (a *ctrlAdapter) Accept(t *host.Thread, peer int, qp *nic.QP, payload []byte) ([]byte, uint64, error) {
+	s := a.s
+	if len(payload) != joinReqSize {
+		return nil, 0, fmt.Errorf("rawrpc: join payload is %d bytes, want %d", len(payload), joinReqSize)
+	}
+	if cs := s.findParked(payload); cs != nil {
+		cs.parked = false
+		cs.qp = qp
+		return joinResp(cs), uint64(cs.id) + 1, nil
+	}
+	id, err := s.allocID()
+	if err != nil {
+		return nil, 0, err
+	}
+	cs := &clientState{
+		id:       id,
+		qp:       qp,
+		zone:     int(id),
+		respAddr: binary.LittleEndian.Uint64(payload),
+		respRKey: binary.LittleEndian.Uint32(payload[8:]),
+	}
+	if int(id) == len(s.clients) {
+		s.clients = append(s.clients, cs)
+	} else {
+		// A reused zone may hold stale valid blocks from its previous
+		// occupant; clear them so the sweep doesn't serve ghosts.
+		for b := 0; b < s.Cfg.BlocksPerClient; b++ {
+			rpcwire.Clear(s.pool.Block(cs.zone, b))
+		}
+		s.clients[id] = cs
+	}
+	return joinResp(cs), uint64(id) + 1, nil
+}
+
+// Resume reactivates a parked client. Cached pairs are fungible, so the
+// caller is identified by its region payload and its id becomes the
+// connection's new handle.
+func (a *ctrlAdapter) Resume(t *host.Thread, peer int, qp *nic.QP, payload []byte, handle uint64) ([]byte, uint64, error) {
+	cs := a.s.findParked(payload)
+	if cs == nil {
+		return nil, 0, errors.New("rawrpc: no parked client matches the resume payload")
+	}
+	cs.parked = false
+	cs.qp = qp
+	return joinResp(cs), uint64(cs.id) + 1, nil
+}
+
+// Closed handles departures. A graceful leave only marks the client
+// parked — the zone stays mapped and swept. Every other reason drops the
+// client and frees its zone.
+func (a *ctrlAdapter) Closed(peer int, handle uint64, reason ctrlplane.CloseReason) {
+	s := a.s
+	if handle == 0 || handle > uint64(len(s.clients)) {
+		return
+	}
+	cs := s.clients[handle-1]
+	if cs == nil {
+		return
+	}
+	if reason == ctrlplane.CloseLeave {
+		cs.parked = true
+		return
+	}
+	if reason == ctrlplane.CloseTeardown && !cs.parked {
+		// Teardown of an orphaned cached pair whose identity has since
+		// resumed elsewhere.
+		return
+	}
+	s.clients[cs.id] = nil
+	s.freeIDs = append(s.freeIDs, cs.id)
+}
+
+func joinResp(cs *clientState) []byte {
+	resp := make([]byte, joinRespSize)
+	binary.LittleEndian.PutUint16(resp, cs.id)
+	return resp
+}
+
+func (s *Server) allocID() (uint16, error) {
+	if n := len(s.freeIDs); n > 0 {
+		id := s.freeIDs[n-1]
+		s.freeIDs = s.freeIDs[:n-1]
+		return id, nil
+	}
+	if len(s.clients) >= s.Cfg.MaxClients {
+		return 0, fmt.Errorf("rawrpc: server full (%d clients)", s.Cfg.MaxClients)
+	}
+	return uint16(len(s.clients)), nil
+}
+
+// findParked returns the parked client whose response region matches the
+// join payload, scanning in id order for determinism.
+func (s *Server) findParked(payload []byte) *clientState {
+	if len(payload) != joinReqSize {
+		return nil
+	}
+	respAddr := binary.LittleEndian.Uint64(payload)
+	respRKey := binary.LittleEndian.Uint32(payload[8:])
+	for _, cs := range s.clients {
+		if cs != nil && cs.parked && cs.respAddr == respAddr && cs.respRKey == respRKey {
+			return cs
+		}
+	}
+	return nil
+}
+
+// Join admits a client through the control plane: register the regions,
+// dial the server's manager, and build a Conn on the dialed QP. t must run
+// on the client host.
+func (s *Server) Join(t *host.Thread, dir *ctrlplane.Directory, sig *sim.Signal) (*Conn, error) {
+	ch := t.Host
+	mgr := dir.Manager(ch.ID)
+	if mgr == nil {
+		return nil, fmt.Errorf("rawrpc: no control-plane manager on host %d", ch.ID)
+	}
+	stage := ch.Mem.Register(s.Cfg.BlockSize*s.Cfg.BlocksPerClient,
+		memory.PageSize2M, memory.LocalWrite|memory.RemoteRead)
+	respReg := ch.Mem.Register(s.Cfg.BlockSize*(s.Cfg.BlocksPerClient+1),
+		memory.PageSize2M, memory.LocalWrite|memory.RemoteWrite)
+	c := &Conn{
+		h:     ch,
+		s:     s,
+		stage: stage,
+		resp:  rpcwire.NewPool(respReg, s.Cfg.BlockSize, s.Cfg.BlocksPerClient+1, 1),
+		sig:   sig,
+		slots: make([]slot, s.Cfg.BlocksPerClient),
+		nfree: s.Cfg.BlocksPerClient,
+		mgr:   mgr,
+	}
+	cp, err := mgr.Dial(t, s.Host.ID, ServiceName, c.joinPayload())
+	if err != nil {
+		return nil, err
+	}
+	if err := c.adoptDial(cp); err != nil {
+		return nil, err
+	}
+	ch.NIC.WatchRegion(respReg.RKey, sig)
+	return c, nil
+}
+
+// ID returns the server-assigned client id (also the static zone).
+func (c *Conn) ID() uint16 { return c.id }
+
+// Left reports whether the connection is currently departed.
+func (c *Conn) Left() bool { return c.left }
+
+// Leave departs gracefully: the QP pair parks in the connection cache.
+// RawWrite has no scheduler to tell — the zone stays mapped and requests
+// already written there are still served (responses land in the response
+// region and are picked up after Rejoin).
+func (c *Conn) Leave(t *host.Thread) {
+	if c.cp == nil || c.left {
+		return
+	}
+	c.cp.Close(t)
+	c.left = true
+}
+
+// Rejoin re-admits a departed (or failed) connection. A cache hit resumes
+// under the same id; a cold handshake may assign a new id (new zone), in
+// which case unanswered staged requests are re-posted into the new zone.
+func (c *Conn) Rejoin(t *host.Thread) error {
+	if c.mgr == nil {
+		return ErrNotManaged
+	}
+	if !c.left && c.qp.Err() == nil {
+		return nil
+	}
+	oldID := c.id
+	cp, err := c.mgr.Dial(t, c.s.Host.ID, ServiceName, c.joinPayload())
+	if err != nil {
+		return err
+	}
+	if err := c.adoptDial(cp); err != nil {
+		return err
+	}
+	c.left = false
+	if c.id != oldID {
+		c.repostStaged(t)
+	}
+	return nil
+}
+
+func (c *Conn) joinPayload() []byte {
+	p := make([]byte, joinReqSize)
+	binary.LittleEndian.PutUint64(p, c.resp.Region.Base)
+	binary.LittleEndian.PutUint32(p[8:], c.resp.Region.RKey)
+	return p
+}
+
+func (c *Conn) adoptDial(cp *ctrlplane.Conn) error {
+	if len(cp.Payload) != joinRespSize {
+		return fmt.Errorf("rawrpc: join response is %d bytes, want %d", len(cp.Payload), joinRespSize)
+	}
+	c.cp = cp
+	c.qp = cp.QP
+	c.id = binary.LittleEndian.Uint16(cp.Payload)
+	c.zone = int(c.id)
+	return nil
+}
+
+// repostStaged RDMA-writes every busy slot's staged request into the new
+// zone after a cold rejoin changed the id. The server derives identity
+// from the zone, so the staged bytes need no restamp; the old zone's
+// leftovers are cleared when that id is reused.
+func (c *Conn) repostStaged(t *host.Thread) {
+	for b := range c.slots {
+		if !c.slots[b].busy {
+			continue
+		}
+		blockOff := b * c.s.Cfg.BlockSize
+		off, span := rpcwire.EncodedSpan(c.s.Cfg.BlockSize, c.slots[b].msgLen)
+		wr := nic.SendWR{
+			Op:    nic.OpWrite,
+			LKey:  c.stage.LKey,
+			LAddr: c.stage.Base + uint64(blockOff+off),
+			Len:   span,
+			RKey:  c.s.pool.RKey(),
+			RAddr: c.s.pool.BlockAddr(c.zone, b) + uint64(off),
+		}
+		if span <= c.h.NIC.Cfg.MaxInline {
+			wr.Inline = true
+		}
+		t.PostSend(c.qp, wr)
+	}
+}

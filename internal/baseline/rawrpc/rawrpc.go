@@ -13,6 +13,7 @@ package rawrpc
 import (
 	"fmt"
 
+	"scalerpc/internal/ctrlplane"
 	"scalerpc/internal/host"
 	"scalerpc/internal/memory"
 	"scalerpc/internal/nic"
@@ -57,6 +58,10 @@ type Server struct {
 	clients  []*clientState
 	workers  []*worker
 	started  bool
+
+	// freeIDs holds zones released by the control-plane adapter when a
+	// client is dropped (lease expiry, cache teardown).
+	freeIDs []uint16
 }
 
 // clientState is the server-side view of one connected client.
@@ -66,6 +71,10 @@ type clientState struct {
 	zone     int
 	respAddr uint64 // base of the client's response zone
 	respRKey uint32
+
+	// parked marks a control-plane client that gracefully left; the zone
+	// stays statically mapped (and swept) until the client is dropped.
+	parked bool
 }
 
 // scratchRing is the number of response staging blocks per worker; the
@@ -238,11 +247,18 @@ type Conn struct {
 	sig   *sim.Signal
 	slots []slot
 	nfree int
+
+	// Control-plane membership state (membership.go); nil/false for
+	// connections admitted through the legacy Connect backdoor.
+	mgr  *ctrlplane.Manager
+	cp   *ctrlplane.Conn
+	left bool
 }
 
 type slot struct {
-	busy  bool
-	reqID uint64
+	busy   bool
+	reqID  uint64
+	msgLen int // encoded message length, for control-plane re-posting
 }
 
 // Connect registers a new client on the server and builds its endpoint.
@@ -296,7 +312,7 @@ func (c *Conn) Outstanding() int { return len(c.slots) - c.nfree }
 
 // TrySend posts one request into a free slot of the client's server zone.
 func (c *Conn) TrySend(t *host.Thread, handler uint8, payload []byte, reqID uint64) bool {
-	if c.nfree == 0 {
+	if c.left || c.nfree == 0 {
 		return false
 	}
 	b := -1
@@ -331,13 +347,16 @@ func (c *Conn) TrySend(t *host.Thread, handler uint8, payload []byte, reqID uint
 	if err := t.PostSend(c.qp, wr); err != nil {
 		return false
 	}
-	c.slots[b] = slot{busy: true, reqID: reqID}
+	c.slots[b] = slot{busy: true, reqID: reqID, msgLen: len(msg)}
 	c.nfree--
 	return true
 }
 
 // Poll scans this connection's in-flight response slots.
 func (c *Conn) Poll(t *host.Thread, fn func(rpccore.Response)) int {
+	if c.left {
+		return 0
+	}
 	got := 0
 	for b := range c.slots {
 		if !c.slots[b].busy {

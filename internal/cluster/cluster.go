@@ -6,6 +6,7 @@
 package cluster
 
 import (
+	"scalerpc/internal/ctrlplane"
 	"scalerpc/internal/fabric"
 	"scalerpc/internal/faults"
 	"scalerpc/internal/host"
@@ -54,6 +55,10 @@ type Cluster struct {
 	// Faults is the installed fault plane, nil on clean runs. Set by
 	// InstallFaults.
 	Faults *faults.Plane
+
+	// Ctrl is the connection control plane, built lazily by CtrlPlane so
+	// clusters that never dial in-band pay no extra simulation events.
+	Ctrl *ctrlplane.Directory
 }
 
 // New builds a cluster from cfg.
@@ -92,8 +97,24 @@ func (c *Cluster) InstallFaults(sc *faults.Scenario) *faults.Plane {
 	return p
 }
 
+// CtrlPlane builds (on first call) and returns the connection control
+// plane: one started ctrlplane.Manager per host, resolvable through the
+// returned directory. Production-style wiring dials through this — the
+// in-band, costed handshake — while ConnectRC/ConnectUC below remain the
+// zero-cost test backdoors.
+func (c *Cluster) CtrlPlane() *ctrlplane.Directory {
+	if c.Ctrl == nil {
+		c.Ctrl = ctrlplane.NewDirectory()
+		for _, h := range c.Hosts {
+			ctrlplane.NewManager(h, ctrlplane.DefaultConfig(), c.Ctrl).Start()
+		}
+	}
+	return c.Ctrl
+}
+
 // ConnectRC creates and connects an RC QP pair between hosts a and b using
-// the given CQs (out-of-band setup).
+// the given CQs. This is the out-of-band, zero-cost test backdoor
+// (nic.Connect); production wiring goes through CtrlPlane.
 func (c *Cluster) ConnectRC(a, b *host.Host, aSend, aRecv, bSend, bRecv *nic.CQ) (*nic.QP, *nic.QP) {
 	qa := a.NIC.CreateQP(nic.RC, aSend, aRecv)
 	qb := b.NIC.CreateQP(nic.RC, bSend, bRecv)

@@ -1,0 +1,241 @@
+package ctrlplane_test
+
+import (
+	"testing"
+
+	"scalerpc/internal/cluster"
+	"scalerpc/internal/ctrlplane"
+	"scalerpc/internal/faults"
+	"scalerpc/internal/host"
+	"scalerpc/internal/memory"
+	"scalerpc/internal/nic"
+	"scalerpc/internal/sim"
+)
+
+// step drives the simulation in small increments until cond holds or limit
+// virtual time elapses (cluster procs run forever, so Env.Run never idles).
+func step(t *testing.T, c *cluster.Cluster, limit sim.Duration, cond func() bool) {
+	t.Helper()
+	deadline := c.Env.Now() + limit
+	for !cond() {
+		if c.Env.Now() >= deadline {
+			t.Fatalf("condition not reached within %d ns", limit)
+		}
+		c.Env.RunUntil(c.Env.Now() + 10_000)
+	}
+}
+
+// testPlane builds a cluster with managers using cfg and an echo service on
+// host 0.
+func testPlane(t *testing.T, hosts int, cfg ctrlplane.Config) (*cluster.Cluster, *ctrlplane.Directory, *ctrlplane.EchoService) {
+	t.Helper()
+	c := cluster.New(cluster.Default(hosts))
+	t.Cleanup(c.Close)
+	dir := ctrlplane.NewDirectory()
+	for _, h := range c.Hosts {
+		ctrlplane.NewManager(h, cfg, dir).Start()
+	}
+	svc := ctrlplane.NewEchoService()
+	dir.Manager(0).RegisterService("echo", svc)
+	return c, dir, svc
+}
+
+func TestDialColdThenCachedResume(t *testing.T) {
+	c, dir, svc := testPlane(t, 2, ctrlplane.DefaultConfig())
+	m := dir.Manager(1)
+
+	var conn *ctrlplane.Conn
+	var coldNs, cachedNs sim.Duration
+	var dialErr error
+	done := 0
+	c.Hosts[1].Spawn("dialer", func(th *host.Thread) {
+		start := th.P.Now()
+		conn, dialErr = m.Dial(th, 0, "echo", []byte("hello"))
+		coldNs = th.P.Now() - start
+		done = 1
+		if dialErr != nil {
+			return
+		}
+		conn.Close(th)
+		th.P.Sleep(20_000)
+		start = th.P.Now()
+		conn, dialErr = m.Dial(th, 0, "echo", []byte("again"))
+		cachedNs = th.P.Now() - start
+		done = 2
+	})
+	step(t, c, 5_000_000, func() bool { return done == 2 })
+	if dialErr != nil {
+		t.Fatal(dialErr)
+	}
+	if string(conn.Payload) != "again" {
+		t.Fatalf("payload = %q, want echo of dial payload", conn.Payload)
+	}
+	if !conn.Cached {
+		t.Fatal("second dial should resume from cache")
+	}
+	if svc.Live == nil || len(svc.Live) != 1 {
+		t.Fatalf("service live handles = %d, want 1", len(svc.Live))
+	}
+	// Cold setup pays CreateQP + INIT/RTR/RTS on both sides; the cached
+	// resume is a single control round trip. The ≥10x separation is the
+	// connsetup acceptance bar.
+	if coldNs < 40_000 {
+		t.Fatalf("cold dial took %d ns; QP setup latencies not charged", coldNs)
+	}
+	if cachedNs*10 > coldNs {
+		t.Fatalf("cached dial %d ns vs cold %d ns: want >=10x cheaper", cachedNs, coldNs)
+	}
+	st := m.Stats
+	if st.DialsCold != 1 || st.DialsCached != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want 1 cold, 1 cached, 1 hit", st)
+	}
+}
+
+// TestDialedPairCarriesData proves the in-band handshake exchanges working
+// QPN/PSN state: an RDMA write posted on the dialed QP lands in the
+// server-side region.
+func TestDialedPairCarriesData(t *testing.T) {
+	c, dir, _ := testPlane(t, 2, ctrlplane.DefaultConfig())
+
+	dst := c.Hosts[0].Mem.Register(4096, memory.PageSize4K,
+		memory.LocalWrite|memory.RemoteWrite)
+	src := c.Hosts[1].Mem.Register(4096, memory.PageSize4K, memory.LocalWrite)
+	copy(src.Bytes(), "in-band!")
+
+	done := false
+	c.Hosts[1].Spawn("writer", func(th *host.Thread) {
+		conn, err := dir.Manager(1).Dial(th, 0, "echo", nil)
+		if err != nil {
+			t.Error(err)
+			done = true
+			return
+		}
+		if conn.QP.State() != nic.QPRTS {
+			t.Errorf("dialed QP state = %v, want RTS", conn.QP.State())
+		}
+		th.PostSend(conn.QP, nic.SendWR{
+			WRID: 1, Op: nic.OpWrite, Signaled: true,
+			LKey: src.LKey, LAddr: src.Base, Len: 8,
+			RKey: dst.RKey, RAddr: dst.Base,
+		})
+		done = true
+	})
+	step(t, c, 5_000_000, func() bool { return done && string(dst.Bytes()[:8]) == "in-band!" })
+}
+
+func TestDialUnknownServiceRejected(t *testing.T) {
+	c, dir, _ := testPlane(t, 2, ctrlplane.DefaultConfig())
+	var err error
+	done := false
+	c.Hosts[1].Spawn("dialer", func(th *host.Thread) {
+		_, err = dir.Manager(1).Dial(th, 0, "nope", nil)
+		done = true
+	})
+	step(t, c, 5_000_000, func() bool { return done })
+	var rej *ctrlplane.RejectError
+	if err == nil {
+		t.Fatal("dial to unknown service succeeded")
+	}
+	if ok := errorsAs(err, &rej); !ok {
+		t.Fatalf("err = %v, want RejectError", err)
+	}
+}
+
+func errorsAs(err error, target **ctrlplane.RejectError) bool {
+	if e, ok := err.(*ctrlplane.RejectError); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+// TestLeaseExpiryOnCrash crashes the client host; its keepalives stop (the
+// fault plane drops everything to/from a down node) and the server evicts
+// the connection when the lease lapses.
+func TestLeaseExpiryOnCrash(t *testing.T) {
+	cfg := ctrlplane.DefaultConfig()
+	c := cluster.New(cluster.Default(2))
+	t.Cleanup(c.Close)
+	plane := c.InstallFaults(&faults.Scenario{Name: "crash-client"})
+	dir := ctrlplane.NewDirectory()
+	for _, h := range c.Hosts {
+		ctrlplane.NewManager(h, cfg, dir).Start()
+	}
+	svc := ctrlplane.NewEchoService()
+	srv := dir.Manager(0)
+	srv.RegisterService("echo", svc)
+
+	dialed := false
+	c.Hosts[1].Spawn("dialer", func(th *host.Thread) {
+		if _, err := dir.Manager(1).Dial(th, 0, "echo", nil); err != nil {
+			t.Error(err)
+		}
+		dialed = true
+	})
+	step(t, c, 5_000_000, func() bool { return dialed && srv.ActiveConns() == 1 })
+
+	plane.CrashNode(1)
+	step(t, c, 10*cfg.LeaseTTL, func() bool { return srv.ActiveConns() == 0 })
+	if srv.Stats.LeaseExpiries != 1 {
+		t.Fatalf("lease expiries = %d, want 1", srv.Stats.LeaseExpiries)
+	}
+	if len(svc.Dropped) != 1 {
+		t.Fatalf("dropped handles = %d, want 1", len(svc.Dropped))
+	}
+	for _, reason := range svc.Dropped {
+		if reason != ctrlplane.CloseExpired {
+			t.Fatalf("close reason = %v, want expired", reason)
+		}
+	}
+	found := false
+	for _, e := range srv.Events {
+		if e.Kind == "expire" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no expire event logged")
+	}
+}
+
+// TestIdleTeardownAndCapEviction exercises both cache-bounding mechanisms.
+func TestIdleTeardownAndCapEviction(t *testing.T) {
+	cfg := ctrlplane.DefaultConfig()
+	cfg.CacheCap = 2
+	cfg.IdleTimeout = 300_000
+	c, dir, svc := testPlane(t, 2, cfg)
+	srv := dir.Manager(0)
+
+	done := false
+	c.Hosts[1].Spawn("dialer", func(th *host.Thread) {
+		// Hold 4 connections open, then gracefully close them all: the cap
+		// (2) forces two evictions from the server cache.
+		var conns []*ctrlplane.Conn
+		for i := 0; i < 4; i++ {
+			conn, err := dir.Manager(1).Dial(th, 0, "echo", nil)
+			if err != nil {
+				t.Error(err)
+				break
+			}
+			conns = append(conns, conn)
+		}
+		for _, conn := range conns {
+			conn.Close(th)
+			th.P.Sleep(1_000)
+		}
+		done = true
+	})
+	step(t, c, 10_000_000, func() bool { return done })
+	step(t, c, 1_000_000, func() bool { return srv.CachedConns() <= cfg.CacheCap })
+	if srv.Stats.CapEvictions < 2 {
+		t.Fatalf("cap evictions = %d, want >= 2", srv.Stats.CapEvictions)
+	}
+	// The survivors age out via the idle timeout.
+	step(t, c, 20*cfg.IdleTimeout, func() bool { return srv.CachedConns() == 0 })
+	if srv.Stats.IdleTeardowns == 0 {
+		t.Fatal("no idle teardowns recorded")
+	}
+	if len(svc.Parked) != 0 {
+		t.Fatalf("service still has %d parked handles after teardown", len(svc.Parked))
+	}
+}

@@ -1,0 +1,52 @@
+package ctrlplane
+
+import (
+	"scalerpc/internal/host"
+	"scalerpc/internal/nic"
+)
+
+// EchoService is a minimal Service for tests and control-plane benchmarks:
+// it accepts every connection, echoes the dial payload back, and tracks
+// which handles are live or parked.
+type EchoService struct {
+	next    uint64
+	Live    map[uint64]int // handle → peer
+	Parked  map[uint64]int
+	Dropped map[uint64]CloseReason
+}
+
+// NewEchoService returns an empty echo service.
+func NewEchoService() *EchoService {
+	return &EchoService{
+		Live:    map[uint64]int{},
+		Parked:  map[uint64]int{},
+		Dropped: map[uint64]CloseReason{},
+	}
+}
+
+// Accept implements Service.
+func (e *EchoService) Accept(t *host.Thread, peer int, qp *nic.QP, payload []byte) ([]byte, uint64, error) {
+	e.next++
+	e.Live[e.next] = peer
+	return append([]byte(nil), payload...), e.next, nil
+}
+
+// Resume implements Service. Echo connections carry no per-connection
+// state, so the parked handle is kept as-is.
+func (e *EchoService) Resume(t *host.Thread, peer int, qp *nic.QP, payload []byte, handle uint64) ([]byte, uint64, error) {
+	delete(e.Parked, handle)
+	e.Live[handle] = peer
+	return append([]byte(nil), payload...), handle, nil
+}
+
+// Closed implements Service.
+func (e *EchoService) Closed(peer int, handle uint64, reason CloseReason) {
+	if reason == CloseLeave {
+		delete(e.Live, handle)
+		e.Parked[handle] = peer
+		return
+	}
+	delete(e.Live, handle)
+	delete(e.Parked, handle)
+	e.Dropped[handle] = reason
+}

@@ -155,6 +155,31 @@ func (t *Thread) PostSend(qp *nic.QP, wr nic.SendWR) error {
 	return qp.PostSend(wr)
 }
 
+// CreateQP allocates a queue pair, charging the modeled QP-creation
+// latency (a command-queue round trip to NIC firmware) as blocked time.
+func (t *Thread) CreateQP(typ nic.QPType, sendCQ, recvCQ *nic.CQ) *nic.QP {
+	t.Work(t.Host.Cfg.BaseOpCost)
+	if d := t.Host.NIC.Cfg.CreateQPCost; d > 0 {
+		t.P.Sleep(d)
+	}
+	return t.Host.NIC.CreateQP(typ, sendCQ, recvCQ)
+}
+
+// ModifyQP drives one QP state transition, charging the modeled ModifyQP
+// verb latency as blocked time so connection setup is visible in virtual
+// time.
+func (t *Thread) ModifyQP(qp *nic.QP, to nic.QPState, attr nic.ModifyAttr) error {
+	t.Work(t.Host.Cfg.BaseOpCost)
+	d, err := qp.Modify(to, attr)
+	if err != nil {
+		return err
+	}
+	if d > 0 {
+		t.P.Sleep(d)
+	}
+	return nil
+}
+
 // PostRecv charges CPU cost and posts a receive.
 func (t *Thread) PostRecv(qp *nic.QP, wr nic.RecvWR) error {
 	t.Work(t.Host.Cfg.BaseOpCost + 100)

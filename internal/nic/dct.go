@@ -29,7 +29,7 @@ const (
 // CreateDCTInitiator returns a DCT initiator QP. Work requests must carry
 // DstNIC/DstQPN of a DCT target.
 func (n *NIC) CreateDCTInitiator(sendCQ, recvCQ *CQ) *QP {
-	qp := &QP{nic: n, QPN: n.allocQPN(), Type: DCT, SendCQ: sendCQ, RecvCQ: recvCQ}
+	qp := &QP{nic: n, QPN: n.allocQPN(), Type: DCT, SendCQ: sendCQ, RecvCQ: recvCQ, state: QPRTS}
 	qp.dctDstNIC = -1
 	n.qps[qp.QPN] = qp
 	return qp
@@ -38,7 +38,7 @@ func (n *NIC) CreateDCTInitiator(sendCQ, recvCQ *CQ) *QP {
 // CreateDCTTarget returns a DCT target QP: the passive endpoint remote
 // initiators address. Post receives to it for SEND traffic.
 func (n *NIC) CreateDCTTarget(sendCQ, recvCQ *CQ) *QP {
-	qp := &QP{nic: n, QPN: n.allocQPN(), Type: DCTTarget, SendCQ: sendCQ, RecvCQ: recvCQ}
+	qp := &QP{nic: n, QPN: n.allocQPN(), Type: DCTTarget, SendCQ: sendCQ, RecvCQ: recvCQ, state: QPRTS}
 	n.qps[qp.QPN] = qp
 	return qp
 }

@@ -244,6 +244,7 @@ func (n *NIC) processOut(job outJob) (occ sim.Duration, extraLat sim.Duration, a
 
 func (qp *QP) completeLocalError(wr SendWR, err error) {
 	qp.err = err
+	qp.state = QPErr
 	if qp.SendCQ != nil {
 		qp.SendCQ.push(CQE{WRID: wr.WRID, QPN: qp.QPN, Op: wr.Op, Status: CQLocalError})
 	}
@@ -371,6 +372,12 @@ func (n *NIC) reAck(qp *QP, pkt *packet) {
 func (n *NIC) processIn(pkt *packet) (occ sim.Duration, act func()) {
 	n.Stats.InMessages++
 	qp := n.qps[pkt.dstQPN]
+	if qp != nil && pkt.op.isData() && qp.state < QPRTR {
+		// Data arriving before the QP reached RTR lands in the half-open
+		// window of the connect handshake and is undeliverable — exactly as
+		// if the QPN were unknown.
+		qp = nil
+	}
 
 	switch pkt.op {
 	case pktDCTConnect:
@@ -648,6 +655,7 @@ func (n *NIC) remoteError(pkt *packet, qp *QP) {
 func (qp *QP) handleAck(pkt *packet) {
 	if pkt.status != CQOK {
 		qp.err = qp.nic.errorf("remote access error on %v (psn %d)", qp.Type, pkt.psn)
+		qp.state = QPErr
 		qp.nic.Stats.QPErrors++
 		qp.cancelTimer()
 		// Complete the offending WQE with an error.
@@ -808,6 +816,7 @@ func (n *NIC) enterQPError(qp *QP, err error, status CQEStatus) {
 		return
 	}
 	qp.err = err
+	qp.state = QPErr
 	n.Stats.QPErrors++
 	qp.cancelTimer()
 	for i, f := range qp.inflight {
@@ -823,5 +832,27 @@ func (n *NIC) enterQPError(qp *QP, err error, status CQEStatus) {
 	if n.trace.Enabled {
 		n.trace.Emit(n.env.Now(), "qp_error",
 			telemetry.A("nic", int64(n.id)), telemetry.A("qpn", int64(qp.QPN)))
+	}
+}
+
+// flushQP completes every outstanding WQE — unacknowledged sends and posted
+// receives — with CQFlushError: the error-state path, extended to teardown,
+// so DestroyQP and the RESET transition cannot strand completions.
+func (n *NIC) flushQP(qp *QP) {
+	qp.cancelTimer()
+	for _, f := range qp.inflight {
+		if qp.SendCQ != nil {
+			qp.SendCQ.push(CQE{WRID: f.wr.WRID, QPN: qp.QPN, Op: f.wr.Op, Status: CQFlushError})
+		}
+	}
+	qp.inflight = nil
+	for {
+		wr, ok := qp.popRecv()
+		if !ok {
+			break
+		}
+		if qp.RecvCQ != nil {
+			qp.RecvCQ.push(CQE{WRID: wr.WRID, QPN: qp.QPN, Op: OpSend, Status: CQFlushError})
+		}
 	}
 }

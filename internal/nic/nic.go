@@ -108,6 +108,17 @@ type Config struct {
 	// replacement (realistic gradual degradation; the default) to strict
 	// LRU (useful in tests asserting exact eviction behaviour).
 	StrictLRUCaches bool
+
+	// Control-plane verb latencies. CreateQP and each ModifyQP transition
+	// are command-queue round trips to NIC firmware — microseconds, orders
+	// of magnitude slower than a data-path doorbell (Swift measures this as
+	// the bottleneck for elastic workloads). QP.Modify returns the cost;
+	// host.Thread.CreateQP/ModifyQP charge it as blocked time, so raw
+	// nic-level calls in tests stay free.
+	CreateQPCost   sim.Duration
+	ModifyInitCost sim.Duration // RESET→INIT (also RESET recycle, →ERR)
+	ModifyRTRCost  sim.Duration // INIT→RTR (installs peer address/PSN)
+	ModifyRTSCost  sim.Duration // RTR→RTS
 }
 
 // DefaultConfig returns parameters calibrated against the paper's
@@ -129,6 +140,10 @@ func DefaultConfig() Config {
 		UDMTU:            4096,
 		MaxMsg:           2 << 30,
 		CQDepth:          1024,
+		CreateQPCost:     5000,
+		ModifyInitCost:   2000,
+		ModifyRTRCost:    10000,
+		ModifyRTSCost:    5000,
 	}
 }
 

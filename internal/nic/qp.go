@@ -69,12 +69,57 @@ func (o Op) String() string {
 
 // Errors returned by the posting APIs.
 var (
-	ErrVerbUnsupported = errors.New("nic: verb not supported in this mode")
-	ErrMTU             = errors.New("nic: message exceeds transport MTU")
-	ErrNotConnected    = errors.New("nic: QP not connected")
-	ErrInlineTooLarge  = errors.New("nic: inline payload exceeds MaxInline")
-	ErrQPError         = errors.New("nic: QP in error state")
+	ErrVerbUnsupported  = errors.New("nic: verb not supported in this mode")
+	ErrMTU              = errors.New("nic: message exceeds transport MTU")
+	ErrNotConnected     = errors.New("nic: QP not in RTS")
+	ErrInlineTooLarge   = errors.New("nic: inline payload exceeds MaxInline")
+	ErrQPError          = errors.New("nic: QP in error state")
+	ErrAlreadyConnected = errors.New("nic: QP already connected (RESET required)")
+	ErrBadTransition    = errors.New("nic: invalid QP state transition")
 )
+
+// QPState is the queue pair state machine (RESET→INIT→RTR→RTS, plus the
+// terminal error state). Connected transports (RC/UC) are created in RESET
+// and must be walked to RTS — by the in-band ctrlplane handshake, which
+// charges the modeled ModifyQP latencies, or by the Connect test backdoor.
+// Datagram transports (UD/DCT) are created directly in RTS.
+type QPState int
+
+// QP states, in transition order.
+const (
+	QPReset QPState = iota
+	QPInit
+	QPRTR
+	QPRTS
+	QPErr
+)
+
+func (s QPState) String() string {
+	switch s {
+	case QPReset:
+		return "RESET"
+	case QPInit:
+		return "INIT"
+	case QPRTR:
+		return "RTR"
+	case QPRTS:
+		return "RTS"
+	case QPErr:
+		return "ERR"
+	}
+	return "?"
+}
+
+// ModifyAttr carries the connection attributes a ModifyQP transition
+// installs: the peer's address and initial PSN (consumed by the RTR
+// transition on connected transports) and the local initial send PSN
+// (consumed by RTS).
+type ModifyAttr struct {
+	RemoteNIC int
+	RemoteQPN uint32
+	RemotePSN uint64 // peer's initial send PSN → our expected PSN (RTR)
+	LocalPSN  uint64 // our initial send PSN (RTS)
+}
 
 // SendWR is a send work request (single scatter/gather element).
 type SendWR struct {
@@ -250,7 +295,7 @@ type QP struct {
 	SendCQ *CQ
 	RecvCQ *CQ
 
-	connected bool
+	state     QPState
 	remoteNIC int
 	remoteQPN uint32
 
@@ -282,21 +327,96 @@ type QP struct {
 }
 
 // CreateQP creates a queue pair of the given type with the given CQs.
+// Connected transports start in RESET; datagram transports are usable
+// immediately (RTS).
 func (n *NIC) CreateQP(t QPType, sendCQ, recvCQ *CQ) *QP {
 	qp := &QP{nic: n, QPN: n.allocQPN(), Type: t, SendCQ: sendCQ, RecvCQ: recvCQ}
+	switch t {
+	case UD, DCT, DCTTarget:
+		qp.state = QPRTS
+	default:
+		qp.state = QPReset
+	}
 	n.qps[qp.QPN] = qp
 	return qp
 }
 
-// DestroyQP removes the QP from the NIC and invalidates its cached context.
+// DestroyQP removes the QP from the NIC, flushing outstanding WQEs — both
+// unacknowledged sends and posted receives — with CQFlushError (the same
+// path the error state takes) so teardown during in-flight traffic cannot
+// strand completions, and invalidates its cached context.
 func (n *NIC) DestroyQP(qp *QP) {
+	if qp.err == nil {
+		qp.err = n.errorf("QP %d destroyed", qp.QPN)
+	}
+	qp.state = QPErr
+	n.flushQP(qp)
 	delete(n.qps, qp.QPN)
 	n.qpcCache.Invalidate(uint64(qp.QPN))
 	n.wqeCache.Invalidate(uint64(qp.QPN))
 }
 
-// Connect pairs two RC/UC QPs (the out-of-band exchange a real application
-// does over TCP during setup). Both ends become connected.
+// Modify drives one QP state transition (the ModifyQP verb) and returns the
+// modeled verb latency — a command-queue round trip to NIC firmware, orders
+// of magnitude slower than a data-path doorbell — which the caller must
+// charge in virtual time (host.Thread.ModifyQP sleeps it). Transitions must
+// follow RESET→INIT→RTR→RTS; RTR installs the peer address and expected PSN
+// on connected transports, RTS installs the local send PSN. A transition to
+// RESET is allowed from any state and recycles the QP, flushing outstanding
+// work; a transition to ERR invokes the error path.
+func (qp *QP) Modify(to QPState, attr ModifyAttr) (sim.Duration, error) {
+	n := qp.nic
+	if qp.err != nil && to != QPReset {
+		return 0, qp.err
+	}
+	switch to {
+	case QPReset:
+		n.flushQP(qp)
+		qp.err = nil
+		qp.state = QPReset
+		qp.remoteNIC, qp.remoteQPN = 0, 0
+		qp.sendPSN, qp.expectPSN = 0, 0
+		qp.retries, qp.rnrRetries = 0, 0
+		qp.nakSent = false
+		return n.Cfg.ModifyInitCost, nil
+	case QPInit:
+		if qp.state != QPReset {
+			return 0, fmt.Errorf("%w: %v→INIT", ErrBadTransition, qp.state)
+		}
+		qp.state = QPInit
+		return n.Cfg.ModifyInitCost, nil
+	case QPRTR:
+		if qp.state != QPInit {
+			return 0, fmt.Errorf("%w: %v→RTR", ErrBadTransition, qp.state)
+		}
+		if qp.Type == RC || qp.Type == UC {
+			if attr.RemoteQPN == 0 {
+				return 0, fmt.Errorf("%w: RTR on %v requires a remote QPN", ErrBadTransition, qp.Type)
+			}
+			qp.remoteNIC, qp.remoteQPN = attr.RemoteNIC, attr.RemoteQPN
+			qp.expectPSN = attr.RemotePSN
+		}
+		qp.state = QPRTR
+		return n.Cfg.ModifyRTRCost, nil
+	case QPRTS:
+		if qp.state != QPRTR {
+			return 0, fmt.Errorf("%w: %v→RTS", ErrBadTransition, qp.state)
+		}
+		qp.sendPSN = attr.LocalPSN
+		qp.state = QPRTS
+		return n.Cfg.ModifyRTSCost, nil
+	case QPErr:
+		n.enterQPError(qp, n.errorf("QP %d moved to error state", qp.QPN), CQFlushError)
+		return n.Cfg.ModifyInitCost, nil
+	}
+	return 0, fmt.Errorf("%w: unknown target state", ErrBadTransition)
+}
+
+// Connect pairs two RC/UC QPs directly, driving both straight to RTS at
+// zero modeled cost — a test-only backdoor standing in for an instantaneous
+// out-of-band (TCP) exchange. Production wiring goes through the
+// internal/ctrlplane handshake, which pays the real ModifyQP latencies
+// in-band. Both QPs must still be in RESET; re-pairing a live QP errors.
 func Connect(a, b *QP) error {
 	if a.Type == UD || b.Type == UD {
 		return fmt.Errorf("%w: UD QPs are connectionless", ErrVerbUnsupported)
@@ -307,13 +427,23 @@ func Connect(a, b *QP) error {
 	if a.Type != b.Type {
 		return fmt.Errorf("nic: cannot connect %v to %v", a.Type, b.Type)
 	}
-	a.connected, a.remoteNIC, a.remoteQPN = true, b.nic.id, b.QPN
-	b.connected, b.remoteNIC, b.remoteQPN = true, a.nic.id, a.QPN
+	if a.state != QPReset {
+		return fmt.Errorf("%w: QP %d is %v", ErrAlreadyConnected, a.QPN, a.state)
+	}
+	if b.state != QPReset {
+		return fmt.Errorf("%w: QP %d is %v", ErrAlreadyConnected, b.QPN, b.state)
+	}
+	a.remoteNIC, a.remoteQPN = b.nic.id, b.QPN
+	b.remoteNIC, b.remoteQPN = a.nic.id, a.QPN
+	a.state, b.state = QPRTS, QPRTS
 	return nil
 }
 
 // Err returns the QP's error state, if any.
 func (qp *QP) Err() error { return qp.err }
+
+// State returns the QP's current state.
+func (qp *QP) State() QPState { return qp.state }
 
 // Remote returns the connected peer's (nic, qpn); valid only when connected.
 func (qp *QP) Remote() (int, uint32) { return qp.remoteNIC, qp.remoteQPN }
@@ -337,14 +467,14 @@ func (qp *QP) validate(wr *SendWR) error {
 		if wr.Len > qp.nic.Cfg.MaxMsg {
 			return fmt.Errorf("%w: %d > %d (UC)", ErrMTU, wr.Len, qp.nic.Cfg.MaxMsg)
 		}
-		if !qp.connected {
+		if qp.state != QPRTS {
 			return ErrNotConnected
 		}
 	case RC:
 		if wr.Len > qp.nic.Cfg.MaxMsg {
 			return fmt.Errorf("%w: %d > %d (RC)", ErrMTU, wr.Len, qp.nic.Cfg.MaxMsg)
 		}
-		if !qp.connected {
+		if qp.state != QPRTS {
 			return ErrNotConnected
 		}
 	case DCT:

@@ -1,0 +1,248 @@
+package nic_test
+
+import (
+	"errors"
+	"testing"
+
+	"scalerpc/internal/cluster"
+	"scalerpc/internal/memory"
+	"scalerpc/internal/nic"
+	"scalerpc/internal/sim"
+)
+
+// walk drives a QP through a sequence of valid transitions, failing the
+// test if any step errors.
+func walk(t *testing.T, qp *nic.QP, remoteNIC int, peerQPN uint32, states ...nic.QPState) {
+	t.Helper()
+	for _, st := range states {
+		attr := nic.ModifyAttr{}
+		switch st {
+		case nic.QPRTR:
+			attr = nic.ModifyAttr{RemoteNIC: remoteNIC, RemoteQPN: peerQPN, RemotePSN: 1}
+		case nic.QPRTS:
+			attr = nic.ModifyAttr{LocalPSN: 1}
+		}
+		if _, err := qp.Modify(st, attr); err != nil {
+			t.Fatalf("walk to %v: %v", st, err)
+		}
+	}
+}
+
+// TestQPStateTable exercises every ModifyQP transition: the RESET → INIT →
+// RTR → RTS ladder, the always-allowed RESET and ERR entries, and every
+// invalid ordering.
+func TestQPStateTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		from    []nic.QPState // valid walk from RESET
+		to      nic.QPState
+		wantErr bool
+	}{
+		{"reset-to-init", nil, nic.QPInit, false},
+		{"reset-to-rtr", nil, nic.QPRTR, true},
+		{"reset-to-rts", nil, nic.QPRTS, true},
+		{"reset-to-reset", nil, nic.QPReset, false},
+		{"reset-to-err", nil, nic.QPErr, false},
+		{"init-to-rtr", []nic.QPState{nic.QPInit}, nic.QPRTR, false},
+		{"init-to-rts", []nic.QPState{nic.QPInit}, nic.QPRTS, true},
+		{"init-to-init", []nic.QPState{nic.QPInit}, nic.QPInit, true},
+		{"init-to-reset", []nic.QPState{nic.QPInit}, nic.QPReset, false},
+		{"rtr-to-rts", []nic.QPState{nic.QPInit, nic.QPRTR}, nic.QPRTS, false},
+		{"rtr-to-init", []nic.QPState{nic.QPInit, nic.QPRTR}, nic.QPInit, true},
+		{"rtr-to-rtr", []nic.QPState{nic.QPInit, nic.QPRTR}, nic.QPRTR, true},
+		{"rtr-to-reset", []nic.QPState{nic.QPInit, nic.QPRTR}, nic.QPReset, false},
+		{"rts-to-init", []nic.QPState{nic.QPInit, nic.QPRTR, nic.QPRTS}, nic.QPInit, true},
+		{"rts-to-rtr", []nic.QPState{nic.QPInit, nic.QPRTR, nic.QPRTS}, nic.QPRTR, true},
+		{"rts-to-rts", []nic.QPState{nic.QPInit, nic.QPRTR, nic.QPRTS}, nic.QPRTS, true},
+		{"rts-to-reset", []nic.QPState{nic.QPInit, nic.QPRTR, nic.QPRTS}, nic.QPReset, false},
+		{"rts-to-err", []nic.QPState{nic.QPInit, nic.QPRTR, nic.QPRTS}, nic.QPErr, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := cluster.New(cluster.Default(2))
+			defer c.Close()
+			a, b := c.Hosts[0], c.Hosts[1]
+			cq := a.NIC.CreateCQ()
+			qp := a.NIC.CreateQP(nic.RC, cq, cq)
+			peer := b.NIC.CreateQP(nic.RC, b.NIC.CreateCQ(), nil)
+			walk(t, qp, b.NIC.ID(), peer.QPN, tc.from...)
+			before := qp.State()
+			attr := nic.ModifyAttr{}
+			switch tc.to {
+			case nic.QPRTR:
+				attr = nic.ModifyAttr{RemoteNIC: b.NIC.ID(), RemoteQPN: peer.QPN, RemotePSN: 1}
+			case nic.QPRTS:
+				attr = nic.ModifyAttr{LocalPSN: 1}
+			}
+			_, err := qp.Modify(tc.to, attr)
+			if tc.wantErr {
+				if !errors.Is(err, nic.ErrBadTransition) {
+					t.Fatalf("Modify(%v) from %v: err = %v, want ErrBadTransition", tc.to, before, err)
+				}
+				if qp.State() != before {
+					t.Fatalf("failed Modify changed state %v -> %v", before, qp.State())
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Modify(%v) from %v: %v", tc.to, before, err)
+			}
+			if qp.State() != tc.to {
+				t.Fatalf("state = %v, want %v", qp.State(), tc.to)
+			}
+		})
+	}
+}
+
+// TestQPErrRequiresReset: once errored, every transition except RESET is
+// refused, and RESET clears the error.
+func TestQPErrRequiresReset(t *testing.T) {
+	c := cluster.New(cluster.Default(2))
+	defer c.Close()
+	a, b := c.Hosts[0], c.Hosts[1]
+	cq := a.NIC.CreateCQ()
+	qp := a.NIC.CreateQP(nic.RC, cq, cq)
+	peer := b.NIC.CreateQP(nic.RC, b.NIC.CreateCQ(), nil)
+	walk(t, qp, b.NIC.ID(), peer.QPN, nic.QPInit, nic.QPRTR, nic.QPRTS, nic.QPErr)
+	if qp.Err() == nil {
+		t.Fatal("errored QP reports nil Err")
+	}
+	for _, to := range []nic.QPState{nic.QPInit, nic.QPRTR, nic.QPRTS} {
+		if _, err := qp.Modify(to, nic.ModifyAttr{}); err == nil {
+			t.Fatalf("Modify(%v) on errored QP succeeded", to)
+		}
+	}
+	if _, err := qp.Modify(nic.QPReset, nic.ModifyAttr{}); err != nil {
+		t.Fatalf("RESET on errored QP: %v", err)
+	}
+	if qp.Err() != nil || qp.State() != nic.QPReset {
+		t.Fatalf("after RESET: err=%v state=%v", qp.Err(), qp.State())
+	}
+}
+
+// TestModifyCostsModeled: each upward transition returns its configured
+// verb latency, so connection setup is visible in virtual time.
+func TestModifyCostsModeled(t *testing.T) {
+	c := cluster.New(cluster.Default(2))
+	defer c.Close()
+	a, b := c.Hosts[0], c.Hosts[1]
+	cfg := a.NIC.Cfg
+	qp := a.NIC.CreateQP(nic.RC, a.NIC.CreateCQ(), nil)
+	peer := b.NIC.CreateQP(nic.RC, b.NIC.CreateCQ(), nil)
+	steps := []struct {
+		to   nic.QPState
+		attr nic.ModifyAttr
+		want sim.Duration
+	}{
+		{nic.QPInit, nic.ModifyAttr{}, cfg.ModifyInitCost},
+		{nic.QPRTR, nic.ModifyAttr{RemoteNIC: b.NIC.ID(), RemoteQPN: peer.QPN, RemotePSN: 1}, cfg.ModifyRTRCost},
+		{nic.QPRTS, nic.ModifyAttr{LocalPSN: 1}, cfg.ModifyRTSCost},
+	}
+	for _, st := range steps {
+		d, err := qp.Modify(st.to, st.attr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != st.want {
+			t.Fatalf("Modify(%v) latency = %d, want %d", st.to, d, st.want)
+		}
+		if st.want == 0 {
+			t.Fatalf("Modify(%v) cost unconfigured in DefaultConfig", st.to)
+		}
+	}
+}
+
+// TestPostOnNonRTSErrors: posting sends on an RC QP below RTS fails with
+// ErrNotConnected at every pre-RTS state.
+func TestPostOnNonRTSErrors(t *testing.T) {
+	c := cluster.New(cluster.Default(2))
+	defer c.Close()
+	a, b := c.Hosts[0], c.Hosts[1]
+	reg := a.Mem.Register(4096, memory.PageSize4K, memory.LocalWrite)
+	peer := b.NIC.CreateQP(nic.RC, b.NIC.CreateCQ(), nil)
+	wr := nic.SendWR{Op: nic.OpWrite, LKey: reg.LKey, LAddr: reg.Base, Len: 8, RKey: 1, RAddr: 0}
+
+	qp := a.NIC.CreateQP(nic.RC, a.NIC.CreateCQ(), nil)
+	for _, setup := range []func(){
+		func() {},
+		func() { walk(t, qp, b.NIC.ID(), peer.QPN, nic.QPInit) },
+		func() { walk(t, qp, b.NIC.ID(), peer.QPN, nic.QPRTR) },
+	} {
+		setup()
+		if err := qp.PostSend(wr); !errors.Is(err, nic.ErrNotConnected) {
+			t.Fatalf("PostSend in %v: err = %v, want ErrNotConnected", qp.State(), err)
+		}
+	}
+	walk(t, qp, b.NIC.ID(), peer.QPN, nic.QPRTS)
+	if qp.State() != nic.QPRTS {
+		t.Fatalf("state = %v, want RTS", qp.State())
+	}
+}
+
+// TestConnectRefusesRepair: the test backdoor errors when either QP has
+// left RESET (satellite b).
+func TestConnectRefusesRepair(t *testing.T) {
+	c := cluster.New(cluster.Default(2))
+	defer c.Close()
+	a, b := c.Hosts[0], c.Hosts[1]
+	qa := a.NIC.CreateQP(nic.RC, a.NIC.CreateCQ(), nil)
+	qb := b.NIC.CreateQP(nic.RC, b.NIC.CreateCQ(), nil)
+	if err := nic.Connect(qa, qb); err != nil {
+		t.Fatal(err)
+	}
+	qc := b.NIC.CreateQP(nic.RC, b.NIC.CreateCQ(), nil)
+	if err := nic.Connect(qa, qc); !errors.Is(err, nic.ErrAlreadyConnected) {
+		t.Fatalf("re-pairing connected QP: err = %v, want ErrAlreadyConnected", err)
+	}
+	// A half-walked QP is not in RESET either.
+	qd := a.NIC.CreateQP(nic.RC, a.NIC.CreateCQ(), nil)
+	walk(t, qd, b.NIC.ID(), qc.QPN, nic.QPInit)
+	if err := nic.Connect(qd, qc); !errors.Is(err, nic.ErrAlreadyConnected) {
+		t.Fatalf("pairing non-RESET QP: err = %v, want ErrAlreadyConnected", err)
+	}
+}
+
+// TestDestroyQPFlushesOutstanding: DestroyQP completes unprocessed sends
+// and posted receives as flush-error CQEs (satellite a).
+func TestDestroyQPFlushesOutstanding(t *testing.T) {
+	c := cluster.New(cluster.Default(2))
+	defer c.Close()
+	a, b := c.Hosts[0], c.Hosts[1]
+	scq := a.NIC.CreateCQ()
+	rcq := b.NIC.CreateCQ()
+	qa := a.NIC.CreateQP(nic.RC, scq, nil)
+	qb := b.NIC.CreateQP(nic.RC, b.NIC.CreateCQ(), rcq)
+	if err := nic.Connect(qa, qb); err != nil {
+		t.Fatal(err)
+	}
+	src := a.Mem.Register(4096, memory.PageSize4K, memory.LocalWrite)
+	dst := b.Mem.Register(4096, memory.PageSize4K, memory.LocalWrite|memory.RemoteWrite)
+	if err := qa.PostSend(nic.SendWR{
+		WRID: 11, Op: nic.OpWrite, Signaled: true,
+		LKey: src.LKey, LAddr: src.Base, Len: 64, RKey: dst.RKey, RAddr: dst.Base,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := qb.PostRecv(nic.RecvWR{WRID: uint64(20 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.NIC.DestroyQP(qa)
+	b.NIC.DestroyQP(qb)
+	c.Env.RunUntil(1 * sim.Millisecond)
+
+	sends := scq.Poll(8)
+	if len(sends) != 1 || sends[0].WRID != 11 || sends[0].Status != nic.CQFlushError {
+		t.Fatalf("send CQEs after destroy = %+v, want one flush error for WRID 11", sends)
+	}
+	recvs := rcq.Poll(8)
+	if len(recvs) != 3 {
+		t.Fatalf("recv CQEs after destroy = %d, want 3", len(recvs))
+	}
+	for _, e := range recvs {
+		if e.Status != nic.CQFlushError {
+			t.Fatalf("recv CQE status = %v, want flush error", e.Status)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package scalerpc
 import (
 	"encoding/binary"
 
+	"scalerpc/internal/ctrlplane"
 	"scalerpc/internal/host"
 	"scalerpc/internal/memory"
 	"scalerpc/internal/nic"
@@ -71,6 +72,15 @@ type Conn struct {
 	// pool 0, never context-switched.
 	pinned bool
 
+	// Control-plane membership state (membership.go). mgr/cp are nil for
+	// connections admitted through the legacy Connect backdoor. left is
+	// true between Leave and Rejoin: the QP is parked in the connection
+	// cache and TrySend/Poll are inert.
+	mgr        *ctrlplane.Manager
+	cp         *ctrlplane.Conn
+	joinPinned bool
+	left       bool
+
 	// Named-API state (api.go).
 	nextHandle  uint64
 	completions []Completion
@@ -116,6 +126,9 @@ func (c *Conn) Outstanding() int { return c.outstanding }
 // it stages locally (step 1 of Figure 6) for the server to fetch; in
 // PROCESS it RDMA-writes directly into the processing pool.
 func (c *Conn) TrySend(t *host.Thread, handler uint8, payload []byte, reqID uint64) bool {
+	if c.left {
+		return false
+	}
 	switch c.state {
 	case StateIdle:
 		c.beginWarmup()
@@ -244,6 +257,9 @@ func (c *Conn) flushEndpointEntry(t *host.Thread) {
 // Poll drains responses, advances the state machine, flushes any pending
 // endpoint-entry update, and — after a QP error — rebuilds the connection.
 func (c *Conn) Poll(t *host.Thread, fn func(rpccore.Response)) int {
+	if c.left {
+		return 0
+	}
 	if c.qp.Err() != nil {
 		c.reconnect(t)
 		return 0
@@ -369,6 +385,15 @@ func (c *Conn) onContextSwitch(t *host.Thread) {
 func (c *Conn) reconnect(t *host.Thread) {
 	if d := c.s.Cfg.ReconnectBackoff; d > 0 {
 		t.P.Sleep(d)
+	}
+	if c.mgr != nil {
+		// Control-plane-admitted connections re-dial through the in-band
+		// handshake; on failure the next Poll retries (paced by the
+		// backoff above).
+		if err := c.Rejoin(t); err == nil {
+			c.Reconnects++
+		}
+		return
 	}
 	c.s.Reconnect(c)
 	c.Reconnects++

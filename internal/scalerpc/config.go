@@ -125,4 +125,7 @@ type Stats struct {
 	Probes       uint64 // liveness probes posted to silent clients
 	Evictions    uint64 // clients evicted after their QP errored
 	Readmits     uint64 // failed clients re-admitted via Reconnect
+	Joins        uint64 // control-plane admissions (cold joins and resumes)
+	Leaves       uint64 // graceful departures parked in the connection cache
+	Expires      uint64 // control-plane clients dropped by lease expiry
 }

@@ -78,7 +78,7 @@ func (s *Server) sliceFor(g int) sim.Duration {
 		n++
 	}
 	for _, cs := range s.clients {
-		if cs != nil {
+		if cs != nil && !cs.parked {
 			all += cs.priority
 			m++
 		}
@@ -434,7 +434,7 @@ func (s *Server) regroup() {
 	}
 	var rest []uint16
 	for _, cs := range s.clients {
-		if cs != nil && !cs.pinned && !inCur[cs.id] {
+		if cs != nil && !cs.pinned && !cs.parked && !inCur[cs.id] {
 			rest = append(rest, cs.id)
 		}
 	}
@@ -634,23 +634,33 @@ func (s *Server) Disconnect(id uint16) {
 	if cs == nil {
 		return
 	}
+	s.unplace(cs)
+	s.clients[id] = nil
+	s.Host.NIC.DestroyQP(cs.qp)
+}
+
+// unplace removes a client from its group and releases its zone claims in
+// both ownership arrays; in-flight slices are untouched (stale blocks from
+// the departed client are dropped by the zone-owner check).
+func (s *Server) unplace(cs *clientState) {
 	if cs.group >= 0 {
 		grp := s.groups[cs.group]
 		for i, cid := range grp {
-			if cid == id {
+			if cid == cs.id {
 				s.groups[cs.group] = append(grp[:i], grp[i+1:]...)
 				break
 			}
 		}
+		cs.group = -1
 	}
 	if cs.zone >= 0 {
 		s.zoneOwner[cs.zone] = -1
+		cs.zone = -1
 	}
 	if cs.warmZone >= 0 {
 		s.warmOwner[cs.warmZone] = -1
+		cs.warmZone = -1
 	}
-	s.clients[id] = nil
-	s.Host.NIC.DestroyQP(cs.qp)
 }
 
 // Reconnect re-admits an existing Conn whose QP failed (retry-count

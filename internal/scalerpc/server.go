@@ -69,6 +69,12 @@ type clientState struct {
 	// pinned marks a latency-sensitive client on a reserved zone: it is
 	// never grouped, never switched, and always served from pool 0.
 	pinned bool
+
+	// parked marks a control-plane-admitted client that gracefully left
+	// (Conn.Leave): its QP sits in the connection cache and its id stays
+	// reserved so staged requests survive a Rejoin, but the scheduler
+	// skips it entirely until the control plane resumes it.
+	parked bool
 }
 
 type worker struct {
@@ -109,6 +115,11 @@ type Server struct {
 	clients []*clientState
 	groups  [][]uint16
 	cur     int // index of the group being served
+
+	// freeIDs holds client ids released by the control-plane adapter
+	// (lease expiry, cache teardown) for reuse by later joins. Legacy
+	// Disconnect does not free ids: Reconnect may resurrect them.
+	freeIDs []uint16
 
 	// zoneOwner maps processing-pool zones to client ids (the context
 	// metadata of §3.3); warmOwner is the same for the warmup pool.
@@ -175,6 +186,9 @@ func NewServer(h *host.Host, cfg ServerConfig) *Server {
 	srv.CounterVar("probes", &s.Stats.Probes)
 	srv.CounterVar("evictions", &s.Stats.Evictions)
 	srv.CounterVar("readmits", &s.Stats.Readmits)
+	srv.CounterVar("joins", &s.Stats.Joins)
+	srv.CounterVar("leaves", &s.Stats.Leaves)
+	srv.CounterVar("expires", &s.Stats.Expires)
 	s.handlerNs = srv.Histogram("handler_ns")
 	for i := range s.zoneOwner {
 		s.zoneOwner[i] = -1
