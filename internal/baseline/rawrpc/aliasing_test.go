@@ -1,0 +1,82 @@
+package rawrpc
+
+import (
+	"bytes"
+	"testing"
+
+	"scalerpc/internal/cluster"
+	"scalerpc/internal/host"
+	"scalerpc/internal/rpccore"
+	"scalerpc/internal/rpcwire"
+	"scalerpc/internal/sim"
+)
+
+// TestServeSnapshotSurvivesOverwrite pins the snapshot-before-yield rule:
+// the request a handler sees must stay stable even when a new frame is
+// RDMA-written into the same pool block while the handler is executing
+// (a duplicate delivery or a stale fetch racing a slow handler). Before
+// the worker snapshotted the CRC-validated frame, the handler's req slice
+// aliased live pool memory and this test echoed the overwriting frame's
+// bytes — a cross-request payload swap the chaos harness first caught as
+// a duplicate execution with delivered corruption.
+func TestServeSnapshotSurvivesOverwrite(t *testing.T) {
+	c := cluster.New(cluster.Default(2))
+	defer c.Close()
+	cfg := DefaultServerConfig()
+	cfg.Workers = 1
+	cfg.MaxClients = 4
+	s := NewServer(c.Hosts[0], cfg)
+	// A deliberately slow echo: the 200 µs of handler work is the yield
+	// window the overwrite below lands in.
+	s.Register(1, func(th *host.Thread, clientID uint16, req []byte, out []byte) int {
+		th.Work(200 * sim.Microsecond)
+		return copy(out, req)
+	})
+	s.Start()
+
+	sig := sim.NewSignal(c.Env)
+	conn := s.Connect(c.Hosts[1], sig)
+
+	p1 := bytes.Repeat([]byte{0x11}, 24)
+	p2 := bytes.Repeat([]byte{0x22}, 24)
+
+	var got []byte
+	c.Hosts[1].Spawn("client", func(th *host.Thread) {
+		if !conn.TrySend(th, 1, p1, 5) {
+			t.Error("TrySend failed")
+			return
+		}
+		for got == nil {
+			conn.Poll(th, func(r rpccore.Response) {
+				if r.ReqID == 5 {
+					got = append([]byte(nil), r.Payload...)
+				}
+			})
+			if got == nil {
+				sig.WaitTimeout(th.P, 10*sim.Microsecond)
+			}
+		}
+	})
+
+	// While the handler is mid-Work (pickup completes well before 80 µs;
+	// the handler runs until ~250 µs), land a different, validly framed
+	// request in the same pool block — exactly what an in-flight duplicate
+	// write does. The handler's view of request 5 must not change.
+	c.Hosts[0].Spawn("overwriter", func(th *host.Thread) {
+		th.P.Sleep(80 * sim.Microsecond)
+		msg := make([]byte, rpcwire.HeaderSize+len(p2))
+		rpcwire.PutHeader(msg, rpcwire.Header{ReqID: 6, Handler: 1, ClientID: conn.id})
+		copy(msg[rpcwire.HeaderSize:], p2)
+		if err := rpcwire.Encode(s.pool.Block(conn.zone, 0), msg, 0); err != nil {
+			t.Errorf("encode overwrite: %v", err)
+		}
+	})
+
+	c.Env.RunUntil(5 * sim.Millisecond)
+	if got == nil {
+		t.Fatal("no response to request 5")
+	}
+	if !bytes.Equal(got, p1) {
+		t.Fatalf("request 5 echoed %x, want %x — handler read the overwriting frame", got, p1)
+	}
+}

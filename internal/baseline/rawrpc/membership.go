@@ -54,6 +54,15 @@ func (a *ctrlAdapter) Accept(t *host.Thread, peer int, qp *nic.QP, payload []byt
 	}
 	if cs := s.findParked(payload); cs != nil {
 		cs.parked = false
+		if cs.limbo {
+			cs.limbo = false
+			for i, id := range s.limbo {
+				if id == cs.id {
+					s.limbo = append(s.limbo[:i], s.limbo[i+1:]...)
+					break
+				}
+			}
+		}
 		cs.qp = qp
 		return joinResp(cs), uint64(cs.id) + 1, nil
 	}
@@ -72,10 +81,12 @@ func (a *ctrlAdapter) Accept(t *host.Thread, peer int, qp *nic.QP, payload []byt
 		s.clients = append(s.clients, cs)
 	} else {
 		// A reused zone may hold stale valid blocks from its previous
-		// occupant; clear them so the sweep doesn't serve ghosts.
+		// occupant; clear them so the sweep doesn't serve ghosts, and
+		// drop any dedup state left under the reused id.
 		for b := 0; b < s.Cfg.BlocksPerClient; b++ {
 			rpcwire.Clear(s.pool.Block(cs.zone, b))
 		}
+		s.replies.Drop(id)
 		s.clients[id] = cs
 	}
 	return joinResp(cs), uint64(id) + 1, nil
@@ -85,18 +96,35 @@ func (a *ctrlAdapter) Accept(t *host.Thread, peer int, qp *nic.QP, payload []byt
 // caller is identified by its region payload and its id becomes the
 // connection's new handle.
 func (a *ctrlAdapter) Resume(t *host.Thread, peer int, qp *nic.QP, payload []byte, handle uint64) ([]byte, uint64, error) {
-	cs := a.s.findParked(payload)
+	s := a.s
+	cs := s.findParked(payload)
 	if cs == nil {
 		return nil, 0, errors.New("rawrpc: no parked client matches the resume payload")
 	}
 	cs.parked = false
+	if cs.limbo {
+		cs.limbo = false
+		for i, id := range s.limbo {
+			if id == cs.id {
+				s.limbo = append(s.limbo[:i], s.limbo[i+1:]...)
+				break
+			}
+		}
+	}
 	cs.qp = qp
 	return joinResp(cs), uint64(cs.id) + 1, nil
 }
 
+// limboCap bounds the identity quarantine (see Closed).
+const limboCap = 64
+
 // Closed handles departures. A graceful leave only marks the client
-// parked — the zone stays mapped and swept. Every other reason drops the
-// client and frees its zone.
+// parked — the zone stays mapped and swept. Every other reason — lease
+// expiry, QP error, cache teardown of a parked entry — quarantines the
+// identity: the id/zone and the reply cache's dedup window stay reserved
+// so a crash-recovered client dialing back in (matched by its regions)
+// resumes exactly-once execution. The quarantine is FIFO-bounded;
+// overflow releases the oldest identity for real.
 func (a *ctrlAdapter) Closed(peer int, handle uint64, reason ctrlplane.CloseReason) {
 	s := a.s
 	if handle == 0 || handle > uint64(len(s.clients)) {
@@ -110,13 +138,61 @@ func (a *ctrlAdapter) Closed(peer int, handle uint64, reason ctrlplane.CloseReas
 		cs.parked = true
 		return
 	}
+	if cs.limbo {
+		return
+	}
+	if reason == ctrlplane.CloseError && cs.qp.Err() == nil {
+		// Orphaned pair: the client already rebound onto a fresh QP.
+		return
+	}
 	if reason == ctrlplane.CloseTeardown && !cs.parked {
 		// Teardown of an orphaned cached pair whose identity has since
 		// resumed elsewhere.
 		return
 	}
-	s.clients[cs.id] = nil
-	s.freeIDs = append(s.freeIDs, cs.id)
+	cs.parked = false
+	cs.limbo = true
+	s.limbo = append(s.limbo, cs.id)
+	for len(s.limbo) > limboCap {
+		id := s.limbo[0]
+		s.limbo = s.limbo[1:]
+		s.releaseID(id)
+	}
+}
+
+// Forget administratively releases a parked or quarantined identity: the
+// id returns to the pool and its dedup window is dropped. Active clients
+// are untouched.
+func (s *Server) Forget(id uint16) {
+	if int(id) >= len(s.clients) {
+		return
+	}
+	cs := s.clients[id]
+	if cs == nil || (!cs.parked && !cs.limbo) {
+		return
+	}
+	cs.parked = false
+	cs.limbo = true
+	for i, l := range s.limbo {
+		if l == id {
+			s.limbo = append(s.limbo[:i], s.limbo[i+1:]...)
+			break
+		}
+	}
+	s.releaseID(id)
+}
+
+// releaseID frees a quarantined identity for good: the id returns to the
+// pool and the dedup window is dropped (the freed id starts a fresh reqID
+// space on its next owner).
+func (s *Server) releaseID(id uint16) {
+	cs := s.clients[id]
+	if cs == nil || !cs.limbo {
+		return
+	}
+	s.clients[id] = nil
+	s.freeIDs = append(s.freeIDs, id)
+	s.replies.Drop(id)
 }
 
 func joinResp(cs *clientState) []byte {
@@ -137,8 +213,10 @@ func (s *Server) allocID() (uint16, error) {
 	return uint16(len(s.clients)), nil
 }
 
-// findParked returns the parked client whose response region matches the
-// join payload, scanning in id order for determinism.
+// findParked returns the parked or quarantined client whose response
+// region matches the join payload, scanning in id order for determinism.
+// The region is the durable identity: a crash-recovered client dialing
+// cold presents the same region and reclaims its id (and dedup window).
 func (s *Server) findParked(payload []byte) *clientState {
 	if len(payload) != joinReqSize {
 		return nil
@@ -146,7 +224,7 @@ func (s *Server) findParked(payload []byte) *clientState {
 	respAddr := binary.LittleEndian.Uint64(payload)
 	respRKey := binary.LittleEndian.Uint32(payload[8:])
 	for _, cs := range s.clients {
-		if cs != nil && cs.parked && cs.respAddr == respAddr && cs.respRKey == respRKey {
+		if cs != nil && (cs.parked || cs.limbo) && cs.respAddr == respAddr && cs.respRKey == respRKey {
 			return cs
 		}
 	}

@@ -62,6 +62,15 @@ type Server struct {
 	// freeIDs holds zones released by the control-plane adapter when a
 	// client is dropped (lease expiry, cache teardown).
 	freeIDs []uint16
+	// limbo is the FIFO of quarantined identities: ungracefully departed
+	// ids waiting for their client to dial back in, released for reuse
+	// when the quarantine overflows.
+	limbo []uint16
+
+	// rel is the registry-shared reliability counter block; replies is the
+	// bounded exactly-once reply cache consulted before every handler run.
+	rel     *rpccore.RelStats
+	replies *rpccore.ReplyCache
 }
 
 // clientState is the server-side view of one connected client.
@@ -75,6 +84,10 @@ type clientState struct {
 	// parked marks a control-plane client that gracefully left; the zone
 	// stays statically mapped (and swept) until the client is dropped.
 	parked bool
+	// limbo marks an identity quarantined after an ungraceful departure:
+	// the id (and with it the reply cache's dedup window) stays reserved
+	// for a crash-recovered client dialing back in with the same regions.
+	limbo bool
 }
 
 // scratchRing is the number of response staging blocks per worker; the
@@ -89,6 +102,11 @@ type worker struct {
 	scratch    *memory.Region // scratchRing × BlockSize response staging
 	scratchIdx int
 	buf        []byte // response assembly buffer (no memory-model cost)
+	// req holds a stable snapshot of the frame being served: the pool
+	// block is live RDMA-writable memory, and the serve path yields
+	// virtual time (ReadMem, ParseCost, the handler's own Work), during
+	// which an in-flight duplicate write may overwrite the block.
+	req []byte
 	// Served counts requests this worker processed.
 	Served uint64
 }
@@ -98,10 +116,12 @@ func NewServer(h *host.Host, cfg ServerConfig) *Server {
 	poolReg := h.Mem.Register(cfg.BlockSize*cfg.BlocksPerClient*cfg.MaxClients,
 		memory.PageSize2M, memory.LocalWrite|memory.RemoteWrite)
 	s := &Server{
-		Cfg:  cfg,
-		Host: h,
-		pool: rpcwire.NewPool(poolReg, cfg.BlockSize, cfg.BlocksPerClient, cfg.MaxClients),
+		Cfg:     cfg,
+		Host:    h,
+		pool:    rpcwire.NewPool(poolReg, cfg.BlockSize, cfg.BlocksPerClient, cfg.MaxClients),
+		replies: rpccore.NewReplyCache(cfg.BlocksPerClient),
 	}
+	s.rel = rpccore.SharedRel(h.Tel.Registry())
 	var tel telemetry.Scope
 	if reg := h.Tel.Registry(); reg != nil {
 		tel = reg.UniqueScope("rawrpc")
@@ -170,13 +190,21 @@ func (w *worker) sweep(t *host.Thread) int {
 			}
 			payload, _, err := rpcwire.Decode(block)
 			if err != nil {
+				// Valid landed but the CRC failed: corruption past the NIC.
+				// Treat as loss — the client's retry re-delivers.
+				s.rel.CRCDrops++
 				rpcwire.Clear(block)
+				t.WriteMem(s.pool.ValidAddr(z, b), 1)
 				continue
 			}
+			// Snapshot the CRC-validated frame before yielding: ReadMem,
+			// ParseCost and the handler all advance virtual time, and an
+			// in-flight duplicate write may overwrite the pool block.
+			w.req = append(w.req[:0], payload...)
 			t.ReadMem(s.pool.BlockAddr(z, b)+uint64(s.Cfg.BlockSize-rpcwire.TrailerSize-len(payload)),
 				len(payload)+rpcwire.TrailerSize)
 			t.Work(s.Cfg.ParseCost)
-			s.serve(t, w, cs, b, payload)
+			s.serve(t, w, cs, b, w.req)
 			rpcwire.Clear(block)
 			t.WriteMem(s.pool.ValidAddr(z, b), 1)
 			served++
@@ -187,17 +215,36 @@ func (w *worker) sweep(t *host.Thread) int {
 }
 
 // serve runs the handler and writes the response into the client's
-// response block for the same slot.
+// response block for the same slot. Duplicates — retries after a timeout
+// or a crash/rejoin re-post — are answered from the reply cache without
+// re-running the handler.
 func (s *Server) serve(t *host.Thread, w *worker, cs *clientState, slot int, req []byte) {
 	hdr, body, err := rpcwire.ParseHeader(req)
-	var flags byte
+	if err != nil {
+		s.respond(t, w, cs, slot, w.buf[:rpcwire.PutHeader(w.buf, rpcwire.Header{ClientID: uint16(cs.zone)})], rpcwire.FlagError)
+		return
+	}
 	n := rpcwire.PutHeader(w.buf, rpcwire.Header{ReqID: hdr.ReqID, Handler: hdr.Handler, ClientID: uint16(cs.zone)})
+	if dup, rep, ready := s.replies.Admit(cs.id, hdr.ReqID); dup {
+		s.rel.DedupHits++
+		if ready {
+			var flags byte
+			if rep.Err {
+				flags = rpcwire.FlagError
+			}
+			m := copy(w.buf[n:len(w.buf)-rpcwire.TrailerSize], rep.Payload)
+			s.respond(t, w, cs, slot, w.buf[:n+m], flags)
+		}
+		return
+	}
+	var flags byte
 	respLen := n
-	if err == nil && s.handlers[hdr.Handler] != nil {
+	if s.handlers[hdr.Handler] != nil {
 		respLen = n + s.handlers[hdr.Handler](t, cs.id, body, w.buf[n:len(w.buf)-rpcwire.TrailerSize])
 	} else {
 		flags = rpcwire.FlagError
 	}
+	s.replies.Commit(cs.id, hdr.ReqID, w.buf[n:respLen], flags == rpcwire.FlagError)
 	s.respond(t, w, cs, slot, w.buf[:respLen], flags)
 }
 
@@ -247,6 +294,11 @@ type Conn struct {
 	sig   *sim.Signal
 	slots []slot
 	nfree int
+	// respBuf holds a stable snapshot of the response frame being
+	// delivered: the response block is live RDMA-writable memory, and the
+	// ReadMem/WriteMem in Poll yield virtual time during which a late
+	// duplicate response may overwrite the slot in place.
+	respBuf []byte
 
 	// Control-plane membership state (membership.go); nil/false for
 	// connections admitted through the legacy Connect backdoor.
@@ -369,23 +421,70 @@ func (c *Conn) Poll(t *host.Thread, fn func(rpccore.Response)) int {
 		}
 		payload, flags, err := rpcwire.Decode(block)
 		if err != nil {
+			// Corrupted response: treat as loss, keep the slot in flight so
+			// the deadline/retry layer recovers the call.
+			c.s.rel.CRCDrops++
 			rpcwire.Clear(block)
+			t.WriteMem(c.resp.ValidAddr(0, b), 1)
 			continue
 		}
+		// Snapshot the CRC-validated frame before yielding: ReadMem and
+		// the Clear/WriteMem below advance virtual time, and a late
+		// duplicate response write may overwrite the block under us.
+		c.respBuf = append(c.respBuf[:0], payload...)
 		t.ReadMem(c.resp.BlockAddr(0, b), len(payload)+rpcwire.TrailerSize)
-		hdr, body, herr := rpcwire.ParseHeader(payload)
+		hdr, body, herr := rpcwire.ParseHeader(c.respBuf)
+		if herr != nil || hdr.ReqID != c.slots[b].reqID {
+			// A stale response from a previous occupant of this slot (a
+			// zone reused across rejoin, or a late duplicate): the slot's
+			// own response is still outstanding, so keep it busy.
+			rpcwire.Clear(block)
+			t.WriteMem(c.resp.ValidAddr(0, b), 1)
+			continue
+		}
 		rpcwire.Clear(block)
 		t.WriteMem(c.resp.ValidAddr(0, b), 1)
 		c.slots[b].busy = false
 		c.nfree++
-		if herr != nil {
-			continue
-		}
 		fn(rpccore.Response{ReqID: hdr.ReqID, Payload: body, Err: flags&rpcwire.FlagError != 0})
 		got++
 	}
 	return got
 }
 
+// Resend re-posts the in-flight request identified by reqID from its
+// staging block into the same server-pool slot (the rpccore.Resender hook
+// behind Caller retries and hedges). Server-side dedup absorbs duplicate
+// deliveries.
+func (c *Conn) Resend(t *host.Thread, reqID uint64) bool {
+	if c.left || c.qp.Err() != nil {
+		return false
+	}
+	b := -1
+	for i := range c.slots {
+		if c.slots[i].busy && c.slots[i].reqID == reqID {
+			b = i
+			break
+		}
+	}
+	if b < 0 {
+		return false
+	}
+	off, span := rpcwire.EncodedSpan(c.s.Cfg.BlockSize, c.slots[b].msgLen)
+	wr := nic.SendWR{
+		Op:    nic.OpWrite,
+		LKey:  c.stage.LKey,
+		LAddr: c.stage.Base + uint64(b*c.s.Cfg.BlockSize+off),
+		Len:   span,
+		RKey:  c.s.pool.RKey(),
+		RAddr: c.s.pool.BlockAddr(c.zone, b) + uint64(off),
+	}
+	if span <= c.h.NIC.Cfg.MaxInline {
+		wr.Inline = true
+	}
+	return t.PostSend(c.qp, wr) == nil
+}
+
 var _ rpccore.Server = (*Server)(nil)
 var _ rpccore.Conn = (*Conn)(nil)
+var _ rpccore.Resender = (*Conn)(nil)

@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"scalerpc/internal/cluster"
+	"scalerpc/internal/faults"
 	"scalerpc/internal/sim"
 )
 
@@ -73,13 +74,15 @@ func (m *MetricsRecorder) WriteFile(path string) error {
 // cluster, and enables trace collection and interval sampling when metrics
 // are being recorded. Server-side (host 0) hardware metrics and every
 // RPC-transport scope are sampled; the horizon covers the warmup and
-// measurement windows.
-func (o Options) instrument(c *cluster.Cluster) {
+// measurement windows. The installed fault plane (nil without a scenario)
+// is returned so experiments can report injected-fault counts.
+func (o Options) instrument(c *cluster.Cluster) *faults.Plane {
+	var plane *faults.Plane
 	if o.Faults != nil {
-		c.InstallFaults(o.Faults)
+		plane = c.InstallFaults(o.Faults)
 	}
 	if o.Metrics == nil {
-		return
+		return plane
 	}
 	c.Telemetry.EnableTrace()
 	// A full trace of a 400-client sweep point is megabytes of JSON; a few
@@ -95,4 +98,5 @@ func (o Options) instrument(c *cluster.Cluster) {
 	c.Telemetry.Sample(c.Env, interval, horizon,
 		"nic0.*", "pcie.bus0.*", "llc0.*", "faults.*", "scalerpc.server.*",
 		"rawrpc.server.*", "herdrpc.server.*", "fasstrpc.server.*", "selfrpc.server.*")
+	return plane
 }

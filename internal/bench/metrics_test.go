@@ -144,7 +144,14 @@ func TestMetricsJSONDeterministicUnderFaults(t *testing.T) {
 		t.Fatal("two identical lossy runs produced different metrics JSON")
 	}
 	dump := string(a)
-	for _, name := range []string{"faults.injected.drops", "nic0.qp.retransmits"} {
+	// The reliability counters ride in the same dump: every transport
+	// registers the shared RelStats block, so the exactly-once layer's
+	// counters must be present (if zero-valued) in any instrumented run.
+	for _, name := range []string{
+		"faults.injected.drops", "nic0.qp.retransmits",
+		"rpc.retries", "rpc.hedges", "rpc.dedup_hits",
+		"rpc.deadline_exceeded", "rpc.late_drops", "wire.crc_drops",
+	} {
 		if !strings.Contains(dump, name) {
 			t.Fatalf("lossy dump missing %q", name)
 		}

@@ -1,0 +1,390 @@
+// Package chaos runs seeded fault schedules against the RPC transports
+// and checks the end-to-end reliability invariants the exactly-once layer
+// promises:
+//
+//  1. At-most-once execution: no request token ever runs its handler more
+//     than once, no matter how many retries, hedges or duplicated frames
+//     reach the server.
+//  2. Acknowledged work executed: every call the client saw complete
+//     without error was executed (exactly once, by invariant 1) and its
+//     echo matched the request byte for byte.
+//  3. Integrity: payload corruption injected past the NIC's ICRC is never
+//     delivered — the frame CRC turns it into loss, so zero mismatched
+//     echoes reach the application.
+//  4. Liveness: with deadlines and retries enabled, every client drains
+//     its full call budget before the run's hard stop; nobody wedges.
+//
+// Everything is derived from one seed: the fault schedule, the cluster
+// RNG, and the workload. The same Config therefore produces a
+// byte-identical Result, which the tests assert.
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"scalerpc/internal/baseline/rawrpc"
+	"scalerpc/internal/cluster"
+	"scalerpc/internal/faults"
+	"scalerpc/internal/host"
+	"scalerpc/internal/rpccore"
+	"scalerpc/internal/scalerpc"
+	"scalerpc/internal/sim"
+)
+
+// Class selects a fault-schedule family.
+type Class string
+
+const (
+	// ClassDrop injects uniform message loss, ICRC corruption, past-ICRC
+	// payload corruption and duplication on every link.
+	ClassDrop Class = "drop"
+	// ClassFlap takes host links fully down for short windows, erroring
+	// QPs mid-flight and forcing reconnects.
+	ClassFlap Class = "flap"
+	// ClassCrash kills the server node mid-run and restarts it: clients
+	// must retry across the outage and the server must not re-execute
+	// work it completed before the crash.
+	ClassCrash Class = "crash"
+	// ClassChurn connects and disconnects background clients while the
+	// measured population runs, forcing regroups under light loss.
+	ClassChurn Class = "churn"
+)
+
+// Classes lists every schedule family, in the order the matrix runs them.
+func Classes() []Class { return []Class{ClassDrop, ClassFlap, ClassCrash, ClassChurn} }
+
+// Config selects one chaos run. Class and Seed are required; everything
+// else defaults.
+type Config struct {
+	Class Class  `json:"class"`
+	Seed  uint64 `json:"seed"`
+	// Transport is "ScaleRPC" (default) or "RawWrite". RawWrite has no
+	// client-side reconnect, so it only supports ClassDrop (recoverable
+	// loss that never errors a QP).
+	Transport string `json:"transport,omitempty"`
+	Clients   int    `json:"clients,omitempty"` // measured clients, default 8
+	Calls     int    `json:"calls,omitempty"`   // per client, default 60
+	// Budget is the hard stop: every client must finish its calls by
+	// then or it is reported stuck. Default 40 ms of virtual time.
+	Budget sim.Duration `json:"budget_ns,omitempty"`
+}
+
+// Injected mirrors the fault plane's counters into the result artifact.
+type Injected struct {
+	Drops           uint64 `json:"drops"`
+	Corrupts        uint64 `json:"corrupts"`
+	PayloadCorrupts uint64 `json:"payload_corrupts"`
+	Dups            uint64 `json:"dups"`
+	LinkDownDrops   uint64 `json:"link_down_drops"`
+	Flaps           uint64 `json:"flaps"`
+	Crashes         uint64 `json:"crashes"`
+}
+
+// Result is one run's outcome: workload totals, reliability counters, the
+// generated schedule, and the list of invariant violations (empty on a
+// healthy run). Same Config ⇒ byte-identical JSON.
+type Result struct {
+	Class     string           `json:"class"`
+	Seed      uint64           `json:"seed"`
+	Transport string           `json:"transport"`
+	Clients   int              `json:"clients"`
+	Calls     int              `json:"calls"`
+	Scenario  *faults.Scenario `json:"scenario"`
+
+	// Issued is the total call budget (Clients × Calls); a stuck client
+	// may resolve fewer.
+	Issued   uint64 `json:"issued"`
+	Acked    uint64 `json:"acked"`
+	TimedOut uint64 `json:"timed_out"`
+	Errors   uint64 `json:"errors"`
+	// Executions counts handler runs for distinct tokens; duplicates are
+	// broken out so the at-most-once verdict is visible at a glance.
+	Executions          uint64 `json:"executions"`
+	DuplicateExecutions uint64 `json:"duplicate_executions"`
+	// EchoMismatches counts corrupted payloads delivered to the
+	// application — the integrity invariant demands zero.
+	EchoMismatches uint64 `json:"echo_mismatches"`
+	StuckClients   int    `json:"stuck_clients"`
+
+	Retries          uint64 `json:"retries"`
+	Hedges           uint64 `json:"hedges"`
+	DedupHits        uint64 `json:"dedup_hits"`
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+	LateDrops        uint64 `json:"late_drops"`
+	CRCDrops         uint64 `json:"crc_drops"`
+
+	Injected   Injected `json:"injected"`
+	Violations []string `json:"violations,omitempty"`
+	ElapsedNs  int64    `json:"elapsed_ns"`
+}
+
+// Pass reports whether every invariant held.
+func (r *Result) Pass() bool { return len(r.Violations) == 0 }
+
+// payloadLen sizes every chaos request: an 8-byte token plus filler whose
+// bytes are a deterministic function of the token, so a flipped bit
+// anywhere in the payload is detectable at either end.
+const payloadLen = 32
+
+func fillPayload(buf []byte, tok uint64) {
+	binary.LittleEndian.PutUint64(buf, tok)
+	for j := 8; j < len(buf); j++ {
+		buf[j] = byte(tok>>(8*(j%8))) ^ byte(j)
+	}
+}
+
+func token(client, seq int) uint64 { return uint64(client)<<32 | uint64(seq) }
+
+// clientRun tracks one measured client's progress.
+type clientRun struct {
+	acked    []uint64 // tokens acknowledged without error, in completion order
+	timedOut uint64
+	errs     uint64 // transport-level errors (not timeouts, not mismatches)
+	mismatch uint64
+	done     bool
+}
+
+// callOpts returns the per-class deadline/retry policy. Timeouts sit well
+// above the healthy round trip but inside the fault windows, so outages
+// convert to retries and (eventually) TimedOut failures, never hangs.
+func callOpts(class Class) rpccore.CallOpts {
+	o := rpccore.CallOpts{
+		Timeout:       600 * sim.Microsecond,
+		RetryInterval: 120 * sim.Microsecond,
+		MaxRetries:    3,
+	}
+	if class == ClassDrop {
+		// Hedging only pays against stochastic straggler loss; under
+		// flaps/crashes it just doubles pressure on a dead link.
+		o.Hedge = 250 * sim.Microsecond
+	}
+	return o
+}
+
+// Run executes one seeded chaos schedule and returns its Result.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Class == "" {
+		return nil, fmt.Errorf("chaos: missing class")
+	}
+	if cfg.Transport == "" {
+		cfg.Transport = "ScaleRPC"
+	}
+	if cfg.Transport == "RawWrite" && cfg.Class != ClassDrop {
+		return nil, fmt.Errorf("chaos: RawWrite has no reconnect path; class %q unsupported", cfg.Class)
+	}
+	if cfg.Transport != "ScaleRPC" && cfg.Transport != "RawWrite" {
+		return nil, fmt.Errorf("chaos: unknown transport %q", cfg.Transport)
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Calls <= 0 {
+		cfg.Calls = 60
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 40 * sim.Millisecond
+	}
+
+	scen := GenScenario(cfg.Class, cfg.Seed)
+	if err := scen.Validate(); err != nil {
+		return nil, err
+	}
+
+	ccfg := cluster.Default(3) // server + two client hosts
+	ccfg.Seed = cfg.Seed + 1   // nonzero even for seed 0
+	c := cluster.New(ccfg)
+	defer c.Close()
+	p := c.InstallFaults(scen)
+
+	// Both transports share the cluster-wide reliability block; the
+	// servers and Callers below register against the same registry.
+	rel := rpccore.SharedRel(c.Telemetry)
+
+	execs := make(map[uint64]uint32)
+	handler := func(t *host.Thread, clientID uint16, req []byte, out []byte) int {
+		t.Work(100)
+		if len(req) >= 8 {
+			execs[binary.LittleEndian.Uint64(req)]++
+		}
+		return copy(out, req)
+	}
+
+	var connect func(ch *host.Host, sig *sim.Signal) rpccore.Conn
+	var churnHooks func()
+	switch cfg.Transport {
+	case "ScaleRPC":
+		scfg := scalerpc.DefaultServerConfig()
+		scfg.Workers = 4
+		scfg.GroupSize = 8
+		scfg.TimeSlice = 50 * sim.Microsecond
+		scfg.BlocksPerClient = 8
+		scfg.MaxClients = 256
+		s := scalerpc.NewServer(c.Hosts[0], scfg)
+		s.Register(1, handler)
+		s.Start()
+		connect = func(ch *host.Host, sig *sim.Signal) rpccore.Conn { return s.Connect(ch, sig) }
+		if cfg.Class == ClassChurn {
+			churnHooks = func() { startChurn(c, s, cfg.Seed) }
+		}
+	case "RawWrite":
+		rcfg := rawrpc.DefaultServerConfig()
+		rcfg.Workers = 4
+		rcfg.BlocksPerClient = 8
+		rcfg.MaxClients = 64
+		s := rawrpc.NewServer(c.Hosts[0], rcfg)
+		s.Register(1, handler)
+		s.Start()
+		connect = func(ch *host.Host, sig *sim.Signal) rpccore.Conn { return s.Connect(ch, sig) }
+	}
+
+	if churnHooks != nil {
+		churnHooks()
+	}
+
+	opts := callOpts(cfg.Class)
+	runs := make([]*clientRun, cfg.Clients)
+	hardStop := c.Env.Now() + sim.Time(cfg.Budget)
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		cr := &clientRun{}
+		runs[i] = cr
+		ch := c.Hosts[1+i%2]
+		sig := sim.NewSignal(c.Env)
+		conn := rpccore.NewCaller(connect(ch, sig), opts, rel)
+		ch.Spawn("chaos-client", func(th *host.Thread) {
+			driveClient(th, conn, sig, i, cfg.Calls, hardStop, cr)
+		})
+	}
+
+	allDone := func() bool {
+		for _, cr := range runs {
+			if !cr.done {
+				return false
+			}
+		}
+		return true
+	}
+	for !allDone() && c.Env.Now() < hardStop {
+		c.Env.RunUntil(c.Env.Now() + 100*sim.Microsecond)
+	}
+	// Let in-flight completions and late responses settle so LateDrops
+	// and the exec map are final.
+	c.Env.RunUntil(c.Env.Now() + sim.Time(sim.Millisecond))
+
+	return assemble(cfg, scen, p, rel, runs, execs, int64(c.Env.Now())), nil
+}
+
+// driveClient issues calls sequentially: send token (i, s), poll until the
+// Caller resolves it (response or synthetic timeout), verify the echo.
+func driveClient(th *host.Thread, conn *rpccore.Caller, sig *sim.Signal, idx, calls int, hardStop sim.Time, cr *clientRun) {
+	payload := make([]byte, payloadLen)
+	expect := make([]byte, payloadLen)
+	for s := 0; s < calls; s++ {
+		tok := token(idx, s)
+		fillPayload(payload, tok)
+		reqID := uint64(s)
+		for !conn.TrySend(th, 1, payload, reqID) {
+			conn.Poll(th, func(rpccore.Response) {})
+			if th.P.Now() >= hardStop {
+				return
+			}
+			sig.WaitTimeout(th.P, 10*sim.Microsecond)
+		}
+		resolved := false
+		for !resolved {
+			conn.Poll(th, func(r rpccore.Response) {
+				if r.ReqID != reqID || resolved {
+					return
+				}
+				resolved = true
+				switch {
+				case r.TimedOut:
+					cr.timedOut++
+				case r.Err:
+					cr.errs++
+				default:
+					fillPayload(expect, tok)
+					if string(r.Payload) != string(expect) {
+						cr.mismatch++
+					} else {
+						cr.acked = append(cr.acked, tok)
+					}
+				}
+			})
+			if resolved {
+				break
+			}
+			if th.P.Now() >= hardStop {
+				return
+			}
+			sig.WaitTimeout(th.P, 10*sim.Microsecond)
+		}
+	}
+	cr.done = true
+}
+
+// assemble computes the invariant verdicts from the raw run state.
+func assemble(cfg Config, scen *faults.Scenario, p *faults.Plane, rel *rpccore.RelStats,
+	runs []*clientRun, execs map[uint64]uint32, elapsed int64) *Result {
+	r := &Result{
+		Class: string(cfg.Class), Seed: cfg.Seed, Transport: cfg.Transport,
+		Clients: cfg.Clients, Calls: cfg.Calls, Scenario: scen,
+		Retries: rel.Retries, Hedges: rel.Hedges, DedupHits: rel.DedupHits,
+		DeadlineExceeded: rel.DeadlineExceeded, LateDrops: rel.LateDrops,
+		CRCDrops: rel.CRCDrops,
+		Injected: Injected{
+			Drops: p.Stats.Drops, Corrupts: p.Stats.Corrupts,
+			PayloadCorrupts: p.Stats.PayloadCorrupts, Dups: p.Stats.Dups,
+			LinkDownDrops: p.Stats.LinkDownDrops, Flaps: p.Stats.Flaps,
+			Crashes: p.Stats.Crashes,
+		},
+		ElapsedNs: elapsed,
+	}
+	r.Issued = uint64(cfg.Clients * cfg.Calls)
+
+	violate := func(format string, args ...interface{}) {
+		if len(r.Violations) < 16 { // cap the list, keep the counts exact
+			r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+		}
+	}
+
+	// Invariant 1: at-most-once execution.
+	toks := make([]uint64, 0, len(execs))
+	for tok := range execs {
+		toks = append(toks, tok)
+	}
+	sort.Slice(toks, func(i, j int) bool { return toks[i] < toks[j] })
+	for _, tok := range toks {
+		r.Executions++
+		if n := execs[tok]; n > 1 {
+			r.DuplicateExecutions += uint64(n - 1)
+			violate("token (client %d, seq %d) executed %d times", tok>>32, tok&0xffffffff, n)
+		}
+	}
+
+	for i, cr := range runs {
+		r.Acked += uint64(len(cr.acked))
+		r.TimedOut += cr.timedOut
+		r.Errors += cr.errs
+		r.EchoMismatches += cr.mismatch
+		// Invariant 2: acknowledged ⇒ executed.
+		for _, tok := range cr.acked {
+			if execs[tok] == 0 {
+				violate("token (client %d, seq %d) acked but never executed", tok>>32, tok&0xffffffff)
+			}
+		}
+		// Invariant 4: liveness.
+		if !cr.done {
+			r.StuckClients++
+			violate("client %d stuck: %d/%d calls resolved within the budget",
+				i, len(cr.acked)+int(cr.timedOut)+int(cr.errs)+int(cr.mismatch), cfg.Calls)
+		}
+	}
+	// Invariant 3: integrity — zero delivered corruption.
+	if r.EchoMismatches > 0 {
+		violate("%d corrupted payloads delivered (CRC must turn corruption into loss)", r.EchoMismatches)
+	}
+	return r
+}

@@ -44,6 +44,11 @@ type Message struct {
 	Src, Dst int
 	Bytes    int // payload size for wire-time purposes
 	Payload  interface{}
+	// Mangled marks this delivery as payload-corrupted past the ICRC (a
+	// Verdict.CorruptPayload injection): the receiving NIC must flip bits
+	// in a private copy of the payload before committing it. Set per
+	// delivered copy, never on the sender's message.
+	Mangled bool
 }
 
 // PortStats counts per-port traffic.
@@ -79,9 +84,15 @@ type Verdict struct {
 	// and consumes bandwidth at both ends, then the receiving port
 	// discards it without invoking the delivery handler.
 	Corrupt bool
+	// CorruptPayload delivers the message with its payload corrupted: the
+	// bit flip happened past the link ICRC (a DMA fault, a buggy bridge),
+	// so the NIC accepts and commits the damage. This is the failure mode
+	// the RPC layer's frame CRC exists to catch.
+	CorruptPayload bool
 	// Duplicate delivers a second copy immediately after the first, each
 	// paying its own serialization (a retransmitted packet whose original
-	// was only delayed, or a misbehaving switch).
+	// was only delayed, or a misbehaving switch). The duplicate is always
+	// delivered clean.
 	Duplicate bool
 	// ExtraDelay is added to the switch latency (a latency spike).
 	ExtraDelay sim.Duration
@@ -163,7 +174,15 @@ func (f *Fabric) Send(msg *Message) {
 		src.Stats.TxBytes += uint64(msg.Bytes + f.cfg.WireOverheadBytes)
 		return
 	}
-	f.transmit(msg, v.ExtraDelay, !v.Corrupt)
+	first := msg
+	if v.CorruptPayload && !v.Corrupt {
+		// Per-delivery copy: the sender (and any duplicate below) must keep
+		// seeing the clean message — NIC retransmission reuses it.
+		cp := *msg
+		cp.Mangled = true
+		first = &cp
+	}
+	f.transmit(first, v.ExtraDelay, !v.Corrupt)
 	if v.Duplicate {
 		f.transmit(msg, v.ExtraDelay, true)
 	}

@@ -27,6 +27,9 @@ type PlaneStats struct {
 	Corrupts uint64
 	Dups     uint64
 	Delays   uint64
+	// PayloadCorrupts counts past-ICRC corruption injections: the message
+	// is delivered with flipped payload bits instead of being discarded.
+	PayloadCorrupts uint64
 
 	LinkDownDrops uint64 // messages dropped because an endpoint was down
 	Flaps         uint64
@@ -182,6 +185,10 @@ func (p *Plane) intercept(msg *fabric.Message) fabric.Verdict {
 			p.Stats.Corrupts++
 			v.Corrupt = true
 		}
+		if lf.PayloadCorruptRate > 0 && p.rng.Float64() < lf.PayloadCorruptRate {
+			p.Stats.PayloadCorrupts++
+			v.CorruptPayload = true
+		}
 		if lf.DupRate > 0 && p.rng.Float64() < lf.DupRate {
 			p.Stats.Dups++
 			v.Duplicate = true
@@ -222,6 +229,7 @@ func (p *Plane) TuneNIC(cfg *nic.Config) {
 func (p *Plane) Register(sc telemetry.Scope) {
 	sc.CounterVar("injected.drops", &p.Stats.Drops)
 	sc.CounterVar("injected.corrupts", &p.Stats.Corrupts)
+	sc.CounterVar("injected.payload_corrupts", &p.Stats.PayloadCorrupts)
 	sc.CounterVar("injected.dups", &p.Stats.Dups)
 	sc.CounterVar("injected.delays", &p.Stats.Delays)
 	sc.CounterVar("link.down_drops", &p.Stats.LinkDownDrops)

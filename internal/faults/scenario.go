@@ -24,6 +24,10 @@ type LinkFault struct {
 	// CorruptRate is the probability a matched message arrives with a bad
 	// ICRC (consumes full path bandwidth, then the receiver discards it).
 	CorruptRate float64 `json:"corrupt_rate,omitempty"`
+	// PayloadCorruptRate is the probability a matched message is delivered
+	// with flipped payload bits — corruption past the ICRC (DMA fault),
+	// which only the RPC layer's frame CRC can catch.
+	PayloadCorruptRate float64 `json:"payload_corrupt_rate,omitempty"`
 	// DupRate is the probability a matched message is delivered twice.
 	DupRate float64 `json:"dup_rate,omitempty"`
 	// DelayNs adds a latency spike to a DelayRate fraction of matched
@@ -151,7 +155,8 @@ func (s *Scenario) Validate() error {
 	for i, lf := range s.Links {
 		for what, r := range map[string]float64{
 			"drop_rate": lf.DropRate, "corrupt_rate": lf.CorruptRate,
-			"dup_rate": lf.DupRate, "delay_rate": lf.DelayRate,
+			"payload_corrupt_rate": lf.PayloadCorruptRate,
+			"dup_rate":             lf.DupRate, "delay_rate": lf.DelayRate,
 		} {
 			if err := checkRate(fmt.Sprintf("links[%d].%s", i, what), r); err != nil {
 				return err

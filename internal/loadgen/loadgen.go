@@ -38,6 +38,7 @@ package loadgen
 import (
 	"fmt"
 
+	"scalerpc/internal/rpccore"
 	"scalerpc/internal/sim"
 	"scalerpc/internal/stats"
 )
@@ -164,6 +165,11 @@ type Workload struct {
 	// arrivals stop; in-window requests still unanswered at the deadline
 	// count as abandoned. 0 means a generous default.
 	Drain sim.Duration `json:"drain_ns,omitempty"`
+	// Call configures per-call reliability — deadline, retry/backoff,
+	// hedging — applied by wrapping every client connection in an
+	// rpccore.Caller. The zero value keeps raw transport semantics
+	// (calls wait forever, nothing is re-sent).
+	Call rpccore.CallOpts `json:"call"`
 	// Seed drives every RNG in the workload.
 	Seed uint64 `json:"seed"`
 	// PollInterval bounds client sleep while waiting for responses or the

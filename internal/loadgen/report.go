@@ -12,6 +12,9 @@ type TenantReport struct {
 	Completed uint64 `json:"completed"`
 	Abandoned uint64 `json:"abandoned"`
 	Errors    uint64 `json:"errors"`
+	// Timeouts is the subset of Errors that were Caller deadline expiries
+	// (only nonzero when the workload sets Call.Timeout).
+	Timeouts uint64 `json:"timeouts,omitempty"`
 
 	AchievedMops float64 `json:"achieved_mops"`
 
@@ -48,6 +51,7 @@ type Report struct {
 	Completed uint64 `json:"completed"`
 	Abandoned uint64 `json:"abandoned"`
 	Errors    uint64 `json:"errors"`
+	Timeouts  uint64 `json:"timeouts,omitempty"`
 
 	OfferedMops  float64 `json:"offered_mops"`
 	AchievedMops float64 `json:"achieved_mops"`

@@ -39,6 +39,7 @@ type tenantState struct {
 	completed uint64
 	abandoned uint64
 	errors    uint64
+	timeouts  uint64 // subset of errors: Caller deadline expiries
 
 	lat    *stats.Histogram // completion - intended arrival (CO-free)
 	qdelay *stats.Histogram // transport accept - intended arrival
@@ -97,6 +98,7 @@ func NewRunner(w Workload, clients []Client, scope telemetry.Scope) *Runner {
 		sc.CounterVar("completed", &t.completed)
 		sc.CounterVar("abandoned", &t.abandoned)
 		sc.CounterVar("errors", &t.errors)
+		sc.CounterVar("timeouts", &t.timeouts)
 		sc.GaugeVar("backlog", &t.backlog)
 		t.telLat = sc.Histogram("lat_ns")
 		t.telQ = sc.Histogram("queue_ns")
@@ -120,8 +122,15 @@ func (r *Runner) Start(env *sim.Env) {
 	r.started = true
 	r.Done = sim.NewSignal(env)
 	rng := stats.NewRNG(r.w.Seed)
+	wrap := r.w.Call != (rpccore.CallOpts{})
 	for i := range r.clients {
 		c := r.clients[i]
+		if wrap {
+			// Per-call deadlines/retries/hedging: wrap the transport in a
+			// Caller sharing the host registry's reliability counters.
+			c.Conn = rpccore.NewCaller(c.Conn, r.w.Call,
+				rpccore.SharedRel(c.Host.Tel.Registry()))
+		}
 		ts := r.tenants[c.Tenant]
 		perClient := 0.0
 		if ts.clients > 0 {
@@ -214,6 +223,9 @@ func (cr *clientRun) run(t *host.Thread) {
 			}
 			if resp.Err {
 				cr.ts.errors++
+				if resp.TimedOut {
+					cr.ts.timeouts++
+				}
 				return
 			}
 			cr.ts.completed++
@@ -318,6 +330,7 @@ func (r *Runner) Report() *Report {
 			Completed:    ts.completed,
 			Abandoned:    ts.abandoned,
 			Errors:       ts.errors,
+			Timeouts:     ts.timeouts,
 			AchievedMops: mops(ts.completed, r.w.Duration),
 			MeanUs:       ts.lat.Mean() / 1e3,
 			P50Us:        float64(ts.lat.Quantile(0.5)) / 1e3,
@@ -337,6 +350,7 @@ func (r *Runner) Report() *Report {
 		rep.Completed += ts.completed
 		rep.Abandoned += ts.abandoned
 		rep.Errors += ts.errors
+		rep.Timeouts += ts.timeouts
 		rep.Tenants = append(rep.Tenants, tr)
 	}
 	rep.OfferedMops = mops(rep.Offered, r.w.Duration)

@@ -253,6 +253,16 @@ func (qp *QP) completeLocalError(wr SendWR, err error) {
 // deliver is the fabric receive handler.
 func (n *NIC) deliver(msg *fabric.Message) {
 	pkt := msg.Payload.(*packet)
+	if msg.Mangled && len(pkt.data) > 0 {
+		// Past-ICRC corruption: the damage lands in this delivery only, so
+		// work on copies — the sender's retransmit path and any duplicate
+		// delivery alias the original packet and its data.
+		cp := *pkt
+		cp.data = append([]byte(nil), pkt.data...)
+		cp.data[len(cp.data)/2] ^= 0x40
+		pkt = &cp
+		n.Stats.PayloadMangles++
+	}
 	if pkt.transport == UD && n.Cfg.UDLossRate > 0 && n.rng != nil && n.rng.Float64() < n.Cfg.UDLossRate {
 		n.Stats.UDDrops++
 		return

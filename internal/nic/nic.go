@@ -195,6 +195,9 @@ type Stats struct {
 	QPRetransmits uint64 // WQEs retransmitted by the timeout/RNR retry path
 	RNRNaks       uint64 // RNR NAKs received
 	QPErrors      uint64 // QPs that entered the error state
+	// PayloadMangles counts deliveries whose payload was corrupted past
+	// the ICRC (faults-plane CorruptPayload injections committed to memory).
+	PayloadMangles uint64
 }
 
 // NIC is one simulated RNIC.
@@ -304,6 +307,7 @@ func (n *NIC) Register(sc telemetry.Scope) {
 	sc.CounterVar("qp.retransmits", &n.Stats.QPRetransmits)
 	sc.CounterVar("qp.rnr_naks", &n.Stats.RNRNaks)
 	sc.CounterVar("qp.errors", &n.Stats.QPErrors)
+	sc.CounterVar("payload.mangles", &n.Stats.PayloadMangles)
 	n.trace = sc.Trace()
 }
 

@@ -1,0 +1,178 @@
+package rpccore
+
+import (
+	"scalerpc/internal/host"
+	"scalerpc/internal/sim"
+)
+
+// CallOpts are per-connection deadline and retry knobs, all in virtual
+// time. The zero value disables everything (calls wait forever, as before).
+type CallOpts struct {
+	// Timeout is the per-call deadline, measured from the first send. When
+	// it expires the Caller fails the call back to the application with
+	// Response.TimedOut set, regardless of retries still in flight.
+	Timeout sim.Duration `json:"timeout_ns,omitempty"`
+	// RetryInterval is the delay before the first re-send; it doubles
+	// after every retry (bounded exponential backoff).
+	RetryInterval sim.Duration `json:"retry_interval_ns,omitempty"`
+	// MaxRetries bounds re-sends per call. 0 means no retries: the call
+	// either completes or times out on its original send.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// Hedge, when > 0, issues one speculative duplicate send if no
+	// response arrived this long after the first send — ahead of the
+	// retry schedule, against the straggler tail. Server-side dedup makes
+	// the duplicate safe.
+	Hedge sim.Duration `json:"hedge_ns,omitempty"`
+}
+
+// Resender is implemented by transports whose in-flight requests can be
+// re-issued in place: Resend re-posts the request occupying the slot that
+// reqID holds, without consuming a new slot. Retries and hedges prefer it;
+// on a transport without it the Caller can only enforce deadlines.
+type Resender interface {
+	Resend(t *host.Thread, reqID uint64) bool
+}
+
+// pendingCall tracks one outstanding request's timers.
+type pendingCall struct {
+	reqID     uint64
+	deadline  sim.Time
+	nextRetry sim.Time
+	interval  sim.Duration
+	retries   int
+	hedgeAt   sim.Time
+	hedged    bool
+	done      bool
+}
+
+// Caller wraps a Conn with per-call deadlines, retry/backoff and hedging.
+// It implements Conn itself, so drivers and the loadgen runner can slot it
+// in transparently: Poll delivers normal responses for calls still
+// pending, synthesizes TimedOut failures for expired ones, and silently
+// drops responses for calls already completed or failed (retry races).
+type Caller struct {
+	Conn Conn
+	Opts CallOpts
+	Rel  *RelStats
+
+	pending map[uint64]*pendingCall
+	// order preserves insertion order for the timer sweep — iterating the
+	// map would break run determinism.
+	order []*pendingCall
+}
+
+// NewCaller wraps conn. rel may be nil (detached counters).
+func NewCaller(conn Conn, opts CallOpts, rel *RelStats) *Caller {
+	if rel == nil {
+		rel = &RelStats{}
+	}
+	return &Caller{Conn: conn, Opts: opts, Rel: rel, pending: make(map[uint64]*pendingCall)}
+}
+
+// TrySend posts the request through the wrapped Conn and, on success,
+// starts the call's deadline and retry clocks.
+func (c *Caller) TrySend(t *host.Thread, handler uint8, payload []byte, reqID uint64) bool {
+	if !c.Conn.TrySend(t, handler, payload, reqID) {
+		return false
+	}
+	now := t.P.Now()
+	pc := &pendingCall{reqID: reqID, interval: c.Opts.RetryInterval}
+	if c.Opts.Timeout > 0 {
+		pc.deadline = now + c.Opts.Timeout
+	}
+	if c.Opts.Hedge > 0 {
+		pc.hedgeAt = now + c.Opts.Hedge
+	}
+	if c.Opts.RetryInterval > 0 {
+		pc.nextRetry = now + c.Opts.RetryInterval
+	}
+	if old, ok := c.pending[reqID]; ok {
+		old.done = true // the application reused a reqID; supersede
+	}
+	c.pending[reqID] = pc
+	c.order = append(c.order, pc)
+	return true
+}
+
+// Poll drains the wrapped Conn, delivering responses for pending calls and
+// counting the rest as late drops, then sweeps the timers: expired calls
+// fail with TimedOut, due retries and hedges re-send in place.
+func (c *Caller) Poll(t *host.Thread, fn func(Response)) int {
+	delivered := 0
+	c.Conn.Poll(t, func(r Response) {
+		pc, ok := c.pending[r.ReqID]
+		if !ok || pc.done {
+			// A late response: its call completed via an earlier copy or
+			// already timed out.
+			c.Rel.LateDrops++
+			return
+		}
+		c.complete(pc)
+		delivered++
+		fn(r)
+	})
+
+	if len(c.order) > 2*(len(c.pending)+1) {
+		keep := c.order[:0]
+		for _, pc := range c.order {
+			if !pc.done {
+				keep = append(keep, pc)
+			}
+		}
+		c.order = keep
+	}
+	now := t.P.Now()
+	for i := 0; i < len(c.order); i++ {
+		pc := c.order[i]
+		if pc.done {
+			continue
+		}
+		if c.Opts.Timeout > 0 && now >= pc.deadline {
+			c.complete(pc)
+			c.Rel.DeadlineExceeded++
+			delivered++
+			fn(Response{ReqID: pc.reqID, Err: true, TimedOut: true})
+			continue
+		}
+		if c.Opts.Hedge > 0 && !pc.hedged && now >= pc.hedgeAt {
+			pc.hedged = true
+			if c.resend(t, pc.reqID) {
+				c.Rel.Hedges++
+			}
+		}
+		if c.Opts.RetryInterval > 0 && pc.retries < c.Opts.MaxRetries && now >= pc.nextRetry {
+			if c.resend(t, pc.reqID) {
+				pc.retries++
+				c.Rel.Retries++
+			}
+			pc.interval *= 2
+			pc.nextRetry = now + pc.interval
+		}
+	}
+	return delivered
+}
+
+func (c *Caller) complete(pc *pendingCall) {
+	pc.done = true
+	delete(c.pending, pc.reqID)
+}
+
+func (c *Caller) resend(t *host.Thread, reqID uint64) bool {
+	if rs, ok := c.Conn.(Resender); ok {
+		return rs.Resend(t, reqID)
+	}
+	return false
+}
+
+// Pending returns the number of calls awaiting a response or deadline.
+func (c *Caller) Pending() int { return len(c.pending) }
+
+// Outstanding forwards the wrapped Conn's slot usage. After a timeout this
+// can exceed Pending: the slot stays occupied until a (late) response or a
+// reconnect reclaims it.
+func (c *Caller) Outstanding() int { return c.Conn.Outstanding() }
+
+// SlotCount forwards the wrapped Conn's window size.
+func (c *Caller) SlotCount() int { return c.Conn.SlotCount() }
+
+var _ Conn = (*Caller)(nil)

@@ -1,0 +1,96 @@
+package rpccore
+
+// CachedReply is one committed response retained for dedup replay.
+type CachedReply struct {
+	Payload []byte
+	Err     bool
+}
+
+type cacheEntry struct {
+	reqID uint64
+	ready bool
+	rep   CachedReply
+}
+
+// clientCache is one client's dedup window: entries by reqID plus admit
+// order for FIFO eviction. Lookup-only maps keep determinism.
+type clientCache struct {
+	entries map[uint64]*cacheEntry
+	order   []uint64
+}
+
+// ReplyCache is the server-side exactly-once filter: a bounded
+// per-(clientID, reqID) record of executed (or executing) requests and
+// their committed responses. A server consults it before running a
+// handler; duplicates — client retries after a timeout, a context-switch
+// race, or a reconnect/rejoin — are answered from cache instead of
+// re-executed, upgrading the transports' at-least-once retry windows to
+// at-most-once execution with exactly-once results for acknowledged work.
+//
+// Sizing: a client retries only requests still occupying one of its W
+// request slots, so its live reqIDs always fall within its last W distinct
+// ones. Retaining 2W entries per client therefore guarantees no
+// false re-execution: by the time an entry is evicted the client has
+// issued ≥ W newer requests, which it could only do after the evicted
+// one's response freed its slot.
+type ReplyCache struct {
+	perClient int
+	clients   map[uint16]*clientCache
+}
+
+// NewReplyCache sizes the cache for clients with the given request-window
+// size (slots per client).
+func NewReplyCache(window int) *ReplyCache {
+	per := 2 * window
+	if per < 4 {
+		per = 4
+	}
+	return &ReplyCache{perClient: per, clients: make(map[uint16]*clientCache)}
+}
+
+// Admit records the arrival of (client, reqID). New requests are marked
+// in-flight and dup=false: the caller must run the handler and Commit.
+// Known requests return dup=true; if the first execution already committed,
+// ready is true and rep holds the response to replay. dup && !ready means
+// the original is still executing (a legacy-mode handler in progress) —
+// the caller drops the duplicate silently; the in-flight execution's
+// response is on its way.
+func (rc *ReplyCache) Admit(client uint16, reqID uint64) (dup bool, rep CachedReply, ready bool) {
+	cc := rc.clients[client]
+	if cc == nil {
+		cc = &clientCache{entries: make(map[uint64]*cacheEntry)}
+		rc.clients[client] = cc
+	}
+	if e, ok := cc.entries[reqID]; ok {
+		return true, e.rep, e.ready
+	}
+	if len(cc.order) >= rc.perClient {
+		oldest := cc.order[0]
+		cc.order = cc.order[1:]
+		delete(cc.entries, oldest)
+	}
+	cc.entries[reqID] = &cacheEntry{reqID: reqID}
+	cc.order = append(cc.order, reqID)
+	return false, CachedReply{}, false
+}
+
+// Commit stores the executed response for (client, reqID), copying the
+// payload (the caller's buffer is reused per request). A commit for an
+// entry the window already evicted is dropped.
+func (rc *ReplyCache) Commit(client uint16, reqID uint64, payload []byte, errFlag bool) {
+	cc := rc.clients[client]
+	if cc == nil {
+		return
+	}
+	e, ok := cc.entries[reqID]
+	if !ok {
+		return
+	}
+	e.ready = true
+	e.rep = CachedReply{Payload: append([]byte(nil), payload...), Err: errFlag}
+}
+
+// Drop forgets everything recorded for a client id. Call when the id is
+// released for reuse (lease expiry, cache teardown, zone reclamation) —
+// a fresh client under the same id starts its own reqID space.
+func (rc *ReplyCache) Drop(client uint16) { delete(rc.clients, client) }

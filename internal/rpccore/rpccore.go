@@ -30,6 +30,10 @@ type Response struct {
 	ReqID   uint64
 	Payload []byte // valid only during the delivery callback
 	Err     bool
+	// TimedOut marks a synthetic failure a Caller delivers when the call
+	// exhausted its deadline and retry budget; no server response arrived
+	// (one may still trickle in later and be counted as a late drop).
+	TimedOut bool
 }
 
 // Conn is a client endpoint (the paper's RPCClient): one logical caller

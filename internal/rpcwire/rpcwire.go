@@ -3,30 +3,36 @@
 // into fixed-size message blocks, and the paper's right-aligned in-block
 // message format (§3.1):
 //
-//	| padding | Data | MsgLen | Flags | Valid |
+//	| padding | Data | MsgLen | Flags | CRC | Valid |
 //
 // RDMA updates memory in increasing address order, so once the trailing
-// Valid byte is visible the preceding Data and MsgLen fields are complete;
-// a poller detects message arrival by reading a single byte at a fixed
-// offset. The Flags field carries the context_switch_event notification
-// ScaleRPC piggybacks on responses (§3.3).
+// Valid byte is visible the preceding Data, MsgLen and CRC fields are
+// complete; a poller detects message arrival by reading a single byte at a
+// fixed offset. The Flags field carries the context_switch_event
+// notification ScaleRPC piggybacks on responses (§3.3). The CRC32 guards
+// the frame end to end: the NIC's ICRC only covers the wire hop, so DMA-
+// or fault-injected corruption past the NIC is otherwise delivered
+// silently; a CRC mismatch is treated as loss (Clear and let the sender's
+// retry machinery recover).
 package rpcwire
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // Trailer layout (at the end of every block), in increasing address order:
 //
-//	MsgLen uint32 | Flags uint8 | Seq uint8 | Valid uint8
+//	MsgLen uint32 | Flags uint8 | Seq uint8 | CRC uint32 | Valid uint8
 const (
 	lenSize     = 4
 	flagsSize   = 1
 	seqSize     = 1
+	crcSize     = 4
 	validSize   = 1
-	TrailerSize = lenSize + flagsSize + seqSize + validSize
+	TrailerSize = lenSize + flagsSize + seqSize + crcSize + validSize
 )
 
 // Flag bits carried in the trailer.
@@ -46,7 +52,18 @@ const validMagic = 0xA5
 var (
 	ErrTooLarge = errors.New("rpcwire: message does not fit in block")
 	ErrNotValid = errors.New("rpcwire: block has no valid message")
+	// ErrCRC marks a frame whose trailer CRC32 does not cover its bytes:
+	// the Valid byte landed but the frame was corrupted in flight (or by a
+	// torn write). Receivers treat it exactly like loss.
+	ErrCRC = errors.New("rpcwire: frame CRC mismatch")
 )
+
+// crcOf computes the frame checksum: payload through the Seq byte, i.e.
+// everything the trailer describes except the CRC and Valid fields.
+func crcOf(block []byte, msgLen int) uint32 {
+	dataEnd := len(block) - TrailerSize
+	return crc32.ChecksumIEEE(block[dataEnd-msgLen : dataEnd+lenSize+flagsSize+seqSize])
+}
 
 // MaxPayload returns the largest message a block of the given size holds.
 func MaxPayload(blockSize int) int { return blockSize - TrailerSize }
@@ -62,6 +79,7 @@ func Encode(block []byte, payload []byte, flags byte) error {
 	binary.LittleEndian.PutUint32(block[dataEnd:], uint32(len(payload)))
 	block[dataEnd+lenSize] = flags
 	block[dataEnd+lenSize+flagsSize] = 0
+	binary.LittleEndian.PutUint32(block[dataEnd+lenSize+flagsSize+seqSize:], crcOf(block, len(payload)))
 	block[len(block)-1] = validMagic
 	return nil
 }
@@ -74,7 +92,9 @@ func Valid(block []byte) bool { return block[len(block)-1] == validMagic }
 // address a poller reads.
 func ValidOffset(blockSize int) int { return blockSize - 1 }
 
-// Decode returns the payload and flags of a valid block. The returned slice
+// Decode returns the payload and flags of a valid block, verifying the
+// trailer CRC. A frame that fails the check returns an error wrapping
+// ErrCRC; receivers count it and treat it as loss. The returned slice
 // aliases the block; callers must copy if they retain it past Clear.
 func Decode(block []byte) (payload []byte, flags byte, err error) {
 	if !Valid(block) {
@@ -83,7 +103,11 @@ func Decode(block []byte) (payload []byte, flags byte, err error) {
 	dataEnd := len(block) - TrailerSize
 	msgLen := int(binary.LittleEndian.Uint32(block[dataEnd:]))
 	if msgLen > dataEnd {
-		return nil, 0, fmt.Errorf("rpcwire: corrupt MsgLen %d in %d-byte block", msgLen, len(block))
+		return nil, 0, fmt.Errorf("%w: corrupt MsgLen %d in %d-byte block", ErrCRC, msgLen, len(block))
+	}
+	want := binary.LittleEndian.Uint32(block[dataEnd+lenSize+flagsSize+seqSize:])
+	if got := crcOf(block, msgLen); got != want {
+		return nil, 0, fmt.Errorf("%w: got %08x want %08x", ErrCRC, got, want)
 	}
 	return block[dataEnd-msgLen : dataEnd], block[dataEnd+lenSize], nil
 }
@@ -91,6 +115,18 @@ func Decode(block []byte) (payload []byte, flags byte, err error) {
 // Clear marks the block consumed (the server's per-message cleanup; a
 // single local byte store).
 func Clear(block []byte) { block[len(block)-1] = 0 }
+
+// Reseal recomputes the trailer CRC of an encoded block after an in-place
+// rewrite of its data (e.g. the membership ClientID restamp on cold
+// rejoin). It returns the offset of the CRC word so callers can flush
+// exactly the rewritten bytes.
+func Reseal(block []byte) (crcOffset int) {
+	dataEnd := len(block) - TrailerSize
+	msgLen := int(binary.LittleEndian.Uint32(block[dataEnd:]))
+	off := dataEnd + lenSize + flagsSize + seqSize
+	binary.LittleEndian.PutUint32(block[off:], crcOf(block, msgLen))
+	return off
+}
 
 // EncodedSpan returns the offset and length within the block that an
 // encoded message of msgLen bytes occupies (data through trailer). RDMA

@@ -56,6 +56,11 @@ type Conn struct {
 	entryScratch *memory.Region
 	resp         *rpcwire.Pool
 	buf          []byte // request assembly buffer (no memory-model cost)
+	// respBuf holds a stable snapshot of the response frame being
+	// delivered: the response block is live RDMA-writable memory, and
+	// ReadMem/WriteMem below yield virtual time during which a late
+	// duplicate response may overwrite the slot in place.
+	respBuf []byte
 
 	state       ClientState
 	zone        int
@@ -272,8 +277,12 @@ func (c *Conn) Poll(t *host.Thread, fn func(rpccore.Response)) int {
 	ctrl := c.resp.Block(0, c.s.Cfg.BlocksPerClient)
 	t.ReadMem(c.resp.ValidAddr(0, c.s.Cfg.BlocksPerClient), 1)
 	if rpcwire.Valid(ctrl) {
-		if _, flags, err := rpcwire.Decode(ctrl); err == nil && flags&rpcwire.FlagContextSwitch != 0 {
-			switched = true
+		if _, flags, err := rpcwire.Decode(ctrl); err == nil {
+			if flags&rpcwire.FlagContextSwitch != 0 {
+				switched = true
+			}
+		} else {
+			c.s.rel.CRCDrops++
 		}
 		rpcwire.Clear(ctrl)
 		t.WriteMem(c.resp.ValidAddr(0, c.s.Cfg.BlocksPerClient), 1)
@@ -290,11 +299,19 @@ func (c *Conn) Poll(t *host.Thread, fn func(rpccore.Response)) int {
 		}
 		payload, flags, err := rpcwire.Decode(block)
 		if err != nil {
+			// A corrupted response: treat as loss; the deadline/retry layer
+			// (or the context-switch re-stage) recovers the call.
+			c.s.rel.CRCDrops++
 			rpcwire.Clear(block)
+			t.WriteMem(c.resp.ValidAddr(0, b), 1)
 			continue
 		}
+		// Snapshot the CRC-validated frame before yielding: ReadMem and
+		// the Clear/WriteMem below advance virtual time, and a late
+		// duplicate response write may overwrite the block under us.
+		c.respBuf = append(c.respBuf[:0], payload...)
 		t.ReadMem(c.resp.BlockAddr(0, b), len(payload)+rpcwire.TrailerSize)
-		hdr, body, herr := rpcwire.ParseHeader(payload)
+		hdr, body, herr := rpcwire.ParseHeader(c.respBuf)
 		if herr != nil || hdr.ReqID != c.slots[b].reqID {
 			// A stale response from a previous occupant of this slot.
 			rpcwire.Clear(block)
@@ -423,4 +440,80 @@ func (c *Conn) reconnect(t *host.Thread) {
 // notice.
 func (c *Conn) Reconnect(t *host.Thread) { c.reconnect(t) }
 
+// Resend re-issues the in-flight request identified by reqID without
+// consuming a new slot (the rpccore.Resender hook behind Caller retries
+// and hedges). In PROCESS the staged frame is RDMA-written to the same
+// pool slot again; in WARMUP/IDLE the staged batch is re-offered by
+// opening a fresh warmup round, which makes the scheduler re-fetch every
+// staged block. Server-side dedup absorbs any duplicate delivery.
+func (c *Conn) Resend(t *host.Thread, reqID uint64) bool {
+	if c.left || c.qp.Err() != nil {
+		return false
+	}
+	b := -1
+	for i := range c.slots {
+		if c.slots[i].busy && c.slots[i].reqID == reqID {
+			b = i
+			break
+		}
+	}
+	if b < 0 || !c.slots[b].staged {
+		return false
+	}
+	if c.state != StateProcess {
+		// Staged but not yet (or no longer) deliverable directly: bump the
+		// round so the server's warmup fetch re-reads the staging area.
+		if c.state == StateIdle {
+			c.beginWarmup()
+			c.stagedCount = c.slotSpanEnd()
+			c.refreshStagedSpan()
+		} else {
+			c.round++
+			c.entryDirty = true
+		}
+		c.flushEndpointEntry(t)
+		return true
+	}
+	pool := c.s.pools[c.poolIdx]
+	off, span := rpcwire.EncodedSpan(c.s.Cfg.BlockSize, c.slots[b].msgLen)
+	wr := nic.SendWR{
+		Op:    nic.OpWrite,
+		LKey:  c.stage.LKey,
+		LAddr: c.stage.Base + uint64(b*c.s.Cfg.BlockSize+off),
+		Len:   span,
+		RKey:  pool.RKey(),
+		RAddr: pool.BlockAddr(c.zone, b) + uint64(off),
+	}
+	if span <= c.h.NIC.Cfg.MaxInline {
+		wr.Inline = true
+	}
+	return t.PostSend(c.qp, wr) == nil
+}
+
+// slotSpanEnd returns one past the highest busy staged slot — the staged
+// count a fresh warmup round must advertise to cover every survivor.
+func (c *Conn) slotSpanEnd() int {
+	end := 0
+	for i := range c.slots {
+		if c.slots[i].busy && c.slots[i].staged {
+			end = i + 1
+		}
+	}
+	return end
+}
+
+// refreshStagedSpan recomputes the max encoded span over staged slots.
+func (c *Conn) refreshStagedSpan() {
+	c.stagedSpan = 0
+	for i := range c.slots {
+		if !c.slots[i].busy || !c.slots[i].staged {
+			continue
+		}
+		if sp := c.slots[i].msgLen + rpcwire.TrailerSize; sp > c.stagedSpan {
+			c.stagedSpan = sp
+		}
+	}
+}
+
 var _ rpccore.Conn = (*Conn)(nil)
+var _ rpccore.Resender = (*Conn)(nil)

@@ -113,6 +113,15 @@ func (a *ctrlAdapter) Resume(t *host.Thread, peer int, qp *nic.QP, payload []byt
 func (a *ctrlAdapter) rebind(t *host.Thread, cs *clientState, qp *nic.QP, pinned bool) {
 	s := a.s
 	cs.parked = false
+	if cs.limbo {
+		cs.limbo = false
+		for i, id := range s.limbo {
+			if id == cs.id {
+				s.limbo = append(s.limbo[:i], s.limbo[i+1:]...)
+				break
+			}
+		}
+	}
 	cs.qp = qp
 	cs.fetchedUpTo = 0
 	cs.missedSlices = 0
@@ -123,8 +132,10 @@ func (a *ctrlAdapter) rebind(t *host.Thread, cs *clientState, qp *nic.QP, pinned
 	}
 }
 
-// findParked returns the parked client whose registered regions match the
-// join payload, scanning in id order for determinism.
+// findParked returns the parked or quarantined client whose registered
+// regions match the join payload, scanning in id order for determinism.
+// The regions are the durable identity: a crash-recovered client dialing
+// cold presents the same regions and reclaims its id (and dedup window).
 func (s *Server) findParked(payload []byte) *clientState {
 	if len(payload) != joinReqSize {
 		return nil
@@ -134,7 +145,7 @@ func (s *Server) findParked(payload []byte) *clientState {
 	stageAddr := binary.LittleEndian.Uint64(payload[12:])
 	stageRKey := binary.LittleEndian.Uint32(payload[20:])
 	for _, cs := range s.clients {
-		if cs != nil && cs.parked && cs.respAddr == respAddr && cs.respRKey == respRKey &&
+		if cs != nil && (cs.parked || cs.limbo) && cs.respAddr == respAddr && cs.respRKey == respRKey &&
 			cs.stageAddr == stageAddr && cs.stageRKey == stageRKey {
 			return cs
 		}
@@ -142,10 +153,20 @@ func (s *Server) findParked(payload []byte) *clientState {
 	return nil
 }
 
+// limboCap bounds the identity quarantine: at most this many ungracefully
+// departed ids wait for their client to return before the oldest is
+// released for real.
+const limboCap = 64
+
 // Closed handles every departure. A graceful leave parks the client: it
 // drops out of its group (taking effect at the next switch) but keeps its
 // id and regions so a later Resume is cheap. Every other reason — lease
-// expiry, QP error, cache eviction of a parked entry — releases the id.
+// expiry, QP error, cache eviction of a parked entry — quarantines the
+// identity: the id and the reply cache's dedup window stay reserved so a
+// crash-recovered client that dials back in (cold, matched by its regions)
+// resumes exactly-once execution across the outage. The quarantine is
+// FIFO-bounded; overflow releases the oldest identity and drops its dedup
+// state, after which a returning client starts a fresh reqID space.
 func (a *ctrlAdapter) Closed(peer int, handle uint64, reason ctrlplane.CloseReason) {
 	s := a.s
 	cs := s.lookupHandle(handle)
@@ -158,18 +179,69 @@ func (a *ctrlAdapter) Closed(peer int, handle uint64, reason ctrlplane.CloseReas
 		s.Stats.Leaves++
 		return
 	}
+	if cs.limbo {
+		// Another stale pair of an already-quarantined identity went away.
+		return
+	}
+	if reason == ctrlplane.CloseError && cs.qp.Err() == nil {
+		// The errored pair is an orphan: the client already rebound onto a
+		// fresh QP before the sweep got to the dead one.
+		return
+	}
 	if reason == ctrlplane.CloseTeardown && !cs.parked {
 		// The cache tore down an orphaned pair: its recorded handle points
 		// at a client that has since resumed on a different cached pair.
 		// The teardown does not concern the (active) client.
 		return
 	}
-	s.unplace(cs)
-	s.clients[cs.id] = nil
-	s.freeIDs = append(s.freeIDs, cs.id)
 	if reason == ctrlplane.CloseExpired {
 		s.Stats.Expires++
 	}
+	s.unplace(cs)
+	cs.parked = false
+	cs.limbo = true
+	s.limbo = append(s.limbo, cs.id)
+	for len(s.limbo) > limboCap {
+		id := s.limbo[0]
+		s.limbo = s.limbo[1:]
+		s.releaseID(id)
+	}
+}
+
+// Forget administratively releases a parked or quarantined identity: the
+// id returns to the pool and its dedup window is dropped, as if the
+// quarantine had aged it out. Active clients are untouched.
+func (s *Server) Forget(id uint16) {
+	if int(id) >= len(s.clients) {
+		return
+	}
+	cs := s.clients[id]
+	if cs == nil || (!cs.parked && !cs.limbo) {
+		return
+	}
+	s.unplace(cs)
+	cs.parked = false
+	cs.limbo = true
+	for i, l := range s.limbo {
+		if l == id {
+			s.limbo = append(s.limbo[:i], s.limbo[i+1:]...)
+			break
+		}
+	}
+	s.releaseID(id)
+}
+
+// releaseID frees a quarantined identity for good: the id returns to the
+// pool and the dedup window is dropped (a future client under this id
+// starts a fresh reqID space).
+func (s *Server) releaseID(id uint16) {
+	cs := s.clients[id]
+	if cs == nil || !cs.limbo {
+		return
+	}
+	s.clients[id] = nil
+	s.freeIDs = append(s.freeIDs, id)
+	s.replies.Drop(id)
 }
 
 // placeJoined places a (re)admitted client: a reserved zone when requested
@@ -356,7 +428,8 @@ func (c *Conn) adoptDial(cp *ctrlplane.Conn) error {
 // restampID rewrites the ClientID field of every staged, unanswered
 // request after a cold rejoin handed out a new id. The header sits at the
 // front of the right-aligned encoded message; ClientID is 2 bytes at
-// message offset 9 (after ReqID u64 and Handler u8).
+// message offset 9 (after ReqID u64 and Handler u8). The rewrite changes
+// CRC-covered bytes, so the frame is resealed and the CRC word flushed too.
 func (c *Conn) restampID(t *host.Thread) {
 	for b := range c.slots {
 		if !c.slots[b].busy || !c.slots[b].staged {
@@ -366,5 +439,8 @@ func (c *Conn) restampID(t *host.Thread) {
 		at := b*c.s.Cfg.BlockSize + off + 9
 		binary.LittleEndian.PutUint16(c.stage.Bytes()[at:], c.id)
 		t.WriteMem(c.stage.Base+uint64(at), 2)
+		block := c.stage.Bytes()[b*c.s.Cfg.BlockSize : (b+1)*c.s.Cfg.BlockSize]
+		crcAt := b*c.s.Cfg.BlockSize + rpcwire.Reseal(block)
+		t.WriteMem(c.stage.Base+uint64(crcAt), 4)
 	}
 }

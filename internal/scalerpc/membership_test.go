@@ -125,9 +125,10 @@ func TestJoinLeaveRejoinResume(t *testing.T) {
 }
 
 // TestColdRejoinRestampsStagedRequests forces the cache-miss rejoin: the
-// parked entry is idle-torn-down (releasing the id, which a second client
-// takes), so Rejoin runs a cold handshake under a fresh id and the staged
-// unanswered request must be restamped before it is re-offered.
+// parked entry is idle-torn-down and its quarantined identity explicitly
+// Forgotten (releasing the id, which a second client takes), so Rejoin
+// runs a cold handshake under a fresh id and the staged unanswered
+// request must be restamped before it is re-offered.
 func TestColdRejoinRestampsStagedRequests(t *testing.T) {
 	c, s := buildServer(2, nil)
 	defer c.Close()
@@ -155,8 +156,10 @@ func TestColdRejoinRestampsStagedRequests(t *testing.T) {
 		}
 		a.Leave(th)
 		// Wait out the idle teardown: the parked pair is destroyed and
-		// the id returns to the free list.
+		// the identity moves to quarantine. Forget releases it so the id
+		// returns to the free list.
 		th.P.Sleep(10 * cfg.IdleTimeout)
+		s.Forget(oldID)
 		// A second client takes the freed id.
 		b, err := s.Join(th, dir, sim.NewSignal(c.Env), false)
 		if err != nil {
@@ -201,6 +204,86 @@ func TestColdRejoinRestampsStagedRequests(t *testing.T) {
 	}
 	if s.Stats.Joins != 3 {
 		t.Fatalf("joins = %d, want 3 (join, second join, cold rejoin)", s.Stats.Joins)
+	}
+	if dir.Manager(0).Stats.IdleTeardowns == 0 {
+		t.Fatal("parked pair was never idle-torn-down")
+	}
+}
+
+// TestQuarantineReclaimKeepsIdentity covers the crash-recovery contract:
+// when a parked pair is idle-torn-down without an explicit Forget, the
+// identity is quarantined rather than freed, and a cold rejoin that
+// matches the client's registered regions reclaims the same id. The
+// staged request — already executed before the departure — is answered
+// from the retained dedup window without running the handler again.
+func TestQuarantineReclaimKeepsIdentity(t *testing.T) {
+	c, s := buildServer(2, nil)
+	defer c.Close()
+	execs := 0
+	s.Register(2, func(th *host.Thread, clientID uint16, req []byte, out []byte) int {
+		execs++
+		th.Work(100)
+		return copy(out, req)
+	})
+	cfg := ctrlplane.DefaultConfig()
+	cfg.IdleTimeout = 200 * sim.Microsecond
+	dir := bindPlane(c, s, cfg)
+
+	sig := sim.NewSignal(c.Env)
+	phase := 0
+	var oldID, newID uint16
+	c.Hosts[1].Spawn("member", func(th *host.Thread) {
+		a, err := s.Join(th, dir, sig, false)
+		if err != nil {
+			t.Error(err)
+			phase = -1
+			return
+		}
+		oldID = a.ID()
+		// Let one request complete so its reply sits in the dedup window,
+		// then depart without consuming the answer.
+		if !a.TrySend(th, 2, []byte("phoenix"), 11) {
+			t.Error("TrySend failed")
+			phase = -1
+			return
+		}
+		th.P.Sleep(5 * sim.Millisecond)
+		a.Leave(th)
+		// Idle teardown destroys the parked pair; the identity moves to
+		// quarantine with its id and dedup window intact.
+		th.P.Sleep(10 * cfg.IdleTimeout)
+		if err := a.Rejoin(th); err != nil {
+			t.Error(err)
+			phase = -1
+			return
+		}
+		newID = a.ID()
+		got := ""
+		deadline := th.P.Now() + 20*sim.Millisecond
+		for got == "" && th.P.Now() < deadline {
+			a.Poll(th, func(r rpccore.Response) {
+				if r.ReqID == 11 {
+					got = string(r.Payload)
+				}
+			})
+			if got == "" {
+				sig.WaitTimeout(th.P, 10*sim.Microsecond)
+			}
+		}
+		if got != "phoenix" {
+			t.Errorf("staged request answer = %q, want %q", got, "phoenix")
+		}
+		phase = 1
+	})
+	stepUntil(t, c, 200*sim.Millisecond, func() bool { return phase != 0 })
+	if phase != 1 {
+		t.Fatal("member thread failed")
+	}
+	if newID != oldID {
+		t.Fatalf("quarantine reclaim changed id %d -> %d; want the same identity", oldID, newID)
+	}
+	if execs != 1 {
+		t.Fatalf("handler executed %d times, want exactly 1 (replay must come from the dedup window)", execs)
 	}
 	if dir.Manager(0).Stats.IdleTeardowns == 0 {
 		t.Fatal("parked pair was never idle-torn-down")

@@ -328,30 +328,57 @@ func (s *Server) lateSweep(t *host.Thread, pool *rpcwire.Pool, owners []int) {
 			}
 			payload, _, err := rpcwire.Decode(block)
 			if err == nil {
-				if hdr, body, herr := rpcwire.ParseHeader(payload); herr == nil && int(hdr.ClientID) == owner {
+				// Same aliasing hazard as the worker sweep: snapshot the
+				// validated frame before ReadMem/handler yields let an
+				// in-flight write overwrite the pool block.
+				s.schedReq = append(s.schedReq[:0], payload...)
+				if hdr, body, herr := rpcwire.ParseHeader(s.schedReq); herr == nil && int(hdr.ClientID) == owner {
 					t.ReadMem(pool.BlockAddr(z, b), len(payload)+rpcwire.TrailerSize)
-					s.Stats.LateServed++
-					s.Stats.Served++
-					switch {
-					case s.handlers[hdr.Handler] == nil:
-						s.respond(t, s.schedScratch, &s.schedScratchIdx, cs, b, hdr, s.schedBuf, 0, rpcwire.FlagError|rpcwire.FlagContextSwitch)
-					case s.legacy[hdr.Handler]:
-						// Long-running call types go to the legacy thread,
-						// never onto the scheduler's critical path.
-						s.Stats.LegacyCalls++
-						s.legacyQ.Push(legacyJob{cs: cs, slot: b, handler: hdr.Handler, reqID: hdr.ReqID,
-							body: append([]byte(nil), body...)})
-					default:
-						n := s.handlers[hdr.Handler](t, cs.id, body, s.schedBuf[rpcwire.HeaderSize:len(s.schedBuf)-rpcwire.TrailerSize])
-						s.respond(t, s.schedScratch, &s.schedScratchIdx, cs, b, hdr, s.schedBuf, n, rpcwire.FlagContextSwitch)
-					}
+					s.lateServe(t, cs, b, hdr, body)
 				} else {
 					s.Stats.StaleDrops++
 				}
+			} else {
+				s.rel.CRCDrops++
 			}
 			rpcwire.Clear(block)
 			t.WriteMem(pool.ValidAddr(z, b), 1)
 		}
+	}
+}
+
+// lateServe executes one late-swept request on the scheduler thread,
+// with the same dedup gate as the worker path: a request the workers
+// already executed before the switch is answered from cache, not re-run.
+func (s *Server) lateServe(t *host.Thread, cs *clientState, slot int, hdr rpcwire.Header, body []byte) {
+	if dup, rep, ready := s.replies.Admit(cs.id, hdr.ReqID); dup {
+		s.rel.DedupHits++
+		if ready {
+			flags := byte(rpcwire.FlagContextSwitch)
+			if rep.Err {
+				flags |= rpcwire.FlagError
+			}
+			n := copy(s.schedBuf[rpcwire.HeaderSize:len(s.schedBuf)-rpcwire.TrailerSize], rep.Payload)
+			s.respond(t, s.schedScratch, &s.schedScratchIdx, cs, slot, hdr, s.schedBuf, n, flags)
+		}
+		return
+	}
+	s.Stats.LateServed++
+	s.Stats.Served++
+	switch {
+	case s.handlers[hdr.Handler] == nil:
+		s.replies.Commit(cs.id, hdr.ReqID, nil, true)
+		s.respond(t, s.schedScratch, &s.schedScratchIdx, cs, slot, hdr, s.schedBuf, 0, rpcwire.FlagError|rpcwire.FlagContextSwitch)
+	case s.legacy[hdr.Handler]:
+		// Long-running call types go to the legacy thread, never onto the
+		// scheduler's critical path (the cache entry commits there).
+		s.Stats.LegacyCalls++
+		s.legacyQ.Push(legacyJob{cs: cs, slot: slot, handler: hdr.Handler, reqID: hdr.ReqID,
+			body: append([]byte(nil), body...)})
+	default:
+		n := s.handlers[hdr.Handler](t, cs.id, body, s.schedBuf[rpcwire.HeaderSize:len(s.schedBuf)-rpcwire.TrailerSize])
+		s.replies.Commit(cs.id, hdr.ReqID, s.schedBuf[rpcwire.HeaderSize:rpcwire.HeaderSize+n], false)
+		s.respond(t, s.schedScratch, &s.schedScratchIdx, cs, slot, hdr, s.schedBuf, n, rpcwire.FlagContextSwitch)
 	}
 }
 

@@ -75,6 +75,12 @@ type clientState struct {
 	// reserved so staged requests survive a Rejoin, but the scheduler
 	// skips it entirely until the control plane resumes it.
 	parked bool
+
+	// limbo marks an identity quarantined after an ungraceful departure
+	// (lease expiry, QP error, cache teardown): the id and its dedup
+	// window stay reserved so a crash-recovered client that dials back in
+	// resumes exactly-once, until the bounded quarantine releases it.
+	limbo bool
 }
 
 type worker struct {
@@ -84,10 +90,15 @@ type worker struct {
 	scratch    *memory.Region
 	scratchIdx int
 	buf        []byte
-	drainAck   uint64
-	Served     uint64
-	Sweeps     uint64
-	Sleeps     uint64
+	// req holds a stable snapshot of the frame being served: the pool
+	// block is live RDMA-writable memory, and the serve path yields
+	// virtual time (ReadMem, ParseCost, the handler's own Work), during
+	// which an in-flight write may overwrite the block in place.
+	req      []byte
+	drainAck uint64
+	Served   uint64
+	Sweeps   uint64
+	Sleeps   uint64
 }
 
 type legacyJob struct {
@@ -120,6 +131,10 @@ type Server struct {
 	// (lease expiry, cache teardown) for reuse by later joins. Legacy
 	// Disconnect does not free ids: Reconnect may resurrect them.
 	freeIDs []uint16
+	// limbo is the FIFO of quarantined identities (see clientState.limbo):
+	// ungracefully departed ids waiting for their client to dial back in,
+	// released for reuse when the quarantine overflows.
+	limbo []uint16
 
 	// zoneOwner maps processing-pool zones to client ids (the context
 	// metadata of §3.3); warmOwner is the same for the warmup pool.
@@ -143,12 +158,21 @@ type Server struct {
 	schedScratch    *memory.Region
 	schedScratchIdx int
 	schedBuf        []byte
+	// schedReq is the late sweep's stable request snapshot (same aliasing
+	// hazard as worker.req).
+	schedReq []byte
 
 	// Telemetry: tel is this server's scope ("scalerpc", or "scalerpc#N"
 	// for later instances on the same registry); trace is always non-nil.
 	tel       telemetry.Scope
 	trace     *telemetry.Trace
 	handlerNs *telemetry.Histogram
+
+	// rel is the registry-shared end-to-end reliability counter block;
+	// replies is the bounded exactly-once reply cache consulted before
+	// every handler execution (worker sweep, legacy thread, late sweep).
+	rel     *rpccore.RelStats
+	replies *rpccore.ReplyCache
 
 	started bool
 }
@@ -166,7 +190,9 @@ func NewServer(h *host.Host, cfg ServerConfig) *Server {
 		warmOwner: make([]int, zones),
 		schedSig:  sim.NewSignal(h.Env),
 		resumeSig: sim.NewSignal(h.Env),
+		replies:   rpccore.NewReplyCache(cfg.BlocksPerClient),
 	}
+	s.rel = rpccore.SharedRel(h.Tel.Registry())
 	if reg := h.Tel.Registry(); reg != nil {
 		s.tel = reg.UniqueScope("scalerpc")
 	}
@@ -324,13 +350,22 @@ func (w *worker) sweep(t *host.Thread) int {
 			}
 			payload, _, err := rpcwire.Decode(block)
 			if err != nil {
+				// Valid landed but the frame failed its CRC: corruption past
+				// the NIC. Treat as loss — the client's retry re-delivers.
+				s.rel.CRCDrops++
 				rpcwire.Clear(block)
+				t.WriteMem(pool.ValidAddr(z, b), 1)
 				continue
 			}
+			// Snapshot the CRC-validated frame before yielding: ReadMem,
+			// ParseCost and the handler all advance virtual time, and a
+			// concurrent RDMA write (duplicate delivery, stale warmup
+			// fetch) may overwrite the pool block under us.
+			w.req = append(w.req[:0], payload...)
 			t.ReadMem(pool.BlockAddr(z, b)+uint64(s.Cfg.BlockSize-rpcwire.TrailerSize-len(payload)),
 				len(payload)+rpcwire.TrailerSize)
 			t.Work(s.Cfg.ParseCost)
-			hdr, body, herr := rpcwire.ParseHeader(payload)
+			hdr, body, herr := rpcwire.ParseHeader(w.req)
 			if herr != nil || int(hdr.ClientID) != owner {
 				// A late write from a previous occupant of this zone: the
 				// sender will retry after its context_switch_event.
@@ -350,7 +385,24 @@ func (w *worker) sweep(t *host.Thread) int {
 }
 
 // serve executes one request (inline or via legacy mode) and responds.
+// Duplicates — retries after a switch race, a timeout, or a reconnect —
+// are answered from the reply cache without re-running the handler
+// (at-most-once execution, §3.5 upgraded to exactly-once results).
 func (s *Server) serve(t *host.Thread, w *worker, cs *clientState, slot int, hdr rpcwire.Header, body []byte) {
+	if dup, rep, ready := s.replies.Admit(cs.id, hdr.ReqID); dup {
+		s.rel.DedupHits++
+		if ready {
+			var flags byte
+			if rep.Err {
+				flags = rpcwire.FlagError
+			}
+			n := copy(w.buf[rpcwire.HeaderSize:len(w.buf)-rpcwire.TrailerSize], rep.Payload)
+			s.respond(t, w.scratch, &w.scratchIdx, cs, slot, hdr, w.buf, n, flags)
+		}
+		// !ready: the first copy is still executing (legacy thread); its
+		// response covers this duplicate too.
+		return
+	}
 	s.Stats.Served++
 	if cs.pinned {
 		s.Stats.PinnedServed++
@@ -358,11 +410,13 @@ func (s *Server) serve(t *host.Thread, w *worker, cs *clientState, slot int, hdr
 	cs.served++
 	cs.bytes += uint64(len(body))
 	if s.handlers[hdr.Handler] == nil {
+		s.replies.Commit(cs.id, hdr.ReqID, nil, true)
 		s.respond(t, w.scratch, &w.scratchIdx, cs, slot, hdr, w.buf, 0, rpcwire.FlagError)
 		return
 	}
 	if s.legacy[hdr.Handler] {
-		// Recorded long-running call type: hand to the legacy thread.
+		// Recorded long-running call type: hand to the legacy thread. The
+		// reply-cache entry stays in-flight until it commits there.
 		s.Stats.LegacyCalls++
 		s.legacyQ.Push(legacyJob{cs: cs, slot: slot, handler: hdr.Handler, reqID: hdr.ReqID,
 			body: append([]byte(nil), body...)})
@@ -377,6 +431,7 @@ func (s *Server) serve(t *host.Thread, w *worker, cs *clientState, slot int, hdr
 		s.legacy[hdr.Handler] = true
 		s.Stats.LegacyMarked++
 	}
+	s.replies.Commit(cs.id, hdr.ReqID, w.buf[rpcwire.HeaderSize:rpcwire.HeaderSize+n], false)
 	s.respond(t, w.scratch, &w.scratchIdx, cs, slot, hdr, w.buf, n, 0)
 }
 
@@ -390,6 +445,7 @@ func (s *Server) runLegacy(t *host.Thread) {
 		job := s.legacyQ.Pop(t.P)
 		n := s.handlers[job.handler](t, job.cs.id, job.body, buf[rpcwire.HeaderSize:len(buf)-rpcwire.TrailerSize])
 		hdr := rpcwire.Header{ReqID: job.reqID, Handler: job.handler}
+		s.replies.Commit(job.cs.id, job.reqID, buf[rpcwire.HeaderSize:rpcwire.HeaderSize+n], false)
 		s.respond(t, scratch, &idx, job.cs, job.slot, hdr, buf, n, 0)
 	}
 }

@@ -202,6 +202,7 @@ type Registry struct {
 	scopeUse map[string]int
 	samplers []*Sampler
 	trace    Trace
+	aux      map[string]interface{}
 }
 
 // NewRegistry returns an empty registry.
@@ -210,6 +211,23 @@ func NewRegistry() *Registry {
 		entries:  make(map[string]*entry),
 		scopeUse: make(map[string]int),
 	}
+}
+
+// Aux returns the registry-attached singleton under key, calling make on
+// first use. Components that must share one stats block per registry (e.g.
+// the RPC reliability counters, incremented by every transport on a
+// cluster) anchor it here instead of in a package global, which would leak
+// across simulations.
+func (r *Registry) Aux(key string, make func() interface{}) interface{} {
+	if r.aux == nil {
+		r.aux = map[string]interface{}{}
+	}
+	v, ok := r.aux[key]
+	if !ok {
+		v = make()
+		r.aux[key] = v
+	}
+	return v
 }
 
 // Trace returns the registry's trace sink (disabled until EnableTrace).
