@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"scalerpc/internal/chaos"
+	"scalerpc/internal/sim"
+)
+
+// schedFingerprint captures everything a scheduler swap could plausibly
+// perturb: the full JSON artifact of each run (per-op latencies, violation
+// lists, telemetry counters), the total number of dispatched events, and
+// the final virtual clock. All fields are virtual-time deterministic —
+// chaos.Result and loadgen.Report contain no wall-clock measurements — so
+// byte equality across schedulers is a sound assertion.
+type schedFingerprint struct {
+	name      string
+	chaosJSON [][]byte
+	macroJSON []byte
+	events    uint64
+	virtualNs int64
+}
+
+// TestSchedulerEquivalence pins that the hierarchical timing wheel and the
+// binary-heap scheduler produce byte-identical simulations. The wheel must
+// be a pure performance substitution: same (at, seq) dispatch order, same
+// event counts, same artifacts. It runs every chaos fault class plus the
+// loadgen macro scenario under each scheduler and compares fingerprints.
+func TestSchedulerEquivalence(t *testing.T) {
+	run := func(sched string) schedFingerprint {
+		prev := sim.SetDefaultScheduler(sched)
+		defer sim.SetDefaultScheduler(prev)
+		fp := schedFingerprint{name: sched}
+
+		for _, class := range chaos.Classes() {
+			res, err := chaos.Run(chaos.Config{Class: class, Seed: 5, Clients: 4, Calls: 20})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sched, class, err)
+			}
+			b, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp.chaosJSON = append(fp.chaosJSON, b)
+		}
+
+		m, rep := runSimSpeedMacroOnce(Options{Warmup: 200 * sim.Microsecond, Duration: 1 * sim.Millisecond, Seed: 7})
+		fp.macroJSON = rep.JSON()
+		fp.events = m.Events
+		fp.virtualNs = m.VirtualNs
+		return fp
+	}
+
+	heap := run("heap")
+	wheel := run("wheel")
+
+	for i, class := range chaos.Classes() {
+		if !bytes.Equal(heap.chaosJSON[i], wheel.chaosJSON[i]) {
+			t.Errorf("chaos class %q: result JSON differs between heap and wheel schedulers\nheap:  %s\nwheel: %s",
+				class, heap.chaosJSON[i], wheel.chaosJSON[i])
+		}
+	}
+	if !bytes.Equal(heap.macroJSON, wheel.macroJSON) {
+		t.Errorf("loadgen macro report differs between heap and wheel schedulers\nheap:  %s\nwheel: %s",
+			heap.macroJSON, wheel.macroJSON)
+	}
+	if heap.events != wheel.events {
+		t.Errorf("macro dispatched events: heap=%d wheel=%d — schedulers disagree on event count", heap.events, wheel.events)
+	}
+	if heap.virtualNs != wheel.virtualNs {
+		t.Errorf("macro final virtual clock: heap=%d wheel=%d", heap.virtualNs, wheel.virtualNs)
+	}
+}

@@ -19,6 +19,7 @@ package cachesim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"scalerpc/internal/telemetry"
 )
@@ -44,22 +45,34 @@ func (s Stats) MissRate() float64 {
 	return float64(s.CPUReadMisses) / float64(total)
 }
 
-type line struct {
-	tag   uint64 // tag+1; 0 means invalid
-	stamp uint64 // per-set LRU clock value at last touch
-	ddio  bool   // allocated by DMA and not yet read by the CPU
-}
-
 // Cache is a set-associative LRU cache. It is not safe for concurrent use;
 // in the simulator all accesses happen on the single scheduler goroutine.
+//
+// Line state is stored structure-of-arrays: tag lookups — the hot operation
+// of every simulated memory touch — scan a contiguous run of 8-byte tags
+// instead of striding over a struct array.
 type Cache struct {
 	Stats
 	lineSize uint64
 	sets     uint64
 	ways     int
 	ddioWays int
-	lines    []line // sets × ways
-	clock    uint64
+	// linePow2/lineShift: fast path for the (universal) power-of-two line
+	// size; setShift is always valid since the set count is a power of two.
+	linePow2  bool
+	lineShift uint
+	setShift  uint
+	tags      []uint64 // tag+1; 0 means invalid
+	stamps    []uint64 // per-set LRU clock value at last touch
+	ddio      []bool   // allocated by DMA and not yet read by the CPU
+	// mru caches the last way touched per set (indexed by setBase, so the
+	// slice is sets×ways with only every ways-th entry used — trades a
+	// little memory for division-free indexing). Poll loops touch the same
+	// handful of lines over and over; checking the hinted way first turns
+	// the common lookup into one compare instead of a full way scan. Purely
+	// an accelerator: hit/miss/eviction decisions are unchanged.
+	mru   []int32
+	clock uint64
 }
 
 // Config describes a cache geometry.
@@ -87,13 +100,23 @@ func New(cfg Config) *Cache {
 	for sets&(sets-1) != 0 {
 		sets &= sets - 1
 	}
-	return &Cache{
+	n := int(sets) * cfg.Ways
+	c := &Cache{
 		lineSize: uint64(cfg.LineSize),
 		sets:     sets,
 		ways:     cfg.Ways,
 		ddioWays: cfg.DDIOWays,
-		lines:    make([]line, int(sets)*cfg.Ways),
+		setShift: uint(bits.TrailingZeros64(sets)),
+		tags:     make([]uint64, n),
+		stamps:   make([]uint64, n),
+		ddio:     make([]bool, n),
+		mru:      make([]int32, n),
 	}
+	if c.lineSize&(c.lineSize-1) == 0 {
+		c.linePow2 = true
+		c.lineShift = uint(bits.TrailingZeros64(c.lineSize))
+	}
+	return c
 }
 
 // SizeBytes returns the effective capacity after set rounding.
@@ -102,15 +125,29 @@ func (c *Cache) SizeBytes() int { return int(c.sets) * c.ways * int(c.lineSize) 
 // LineSize returns the line size in bytes.
 func (c *Cache) LineSize() int { return int(c.lineSize) }
 
-func (c *Cache) set(addr uint64) (setBase int, tag uint64) {
-	lineNo := addr / c.lineSize
-	return int(lineNo&(c.sets-1)) * c.ways, lineNo/c.sets + 1
+func (c *Cache) lineNo(addr uint64) uint64 {
+	if c.linePow2 {
+		return addr >> c.lineShift
+	}
+	return addr / c.lineSize
 }
 
-// lookup returns the way index holding tag in the set, or -1.
+// setOf maps a line number to its set's base index in the SoA arrays and
+// the line's tag (tag+1, so 0 stays "invalid").
+func (c *Cache) setOf(lineNo uint64) (setBase int, tag uint64) {
+	return int(lineNo&(c.sets-1)) * c.ways, lineNo>>c.setShift + 1
+}
+
+// lookup returns the way index holding tag in the set, or -1. The MRU hint
+// is checked first; on a full-scan hit the hint is refreshed.
 func (c *Cache) lookup(setBase int, tag uint64) int {
-	for w := 0; w < c.ways; w++ {
-		if c.lines[setBase+w].tag == tag {
+	if m := c.mru[setBase]; c.tags[setBase+int(m)] == tag {
+		return int(m)
+	}
+	tags := c.tags[setBase : setBase+c.ways]
+	for w, t := range tags {
+		if t == tag {
+			c.mru[setBase] = int32(w)
 			return w
 		}
 	}
@@ -122,128 +159,165 @@ func (c *Cache) lookup(setBase int, tag uint64) int {
 func (c *Cache) victim(setBase int) int {
 	best, bestStamp := 0, ^uint64(0)
 	for w := 0; w < c.ways; w++ {
-		l := &c.lines[setBase+w]
-		if l.tag == 0 {
+		if c.tags[setBase+w] == 0 {
 			return w
 		}
-		if l.stamp < bestStamp {
-			best, bestStamp = w, l.stamp
+		if s := c.stamps[setBase+w]; s < bestStamp {
+			best, bestStamp = w, s
 		}
 	}
 	return best
 }
 
+// touchRead handles one line of a CPU read; reports whether it hit.
+func (c *Cache) touchRead(setBase int, tag uint64) bool {
+	c.clock++
+	if w := c.lookup(setBase, tag); w >= 0 {
+		i := setBase + w
+		c.stamps[i] = c.clock
+		c.ddio[i] = false // adopted by the CPU
+		c.CPUReadHits++
+		return true
+	}
+	c.CPUReadMisses++
+	i := setBase + c.victim(setBase)
+	if c.tags[i] != 0 {
+		c.Evictions++
+	}
+	c.tags[i], c.stamps[i], c.ddio[i] = tag, c.clock, false
+	c.mru[setBase] = int32(i - setBase)
+	return false
+}
+
 // CPURead touches [addr, addr+size) as CPU loads and returns the number of
 // lines that hit and missed.
 func (c *Cache) CPURead(addr, size uint64) (hits, misses int) {
-	c.forEachLine(addr, size, func(setBase int, tag uint64) {
-		c.clock++
-		if w := c.lookup(setBase, tag); w >= 0 {
-			l := &c.lines[setBase+w]
-			l.stamp = c.clock
-			l.ddio = false // adopted by the CPU
+	if size == 0 {
+		return
+	}
+	first, last := c.lineNo(addr), c.lineNo(addr+size-1)
+	for lineNo := first; lineNo <= last; lineNo++ {
+		if c.touchRead(c.setOf(lineNo)) {
 			hits++
-			c.CPUReadHits++
-			return
+		} else {
+			misses++
 		}
-		misses++
-		c.CPUReadMisses++
-		w := c.victim(setBase)
-		l := &c.lines[setBase+w]
-		if l.tag != 0 {
-			c.Evictions++
-		}
-		*l = line{tag: tag, stamp: c.clock}
-	})
+	}
 	return hits, misses
+}
+
+// touchWrite handles one line of a CPU store; reports whether it hit.
+func (c *Cache) touchWrite(setBase int, tag uint64) bool {
+	c.clock++
+	if w := c.lookup(setBase, tag); w >= 0 {
+		i := setBase + w
+		c.stamps[i] = c.clock
+		c.ddio[i] = false
+		c.CPUWriteHits++
+		return true
+	}
+	c.CPUWriteMisses++
+	i := setBase + c.victim(setBase)
+	if c.tags[i] != 0 {
+		c.Evictions++
+	}
+	c.tags[i], c.stamps[i], c.ddio[i] = tag, c.clock, false
+	c.mru[setBase] = int32(i - setBase)
+	return false
 }
 
 // CPUWrite touches [addr, addr+size) as CPU stores (write-allocate policy).
 func (c *Cache) CPUWrite(addr, size uint64) (hits, misses int) {
-	c.forEachLine(addr, size, func(setBase int, tag uint64) {
-		c.clock++
-		if w := c.lookup(setBase, tag); w >= 0 {
-			l := &c.lines[setBase+w]
-			l.stamp = c.clock
-			l.ddio = false
+	if size == 0 {
+		return
+	}
+	first, last := c.lineNo(addr), c.lineNo(addr+size-1)
+	for lineNo := first; lineNo <= last; lineNo++ {
+		if c.touchWrite(c.setOf(lineNo)) {
 			hits++
-			c.CPUWriteHits++
-			return
+		} else {
+			misses++
 		}
-		misses++
-		c.CPUWriteMisses++
-		w := c.victim(setBase)
-		l := &c.lines[setBase+w]
-		if l.tag != 0 {
-			c.Evictions++
-		}
-		*l = line{tag: tag, stamp: c.clock}
-	})
+	}
 	return hits, misses
+}
+
+// touchDMA handles one line of a DDIO write; reports whether it updated in
+// place (versus write-allocated).
+func (c *Cache) touchDMA(setBase int, tag uint64) bool {
+	c.clock++
+	if w := c.lookup(setBase, tag); w >= 0 {
+		// Write Update: in-place, keeps current DDIO status.
+		c.stamps[setBase+w] = c.clock
+		c.DMAUpdates++
+		return true
+	}
+	c.DMAAllocs++
+	// Write Allocate, restricted to the DDIO way budget: prefer an
+	// invalid way; otherwise, if the set already holds DDIOWays dma
+	// lines, replace the oldest of those; otherwise replace global LRU.
+	invalid, oldestDDIO, ddioCount := -1, -1, 0
+	var oldestDDIOStamp uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := setBase + w
+		if c.tags[i] == 0 {
+			if invalid < 0 {
+				invalid = w
+			}
+			continue
+		}
+		if c.ddio[i] {
+			ddioCount++
+			if s := c.stamps[i]; s < oldestDDIOStamp {
+				oldestDDIO, oldestDDIOStamp = w, s
+			}
+		}
+	}
+	var w int
+	switch {
+	case invalid >= 0:
+		w = invalid
+	case ddioCount >= c.ddioWays:
+		w = oldestDDIO
+		c.DMAEvictions++
+		c.Evictions++
+	default:
+		w = c.victim(setBase)
+		c.Evictions++
+	}
+	i := setBase + w
+	c.tags[i], c.stamps[i], c.ddio[i] = tag, c.clock, true
+	c.mru[setBase] = int32(i - setBase)
+	return false
 }
 
 // DMAWrite performs a DDIO write of [addr, addr+size) and returns how many
 // lines were updated in place versus write-allocated.
 func (c *Cache) DMAWrite(addr, size uint64) (updates, allocs int) {
-	c.forEachLine(addr, size, func(setBase int, tag uint64) {
-		c.clock++
-		if w := c.lookup(setBase, tag); w >= 0 {
-			// Write Update: in-place, keeps current DDIO status.
-			l := &c.lines[setBase+w]
-			l.stamp = c.clock
+	if size == 0 {
+		return
+	}
+	first, last := c.lineNo(addr), c.lineNo(addr+size-1)
+	for lineNo := first; lineNo <= last; lineNo++ {
+		if c.touchDMA(c.setOf(lineNo)) {
 			updates++
-			c.DMAUpdates++
-			return
+		} else {
+			allocs++
 		}
-		allocs++
-		c.DMAAllocs++
-		// Write Allocate, restricted to the DDIO way budget: prefer an
-		// invalid way; otherwise, if the set already holds DDIOWays dma
-		// lines, replace the oldest of those; otherwise replace global LRU.
-		invalid, oldestDDIO, ddioCount := -1, -1, 0
-		var oldestDDIOStamp uint64 = ^uint64(0)
-		for w := 0; w < c.ways; w++ {
-			l := &c.lines[setBase+w]
-			if l.tag == 0 {
-				if invalid < 0 {
-					invalid = w
-				}
-				continue
-			}
-			if l.ddio {
-				ddioCount++
-				if l.stamp < oldestDDIOStamp {
-					oldestDDIO, oldestDDIOStamp = w, l.stamp
-				}
-			}
-		}
-		var w int
-		switch {
-		case invalid >= 0:
-			w = invalid
-		case ddioCount >= c.ddioWays:
-			w = oldestDDIO
-			c.DMAEvictions++
-			c.Evictions++
-		default:
-			w = c.victim(setBase)
-			c.Evictions++
-		}
-		c.lines[setBase+w] = line{tag: tag, stamp: c.clock, ddio: true}
-	})
+	}
 	return updates, allocs
 }
 
 // Contains reports whether the line holding addr is resident (no LRU touch).
 func (c *Cache) Contains(addr uint64) bool {
-	setBase, tag := c.set(addr)
+	setBase, tag := c.setOf(c.lineNo(addr))
 	return c.lookup(setBase, tag) >= 0
 }
 
 // Flush invalidates the whole cache but keeps statistics.
 func (c *Cache) Flush() {
-	for i := range c.lines {
-		c.lines[i] = line{}
+	for i := range c.tags {
+		c.tags[i], c.stamps[i], c.ddio[i] = 0, 0, false
 	}
 }
 
@@ -265,17 +339,4 @@ func (c *Cache) Register(sc telemetry.Scope) {
 	sc.CounterVar("dma.alloc", &c.DMAAllocs)
 	sc.CounterVar("dma.evict", &c.DMAEvictions)
 	sc.CounterVar("evictions", &c.Evictions)
-}
-
-func (c *Cache) forEachLine(addr, size uint64, fn func(setBase int, tag uint64)) {
-	if size == 0 {
-		return
-	}
-	first := addr / c.lineSize
-	last := (addr + size - 1) / c.lineSize
-	for lineNo := first; lineNo <= last; lineNo++ {
-		a := lineNo * c.lineSize
-		setBase, tag := c.set(a)
-		fn(setBase, tag)
-	}
 }

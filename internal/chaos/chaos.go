@@ -290,7 +290,7 @@ func driveClient(th *host.Thread, conn *rpccore.Caller, sig *sim.Signal, idx, ca
 			if th.P.Now() >= hardStop {
 				return
 			}
-			sig.WaitTimeout(th.P, 10*sim.Microsecond)
+			th.WaitSignal(sig, 10*sim.Microsecond)
 		}
 		resolved := false
 		for !resolved {
@@ -319,7 +319,7 @@ func driveClient(th *host.Thread, conn *rpccore.Caller, sig *sim.Signal, idx, ca
 			if th.P.Now() >= hardStop {
 				return
 			}
-			sig.WaitTimeout(th.P, 10*sim.Microsecond)
+			th.WaitSignal(sig, 10*sim.Microsecond)
 		}
 	}
 	cr.done = true

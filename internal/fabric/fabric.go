@@ -49,6 +49,11 @@ type Message struct {
 	// in a private copy of the payload before committing it. Set per
 	// delivered copy, never on the sender's message.
 	Mangled bool
+	// NoRecycle tells the receiver this message (and its payload) is
+	// delivered more than once — a Duplicate verdict aliases the same
+	// pointers across two deliveries — so neither the message nor the
+	// payload may be returned to an arena after handling one delivery.
+	NoRecycle bool
 }
 
 // PortStats counts per-port traffic.
@@ -175,6 +180,11 @@ func (f *Fabric) Send(msg *Message) {
 		return
 	}
 	first := msg
+	if v.Duplicate {
+		// Both deliveries share this message and its payload: pin them out
+		// of the receiver's recycling arenas.
+		msg.NoRecycle = true
+	}
 	if v.CorruptPayload && !v.Corrupt {
 		// Per-delivery copy: the sender (and any duplicate below) must keep
 		// seeing the clean message — NIC retransmission reuses it.

@@ -115,6 +115,78 @@ func New(env *sim.Env, id int, cfg Config, nicCfg nic.Config, cost pcie.CostMode
 type Thread struct {
 	P    *sim.Proc
 	Host *Host
+
+	// Deferred-charge state (see BeginWork): while batchDepth > 0, Work
+	// accumulates cost here instead of sleeping on the core pool per call.
+	batchDepth int
+	deferred   sim.Duration
+}
+
+// BeginWork opens a deferred-charge region: until the matching EndWork,
+// Work (and ReadMem/WriteMem, which charge through it) accumulates CPU cost
+// instead of blocking on the core pool once per call. The accumulated cost
+// is settled in a single Cores.Use at EndWork, or earlier at any externally
+// visible action (PostSend's doorbell, a blocking wait) via FlushWork.
+//
+// This is the batching half of the simulator's poll-loop hot path: a pool
+// sweep touching hundreds of slots pays one scheduler round trip for the
+// whole scan instead of one per slot. Within the region virtual time stands
+// still between touches, so a scan observes one consistent snapshot — reads
+// that must see concurrent progress (and any block/sleep) belong after
+// EndWork or an explicit FlushWork.
+func (t *Thread) BeginWork() { t.batchDepth++ }
+
+// EndWork closes a deferred-charge region and settles the remainder.
+func (t *Thread) EndWork() {
+	if t.batchDepth <= 0 {
+		panic("host: EndWork without BeginWork")
+	}
+	t.batchDepth--
+	if t.batchDepth == 0 {
+		t.FlushWork()
+	}
+}
+
+// EndWorkLazy closes a deferred-charge region WITHOUT settling: the
+// accumulated cost stays pending and is folded into the thread's next Work
+// charge, next FlushWork (all blocking wrappers flush), or — the point of
+// this variant — absorbed into a WaitSignal park. Poll loops use it so an
+// empty scan-then-wait cycle costs one scheduler wake-up instead of two.
+func (t *Thread) EndWorkLazy() {
+	if t.batchDepth <= 0 {
+		panic("host: EndWorkLazy without BeginWork")
+	}
+	t.batchDepth--
+}
+
+// WaitSignal parks the thread on sig for at most d, absorbing any pending
+// deferred charge into the wait: the cost occupies a core via a pure
+// scheduler callback while the thread is already parked, instead of a
+// separate charge-sleep before parking. Under full core contention it falls
+// back to the blocking flush first so FIFO admission is preserved. The
+// thread becomes signal-responsive at the park time rather than after the
+// charge — an overlap of at most the deferred tens of nanoseconds, well
+// under every poll interval in the model. Reports whether the wait timed
+// out.
+func (t *Thread) WaitSignal(sig *sim.Signal, d sim.Duration) (timedOut bool) {
+	if w := t.deferred; w > 0 {
+		if t.Host.Cores.UseAsync(w) {
+			t.deferred = 0
+		} else {
+			t.FlushWork()
+		}
+	}
+	return sig.WaitTimeout(t.P, d)
+}
+
+// FlushWork settles any accumulated deferred cost now (one Cores.Use).
+// No-op outside a deferred-charge region or when nothing has accrued.
+func (t *Thread) FlushWork() {
+	if t.deferred > 0 {
+		d := t.deferred
+		t.deferred = 0
+		t.Host.Cores.Use(t.P, d)
+	}
 }
 
 // Spawn starts a thread on the host.
@@ -126,12 +198,23 @@ func (h *Host) Spawn(name string, fn func(*Thread)) *Thread {
 	return t
 }
 
-// Work charges d of CPU time on the host's core pool.
+// Work charges d of CPU time on the host's core pool. Inside a BeginWork
+// region the charge is deferred (see BeginWork).
 func (t *Thread) Work(d sim.Duration) {
 	if d <= 0 {
 		return
 	}
 	t.Host.CPUWorkNs += uint64(d)
+	if t.batchDepth > 0 {
+		t.deferred += d
+		return
+	}
+	if t.deferred > 0 {
+		// Residue from an EndWorkLazy region: settle it together with this
+		// charge in one sleep so charges stay ordered.
+		d += t.deferred
+		t.deferred = 0
+	}
 	t.Host.Cores.Use(t.P, d)
 }
 
@@ -149,9 +232,12 @@ func (t *Thread) WriteMem(addr uint64, size int) {
 }
 
 // PostSend charges the CPU cost of assembling and doorbelling one work
-// request (MMIO write) and posts it.
+// request (MMIO write) and posts it. Any deferred charges are settled
+// first: the doorbell must ring at the virtual time all preceding CPU work
+// has been paid for.
 func (t *Thread) PostSend(qp *nic.QP, wr nic.SendWR) error {
 	t.Work(t.Host.Cfg.BaseOpCost + 100) // WQE build + MMIO
+	t.FlushWork()
 	return qp.PostSend(wr)
 }
 
@@ -160,6 +246,7 @@ func (t *Thread) PostSend(qp *nic.QP, wr nic.SendWR) error {
 func (t *Thread) CreateQP(typ nic.QPType, sendCQ, recvCQ *nic.CQ) *nic.QP {
 	t.Work(t.Host.Cfg.BaseOpCost)
 	if d := t.Host.NIC.Cfg.CreateQPCost; d > 0 {
+		t.FlushWork()
 		t.P.Sleep(d)
 	}
 	return t.Host.NIC.CreateQP(typ, sendCQ, recvCQ)
@@ -175,6 +262,7 @@ func (t *Thread) ModifyQP(qp *nic.QP, to nic.QPState, attr nic.ModifyAttr) error
 		return err
 	}
 	if d > 0 {
+		t.FlushWork()
 		t.P.Sleep(d)
 	}
 	return nil
@@ -183,28 +271,34 @@ func (t *Thread) ModifyQP(qp *nic.QP, to nic.QPState, attr nic.ModifyAttr) error
 // PostRecv charges CPU cost and posts a receive.
 func (t *Thread) PostRecv(qp *nic.QP, wr nic.RecvWR) error {
 	t.Work(t.Host.Cfg.BaseOpCost + 100)
+	t.FlushWork()
 	return qp.PostRecv(wr)
 }
 
 // PostRecvBatch posts a batch of receives with one doorbell.
 func (t *Thread) PostRecvBatch(qp *nic.QP, wrs []nic.RecvWR) error {
 	t.Work(t.Host.Cfg.BaseOpCost*sim.Duration(len(wrs)) + 100)
+	t.FlushWork()
 	return qp.PostRecvBatch(wrs)
 }
 
 // PollCQ polls up to max completions, charging the poll cost: one ring
-// check plus an LLC-modelled read per returned CQE.
+// check plus an LLC-modelled read per returned CQE, settled as a single
+// charge.
 func (t *Thread) PollCQ(cq *nic.CQ, max int) []nic.CQE {
+	t.BeginWork()
 	t.Work(t.Host.Cfg.BaseOpCost)
 	cqes := cq.Poll(max)
 	if len(cqes) > 0 {
 		t.ReadMem(cq.RingBase(), len(cqes)*64)
 	}
+	t.EndWork()
 	return cqes
 }
 
 // WaitCQ blocks until the CQ has completions or d elapses, then polls.
 func (t *Thread) WaitCQ(cq *nic.CQ, max int, d sim.Duration) []nic.CQE {
+	t.FlushWork()
 	if cq.Len() == 0 {
 		start := t.P.Now()
 		cq.Sig.WaitTimeout(t.P, d)

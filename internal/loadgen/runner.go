@@ -292,8 +292,13 @@ func (cr *clientRun) run(t *host.Thread) {
 		if d <= 0 {
 			d = 1
 		}
-		cr.c.Sig.WaitTimeout(t.P, d)
+		// WaitSignal absorbs the poll scan's deferred core charge into the
+		// park — one scheduler wake-up per idle cycle instead of two.
+		t.WaitSignal(cr.c.Sig, d)
 	}
+	// Settle any residue from the final poll so the client exits with its
+	// core time fully charged.
+	t.FlushWork()
 	r.running--
 	if r.running == 0 {
 		r.Done.Broadcast()

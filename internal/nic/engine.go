@@ -57,6 +57,14 @@ type packet struct {
 	compare, swap, add uint64
 
 	status CQEStatus // for ACK/NAK error propagation
+
+	// ownsData marks data as a pool-owned copy, recycled with the packet;
+	// when false the payload aliases an inflight entry's inline buffer
+	// (retired separately at ACK time). noRecycle pins the packet out of
+	// the pool: fault injections that alias it across deliveries (see
+	// pool.go) set it and leave the packet to the GC.
+	ownsData  bool
+	noRecycle bool
 }
 
 // outJob is one queued unit of outbound engine work.
@@ -144,10 +152,15 @@ func (n *NIC) processOut(job outJob) (occ sim.Duration, extraLat sim.Duration, a
 
 	// Gather the payload.
 	var data []byte
+	ownsData := false
 	hasPayload := wr.Op == OpWrite || wr.Op == OpWriteImm || wr.Op == OpSend
 	if hasPayload && wr.Len > 0 {
 		if job.inlineData != nil {
+			// RC/DCT inline payloads stay owned by the inflight entry (they
+			// are re-sent on retransmit); fire-and-forget transports hand
+			// the buffer to the packet.
 			data = job.inlineData
+			ownsData = qp.Type == UD || qp.Type == UC
 		} else {
 			reg, src, err := n.mem.TranslateLocal(wr.LKey, wr.LAddr, wr.Len)
 			if err != nil {
@@ -157,7 +170,9 @@ func (n *NIC) processOut(job outJob) (occ sim.Duration, extraLat sim.Duration, a
 			lines := (wr.Len + n.llc.LineSize() - 1) / n.llc.LineSize()
 			n.bus.RecordDMARead(lines)
 			extraLat += n.cost.DMARead(wr.Len, n.llc.LineSize())
-			data = append([]byte(nil), src...)
+			data = n.getBuf(wr.Len)
+			copy(data, src)
+			ownsData = true
 		}
 	}
 
@@ -179,23 +194,23 @@ func (n *NIC) processOut(job outJob) (occ sim.Duration, extraLat sim.Duration, a
 		}
 	}
 
-	pkt := &packet{
-		transport: qp.Type,
-		srcNIC:    n.id,
-		srcQPN:    qp.QPN,
-		dstQPN:    dstQPN,
-		rkey:      wr.RKey,
-		raddr:     wr.RAddr,
-		data:      data,
-		size:      wr.Len,
-		imm:       wr.Imm,
-		wrID:      wr.WRID,
-		signaled:  wr.Signaled,
-		compare:   wr.Compare,
-		swap:      wr.Swap,
-		add:       wr.Add,
-		atomicOp:  wr.Op,
-	}
+	pkt := n.getPacket()
+	pkt.transport = qp.Type
+	pkt.srcNIC = n.id
+	pkt.srcQPN = qp.QPN
+	pkt.dstQPN = dstQPN
+	pkt.rkey = wr.RKey
+	pkt.raddr = wr.RAddr
+	pkt.data = data
+	pkt.ownsData = ownsData
+	pkt.size = wr.Len
+	pkt.imm = wr.Imm
+	pkt.wrID = wr.WRID
+	pkt.signaled = wr.Signaled
+	pkt.compare = wr.Compare
+	pkt.swap = wr.Swap
+	pkt.add = wr.Add
+	pkt.atomicOp = wr.Op
 	wireBytes := len(data)
 	switch wr.Op {
 	case OpWrite:
@@ -230,10 +245,15 @@ func (n *NIC) processOut(job outJob) (occ sim.Duration, extraLat sim.Duration, a
 
 	act = func() {
 		if reconnect {
-			n.fab.Send(&fabric.Message{Src: n.id, Dst: dstNIC, Bytes: dctConnectBytes,
-				Payload: &packet{op: pktDCTConnect, transport: DCT, srcNIC: n.id, srcQPN: qp.QPN, dstQPN: dstQPN}})
+			cn := n.ctl(pktDCTConnect, DCT, dstQPN, 0)
+			cn.srcNIC, cn.srcQPN = n.id, qp.QPN
+			cm := n.getMsg()
+			cm.Src, cm.Dst, cm.Bytes, cm.Payload = n.id, dstNIC, dctConnectBytes, cn
+			n.fab.Send(cm)
 		}
-		n.fab.Send(&fabric.Message{Src: n.id, Dst: dstNIC, Bytes: wireBytes, Payload: pkt})
+		m := n.getMsg()
+		m.Src, m.Dst, m.Bytes, m.Payload = n.id, dstNIC, wireBytes, pkt
+		n.fab.Send(m)
 		// Unreliable transports complete at transmission.
 		if wr.Signaled && (qp.Type == UD || qp.Type == UC) {
 			qp.SendCQ.push(CQE{WRID: wr.WRID, QPN: qp.QPN, Op: wr.Op, Status: CQOK, ByteLen: wr.Len})
@@ -253,22 +273,39 @@ func (qp *QP) completeLocalError(wr SendWR, err error) {
 // deliver is the fabric receive handler.
 func (n *NIC) deliver(msg *fabric.Message) {
 	pkt := msg.Payload.(*packet)
-	if msg.Mangled && len(pkt.data) > 0 {
+	mangled := msg.Mangled
+	if msg.NoRecycle {
+		// This message is delivered again (Duplicate verdict): the packet
+		// and its payload stay aliased, so pin them out of the pool. The
+		// message itself is not recycled either.
+		pkt.noRecycle = true
+	} else {
+		msg.Payload = nil
+		n.putMsg(msg)
+	}
+	if mangled && len(pkt.data) > 0 {
 		// Past-ICRC corruption: the damage lands in this delivery only, so
 		// work on copies — the sender's retransmit path and any duplicate
-		// delivery alias the original packet and its data.
-		cp := *pkt
-		cp.data = append([]byte(nil), pkt.data...)
+		// delivery alias the original packet and its data. The private copy
+		// re-enters the pool normally after processing.
+		cp := n.getPacket()
+		*cp = *pkt
+		cp.data = n.getBuf(len(pkt.data))
+		copy(cp.data, pkt.data)
 		cp.data[len(cp.data)/2] ^= 0x40
-		pkt = &cp
+		cp.ownsData = true
+		cp.noRecycle = false
+		pkt = cp
 		n.Stats.PayloadMangles++
 	}
 	if pkt.transport == UD && n.Cfg.UDLossRate > 0 && n.rng != nil && n.rng.Float64() < n.Cfg.UDLossRate {
 		n.Stats.UDDrops++
+		n.freePacket(pkt)
 		return
 	}
 	if n.dropNextData > 0 && pkt.transport == RC && pkt.op.isData() {
 		n.dropNextData--
+		n.freePacket(pkt)
 		return
 	}
 	n.inQ = append(n.inQ, pkt)
@@ -298,6 +335,9 @@ func (n *NIC) inStep() {
 		if act != nil {
 			act()
 		}
+		// The packet's effects are committed; recycle it (freePacket
+		// honors the noRecycle pin set by fault paths like torn writes).
+		n.freePacket(pkt)
 		n.inStep()
 	})
 }
@@ -334,7 +374,9 @@ func allocStall(allocs int, penalty sim.Duration) sim.Duration {
 // hardware datapaths.
 func (n *NIC) sendCtl(dstNIC int, pkt *packet, wireBytes int) {
 	pkt.srcNIC = n.id
-	n.fab.Send(&fabric.Message{Src: n.id, Dst: dstNIC, Bytes: wireBytes, Payload: pkt})
+	m := n.getMsg()
+	m.Src, m.Dst, m.Bytes, m.Payload = n.id, dstNIC, wireBytes, pkt
+	n.fab.Send(m)
 }
 
 // rcCheck outcomes: the packet is next in sequence (accepted, PSN
@@ -360,9 +402,7 @@ func (n *NIC) rcCheck(qp *QP, pkt *packet) int {
 		if !qp.nakSent {
 			qp.nakSent = true
 			n.Stats.NAKs++
-			n.sendCtl(pkt.srcNIC, &packet{
-				op: pktNak, transport: RC, dstQPN: pkt.srcQPN, psn: qp.expectPSN,
-			}, 0)
+			n.sendCtl(pkt.srcNIC, n.ctl(pktNak, RC, pkt.srcQPN, qp.expectPSN), 0)
 		}
 		return rcGap
 	}
@@ -372,9 +412,7 @@ func (n *NIC) rcCheck(qp *QP, pkt *packet) int {
 // reAck acknowledges a duplicate of an already-delivered packet so the
 // requester (whose ACK was lost) can advance its inflight window.
 func (n *NIC) reAck(qp *QP, pkt *packet) {
-	n.sendCtl(pkt.srcNIC, &packet{
-		op: pktAck, transport: RC, dstQPN: pkt.srcQPN, psn: pkt.psn,
-	}, 0)
+	n.sendCtl(pkt.srcNIC, n.ctl(pktAck, RC, pkt.srcQPN, pkt.psn), 0)
 }
 
 // processIn handles one arrived packet, returning engine occupancy and the
@@ -431,12 +469,15 @@ func (n *NIC) processIn(pkt *packet) (occ sim.Duration, act func()) {
 				}
 				n.wakeWatches(reg.RKey)
 				if pkt.transport == RC || pkt.transport == DCT {
-					n.sendCtl(pkt.srcNIC, &packet{op: pktAck, transport: pkt.transport, dstQPN: pkt.srcQPN, psn: pkt.psn}, 0)
+					n.sendCtl(pkt.srcNIC, n.ctl(pktAck, pkt.transport, pkt.srcQPN, pkt.psn), 0)
 				}
 			}
 			if n.Cfg.TornWriteDelay > 0 && len(pkt.data) > 1 {
 				// Increasing-address-order visibility: all but the final
-				// byte now, the final byte later.
+				// byte now, the final byte later. The delayed closure keeps
+				// using pkt.data, so the packet must not re-enter the pool
+				// when the commit action returns.
+				pkt.noRecycle = true
 				last := len(pkt.data) - 1
 				copy(dst[:last], pkt.data[:last])
 				n.wakeWatches(reg.RKey) // pollers may observe the partial state
@@ -460,9 +501,7 @@ func (n *NIC) processIn(pkt *packet) (occ sim.Duration, act func()) {
 				// NAK so the requester backs off and retransmits (real RC
 				// never discards an in-sequence send silently).
 				n.Stats.RNRDrops++
-				n.sendCtl(pkt.srcNIC, &packet{
-					op: pktRnrNak, transport: RC, dstQPN: pkt.srcQPN, psn: pkt.psn,
-				}, 0)
+				n.sendCtl(pkt.srcNIC, n.ctl(pktRnrNak, RC, pkt.srcQPN, pkt.psn), 0)
 				return occ, nil
 			}
 			switch n.rcCheck(qp, pkt) {
@@ -506,7 +545,7 @@ func (n *NIC) processIn(pkt *packet) (occ sim.Duration, act func()) {
 			})
 			n.wakeWatches(reg.RKey)
 			if pkt.transport == RC || pkt.transport == DCT {
-				n.sendCtl(pkt.srcNIC, &packet{op: pktAck, transport: pkt.transport, dstQPN: pkt.srcQPN, psn: pkt.psn}, 0)
+				n.sendCtl(pkt.srcNIC, n.ctl(pktAck, pkt.transport, pkt.srcQPN, pkt.psn), 0)
 			}
 		}
 
@@ -531,13 +570,13 @@ func (n *NIC) processIn(pkt *packet) (occ sim.Duration, act func()) {
 		n.bus.RecordDMARead(lines)
 		dmaLat := n.cost.DMARead(pkt.size, n.llc.LineSize())
 		return occ, func() {
-			data := append([]byte(nil), src...)
-			resp := &packet{
-				op: pktReadResp, transport: pkt.transport, dstQPN: pkt.srcQPN, psn: pkt.psn,
-				data: data, wrID: pkt.wrID, signaled: pkt.signaled,
-			}
+			resp := n.ctl(pktReadResp, pkt.transport, pkt.srcQPN, pkt.psn)
+			resp.data = n.getBuf(len(src))
+			copy(resp.data, src)
+			resp.ownsData = true
+			resp.wrID, resp.signaled = pkt.wrID, pkt.signaled
 			dst := pkt.srcNIC
-			n.env.At(dmaLat, func() { n.sendCtl(dst, resp, len(data)) })
+			n.env.At(dmaLat, func() { n.sendCtl(dst, resp, len(resp.data)) })
 		}
 
 	case pktAtomicReq:
@@ -554,10 +593,9 @@ func (n *NIC) processIn(pkt *packet) (occ sim.Duration, act func()) {
 				// instead of re-executing.
 				if old, ok := qp.replayAtomic(pkt.psn); ok {
 					return occ, func() {
-						n.sendCtl(pkt.srcNIC, &packet{
-							op: pktAtomicResp, transport: pkt.transport, dstQPN: pkt.srcQPN,
-							psn: pkt.psn, wrID: pkt.wrID, signaled: pkt.signaled, compare: old,
-						}, 8)
+						resp := n.ctl(pktAtomicResp, pkt.transport, pkt.srcQPN, pkt.psn)
+						resp.wrID, resp.signaled, resp.compare = pkt.wrID, pkt.signaled, old
+						n.sendCtl(pkt.srcNIC, resp, 8)
 					}
 				}
 				return occ, nil
@@ -585,10 +623,9 @@ func (n *NIC) processIn(pkt *packet) (occ sim.Duration, act func()) {
 			if pkt.transport == RC {
 				qp.rememberAtomic(pkt.psn, old)
 			}
-			n.sendCtl(pkt.srcNIC, &packet{
-				op: pktAtomicResp, transport: pkt.transport, dstQPN: pkt.srcQPN, psn: pkt.psn,
-				wrID: pkt.wrID, signaled: pkt.signaled, compare: old,
-			}, 8)
+			resp := n.ctl(pktAtomicResp, pkt.transport, pkt.srcQPN, pkt.psn)
+			resp.wrID, resp.signaled, resp.compare = pkt.wrID, pkt.signaled, old
+			n.sendCtl(pkt.srcNIC, resp, 8)
 		}
 
 	case pktAck:
@@ -656,9 +693,9 @@ func (n *NIC) remoteError(pkt *packet, qp *QP) {
 	if pkt.transport != RC {
 		return
 	}
-	n.sendCtl(pkt.srcNIC, &packet{
-		op: pktAck, transport: RC, dstQPN: pkt.srcQPN, psn: pkt.psn, status: CQRemoteAccessError,
-	}, 0)
+	resp := n.ctl(pktAck, RC, pkt.srcQPN, pkt.psn)
+	resp.status = CQRemoteAccessError
+	n.sendCtl(pkt.srcNIC, resp, 0)
 }
 
 // handleAck completes inflight WQEs with psn ≤ acked psn.
@@ -668,7 +705,9 @@ func (qp *QP) handleAck(pkt *packet) {
 		qp.state = QPErr
 		qp.nic.Stats.QPErrors++
 		qp.cancelTimer()
-		// Complete the offending WQE with an error.
+		// Complete the offending WQE with an error. The entry's inline
+		// buffer is NOT recycled: an aliased retransmitted copy may still
+		// be travelling the fabric (error paths leave buffers to the GC).
 		if idx := qp.findInflight(pkt.psn); idx >= 0 {
 			wr := qp.inflight[idx].wr
 			qp.inflight = append(qp.inflight[:idx], qp.inflight[idx+1:]...)
@@ -678,33 +717,41 @@ func (qp *QP) handleAck(pkt *packet) {
 		}
 		return
 	}
-	advanced := false
-	for len(qp.inflight) > 0 {
-		f := qp.inflight[0]
+	popped := 0
+	for popped < len(qp.inflight) {
+		f := qp.inflight[popped]
 		if f.psn > pkt.psn || f.needResp {
 			break
 		}
-		qp.inflight = qp.inflight[1:]
-		advanced = true
+		popped++
+		// The ACK proves the receiver committed this payload; any aliased
+		// retransmitted copy still in flight fails the PSN check without
+		// touching the data, so the inline buffer can retire now.
+		if f.inline != nil {
+			qp.nic.putBuf(f.inline)
+		}
 		if f.wr.Signaled {
 			qp.SendCQ.push(CQE{WRID: f.wr.WRID, QPN: qp.QPN, Op: f.wr.Op, Status: CQOK, ByteLen: f.wr.Len})
 		}
 	}
-	if advanced {
+	if popped > 0 {
+		qp.popInflight(popped)
 		qp.noteProgress()
 	}
 }
 
 // handleResp completes a READ/ATOMIC and everything before it.
 func (qp *QP) handleResp(pkt *packet) {
-	advanced := false
-	for len(qp.inflight) > 0 {
-		f := qp.inflight[0]
+	popped := 0
+	for popped < len(qp.inflight) {
+		f := qp.inflight[popped]
 		if f.psn > pkt.psn {
 			break
 		}
-		qp.inflight = qp.inflight[1:]
-		advanced = true
+		popped++
+		if f.inline != nil {
+			qp.nic.putBuf(f.inline)
+		}
 		if f.psn == pkt.psn {
 			if f.wr.Signaled {
 				op := f.wr.Op
@@ -719,9 +766,22 @@ func (qp *QP) handleResp(pkt *packet) {
 			qp.SendCQ.push(CQE{WRID: f.wr.WRID, QPN: qp.QPN, Op: f.wr.Op, Status: CQOK, ByteLen: f.wr.Len})
 		}
 	}
-	if advanced {
+	if popped > 0 {
+		qp.popInflight(popped)
 		qp.noteProgress()
 	}
+}
+
+// popInflight removes the first k inflight entries, compacting in place so
+// the slice keeps its backing array (the old head-reslice leaked capacity
+// and forced a fresh allocation on every later post).
+func (qp *QP) popInflight(k int) {
+	m := copy(qp.inflight, qp.inflight[k:])
+	tail := qp.inflight[m:]
+	for i := range tail {
+		tail[i] = inflightWR{}
+	}
+	qp.inflight = qp.inflight[:m]
 }
 
 // findInflight returns the index of the inflight entry with the given psn.
@@ -772,7 +832,7 @@ func (n *NIC) handleRnrNak(qp *QP, pkt *packet) {
 // retransmitFrom rebuilds outbound jobs for every inflight WQE at or after
 // psn (go-back-N) and queues them ahead of new work, preserving PSN order.
 func (n *NIC) retransmitFrom(qp *QP, psn uint64) {
-	var jobs []outJob
+	jobs := n.retransScratch[:0]
 	for _, f := range qp.inflight {
 		if f.psn >= psn {
 			n.Stats.Retransmits++
@@ -780,11 +840,29 @@ func (n *NIC) retransmitFrom(qp *QP, psn uint64) {
 			jobs = append(jobs, outJob{qp: qp, wr: f.wr, inlineData: f.inline, retrans: true, psn: f.psn})
 		}
 	}
+	n.retransScratch = jobs[:0]
 	if len(jobs) == 0 {
 		return
 	}
-	rest := append([]outJob{}, n.outQ[n.outHead:]...)
-	n.outQ = append(jobs, rest...)
+	// Splice jobs ahead of the unprocessed tail in place: outQ becomes
+	// jobs ++ outQ[outHead:], reusing the backing array when it fits.
+	tail := n.outQ[n.outHead:]
+	need := len(jobs) + len(tail)
+	if cap(n.outQ) >= need {
+		old := len(n.outQ)
+		q := n.outQ[:need]
+		copy(q[len(jobs):], tail) // overlap-safe shift
+		copy(q, jobs)
+		for i := need; i < old; i++ {
+			n.outQ[i] = outJob{}
+		}
+		n.outQ = q
+	} else {
+		q := make([]outJob, 0, need*2)
+		q = append(q, jobs...)
+		q = append(q, tail...)
+		n.outQ = q
+	}
 	n.outHead = 0
 	n.outKick()
 }

@@ -231,6 +231,12 @@ type NIC struct {
 
 	watches map[uint32][]*sim.Signal // rkey → signals woken on DMA write
 
+	// pool recycles packets, fabric messages and payload buffers
+	// (see pool.go for the ownership contract).
+	pool pktPool
+	// retransScratch is reused by retransmitFrom's go-back-N splice.
+	retransScratch []outJob
+
 	// trace is the telemetry event sink; always non-nil (a disabled sink
 	// until Register attaches the NIC to a live registry).
 	trace *telemetry.Trace

@@ -514,7 +514,11 @@ func (qp *QP) PostSend(wr SendWR) error {
 		if err != nil {
 			return err
 		}
-		job.inlineData = append([]byte(nil), src...)
+		// Pooled copy. For RC/DCT the buffer is owned by the inflight entry
+		// and retires at ACK time; for UD/UC ownership transfers to the
+		// packet in processOut (see pool.go).
+		job.inlineData = n.getBuf(wr.Len)
+		copy(job.inlineData, src)
 	}
 	n.outQ = append(n.outQ, job)
 	n.outKick()

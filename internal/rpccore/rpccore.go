@@ -195,7 +195,7 @@ func RunDriver(t *host.Thread, conns []Conn, cfg DriverConfig, sig *sim.Signal, 
 				}
 				t.Work(spin)
 			} else {
-				sig.WaitTimeout(t.P, cfg.IdlePoll)
+				t.WaitSignal(sig, cfg.IdlePoll)
 			}
 		}
 	}

@@ -33,7 +33,7 @@ func (c *Conn) AsyncCall(t *host.Thread, handler uint8, req []byte) uint64 {
 	h := c.nextHandle
 	for !c.TrySend(t, handler, req, h) {
 		c.pollIntoCompletions(t)
-		c.sig.WaitTimeout(t.P, 5*sim.Microsecond)
+		t.WaitSignal(c.sig, 5*sim.Microsecond)
 	}
 	return h
 }
@@ -77,7 +77,7 @@ func (c *Conn) SyncCall(t *host.Thread, handler uint8, req []byte, timeout sim.D
 		if remain > 5*sim.Microsecond {
 			remain = 5 * sim.Microsecond
 		}
-		c.sig.WaitTimeout(t.P, remain)
+		t.WaitSignal(c.sig, remain)
 	}
 }
 

@@ -134,6 +134,11 @@ func (c *Conn) TrySend(t *host.Thread, handler uint8, payload []byte, reqID uint
 	if c.left {
 		return false
 	}
+	// Batch the staging-area writes with the doorbell (direct sends) or the
+	// end of the call (warmup staging) — one core charge per send. The lazy
+	// close leaves any residue to be absorbed into the caller's next park.
+	t.BeginWork()
+	defer t.EndWorkLazy()
 	switch c.state {
 	case StateIdle:
 		c.beginWarmup()
@@ -270,6 +275,15 @@ func (c *Conn) Poll(t *host.Thread, fn func(rpccore.Response)) int {
 		return 0
 	}
 	c.flushEndpointEntry(t)
+	// The whole poll scan is one deferred-charge region: the per-block valid
+	// checks settle as a single core charge instead of one scheduler round
+	// trip each. PostSend (via flushEndpointEntry in onContextSwitch) and any
+	// blocking path flush first, so externally visible actions still land at
+	// fully-charged virtual times. The lazy close leaves an empty scan's
+	// residue pending so the caller's park absorbs it (host.Thread.WaitSignal)
+	// instead of paying a second scheduler wake-up.
+	t.BeginWork()
+	defer t.EndWorkLazy()
 	got := 0
 	switched := false
 

@@ -292,6 +292,7 @@ func (w *worker) run(t *host.Thread) {
 			if s.drainCount == len(s.workers) {
 				s.schedSig.Broadcast()
 			}
+			t.FlushWork()
 			for s.draining {
 				s.resumeSig.Wait(t.P)
 			}
@@ -299,7 +300,7 @@ func (w *worker) run(t *host.Thread) {
 		}
 		if n == 0 {
 			w.Sleeps++
-			w.sig.WaitTimeout(t.P, s.Cfg.PollTimeout)
+			t.WaitSignal(w.sig, s.Cfg.PollTimeout)
 		}
 	}
 }
@@ -322,6 +323,13 @@ func (w *worker) sweep(t *host.Thread) int {
 	w.Sweeps++
 	pool := s.processingPool()
 	served := 0
+	// The scan touches one valid byte per owned slot; charging each touch
+	// individually would cost a scheduler round trip per slot. Defer the
+	// charges and settle them in bulk — at the doorbell when a request is
+	// found, or absorbed into the worker's idle park for an empty sweep (the
+	// lazy close leaves the residue pending for run's WaitSignal).
+	t.BeginWork()
+	defer t.EndWorkLazy()
 	// Block-major scan, symmetric with the baselines (ScaleRPC's per-slice
 	// QP set fits the NIC caches either way). Reserved (pinned) zones sit
 	// past maxZones and always live in pool 0.
@@ -418,12 +426,19 @@ func (s *Server) serve(t *host.Thread, w *worker, cs *clientState, slot int, hdr
 		// Recorded long-running call type: hand to the legacy thread. The
 		// reply-cache entry stays in-flight until it commits there.
 		s.Stats.LegacyCalls++
+		// Settle sweep charges before the hand-off: the legacy thread wakes
+		// at the virtual time the request was actually parsed.
+		t.FlushWork()
 		s.legacyQ.Push(legacyJob{cs: cs, slot: slot, handler: hdr.Handler, reqID: hdr.ReqID,
 			body: append([]byte(nil), body...)})
 		return
 	}
+	// Settle deferred sweep charges around the handler so its measured
+	// duration (which drives legacy-mode detection) reflects its own work.
+	t.FlushWork()
 	start := t.P.Now()
 	n := s.handlers[hdr.Handler](t, cs.id, body, w.buf[rpcwire.HeaderSize:len(w.buf)-rpcwire.TrailerSize])
+	t.FlushWork()
 	s.handlerNs.Observe(uint64(t.P.Now() - start))
 	if t.P.Now()-start > s.Cfg.LegacyThreshold && !s.legacy[hdr.Handler] {
 		// Record this call type (§3.5); subsequent requests run in legacy

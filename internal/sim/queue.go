@@ -18,12 +18,16 @@ func NewQueue[T any](e *Env) *Queue[T] {
 // Len returns the number of queued values.
 func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
-// Push appends v and wakes any blocked consumers.
+// Push appends v and wakes one blocked consumer.
 func (q *Queue[T]) Push(v T) {
 	q.items = append(q.items, v)
-	// Wake everyone: consumers re-check emptiness in their pop loops, so a
-	// racing timeout cannot strand a value behind a sleeping consumer.
-	q.sig.Broadcast()
+	// Wake exactly one consumer (FIFO), not the whole herd: broadcasting
+	// costs a scheduler round trip per parked consumer only for all but one
+	// of them to find the queue empty and park again. The elected consumer's
+	// wake can go stale when its timeout fires first in the same instant; it
+	// then passes the baton (see PopTimeout), so a value is never stranded
+	// behind a parked consumer.
+	q.sig.Wake(1)
 }
 
 // TryPop removes and returns the oldest value, if any.
@@ -66,6 +70,13 @@ func (q *Queue[T]) PopTimeout(p *Proc, d Duration) (v T, ok bool) {
 			return zero, false
 		}
 		if q.sig.WaitTimeout(p, remain) {
+			// Timed out. A Push may have elected this consumer in the same
+			// instant the timer fired first — the wake went stale against
+			// this proc's new generation — so pass the baton to keep the
+			// value from being stranded behind another parked consumer.
+			if q.Len() > 0 {
+				q.sig.Wake(1)
+			}
 			var zero T
 			return zero, false
 		}
@@ -137,6 +148,28 @@ func (r *Resource) Use(p *Proc, cost Duration) {
 	r.Acquire(p)
 	p.Sleep(cost)
 	r.Release()
+}
+
+// UseAsync charges cost unit-nanoseconds of busy time starting now without
+// blocking the caller: a free unit is taken immediately and returned by a
+// scheduler callback cost later, so no process wake-up is involved. Returns
+// false — charging nothing — when every unit is busy; callers must then fall
+// back to the blocking Use so FIFO admission under contention is preserved.
+func (r *Resource) UseAsync(cost Duration) bool {
+	if cost <= 0 {
+		return true
+	}
+	if r.inUse >= r.capacity {
+		return false
+	}
+	r.tick()
+	r.inUse++
+	r.env.At(cost, func() {
+		r.tick()
+		r.inUse--
+		r.sig.Wake(1)
+	})
+	return true
 }
 
 // Utilization returns average busy units since the start of the simulation,

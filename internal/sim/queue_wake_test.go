@@ -1,0 +1,84 @@
+package sim
+
+import "testing"
+
+// TestQueuePushWakesExactlyOne pins the thundering-herd fix: one Push wakes
+// exactly one of the parked consumers (the FIFO-first), and the other N-1
+// stay parked — no spurious resume events are dispatched for them.
+func TestQueuePushWakesExactlyOne(t *testing.T) {
+	const consumers = 8
+	e := NewEnv()
+	defer e.Close()
+	q := NewQueue[int](e)
+	got := make([]int, 0, 1)
+	order := make([]int, 0, 1)
+	for i := 0; i < consumers; i++ {
+		i := i
+		e.Spawn("c", func(p *Proc) {
+			if v, ok := q.PopTimeout(p, 1_000_000); ok {
+				got = append(got, v)
+				order = append(order, i)
+			}
+		})
+	}
+	// Park everyone.
+	e.RunUntil(10)
+	if q.sig.Waiting() != consumers {
+		t.Fatalf("parked waiters = %d, want %d", q.sig.Waiting(), consumers)
+	}
+	_, pr0 := e.FiredBreakdown()
+
+	e.At(1, func() { q.Push(42) })
+	e.RunUntil(100)
+
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("got = %v, want exactly [42]", got)
+	}
+	if len(order) != 1 || order[0] != 0 {
+		t.Fatalf("woken consumer = %v, want FIFO-first [0]", order)
+	}
+	_, pr1 := e.FiredBreakdown()
+	signalWakes := pr1[tagSignal] - pr0[tagSignal]
+	if signalWakes != 1 {
+		t.Fatalf("signal wakes after one Push = %d, want 1 (herd not woken)", signalWakes)
+	}
+	// The other N-1 consumers are still parked.
+	if q.sig.Waiting() != consumers-1 {
+		t.Fatalf("parked waiters after Push = %d, want %d", q.sig.Waiting(), consumers-1)
+	}
+}
+
+// TestQueueBatonOnTimeoutRace covers the wake-one stranding hazard: a Push
+// elects consumer A in the same instant A's timeout timer fires first, so
+// the wake goes stale against A's new generation. A must pass the baton to
+// consumer B instead of letting the value sit behind B's park.
+func TestQueueBatonOnTimeoutRace(t *testing.T) {
+	e := NewEnv()
+	defer e.Close()
+	q := NewQueue[string](e)
+
+	// Scheduled before the consumers spawn, so at t=100 this callback's
+	// event precedes A's timeout timer (lower seq) and the Push's Wake(1)
+	// targets a consumer whose timer fires in the same instant.
+	e.At(100, func() { q.Push("x") })
+
+	var aOK, bOK bool
+	var bVal string
+	e.Spawn("a", func(p *Proc) {
+		_, aOK = q.PopTimeout(p, 100)
+	})
+	e.Spawn("b", func(p *Proc) {
+		bVal, bOK = q.PopTimeout(p, 1000)
+	})
+	e.Run()
+
+	if aOK {
+		t.Fatal("consumer A should have timed out")
+	}
+	if !bOK || bVal != "x" {
+		t.Fatalf("consumer B should receive the batoned value, got ok=%v v=%q", bOK, bVal)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("value stranded in queue (len=%d)", q.Len())
+	}
+}

@@ -16,11 +16,12 @@
 //
 // Determinism: events fire in (time, sequence) order; the sequence number is
 // assigned at scheduling time, so two events scheduled for the same instant
-// fire in the order they were created.
+// fire in the order they were created. The event queue is a hierarchical
+// timing wheel (see wheel.go); the original binary heap is retained behind
+// SetDefaultScheduler for the equivalence tests.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -39,11 +40,14 @@ const (
 	Second      Duration = 1000 * 1000 * 1000
 )
 
+// maxTime is the sentinel horizon used by Run.
+const maxTime Time = 1<<62 - 1
+
 // killed is the sentinel panic value used to unwind blocked processes when
 // the environment shuts down.
 type killedPanic struct{}
 
-// event is a single entry in the scheduler heap. Exactly one of proc and fn
+// event is a single entry in the scheduler queue. Exactly one of proc and fn
 // is set. Events targeting a process carry the wake generation they were
 // scheduled against; if the process has been woken by a different source in
 // the meantime the event is stale and is dropped.
@@ -56,46 +60,103 @@ type event struct {
 	fn   func()
 }
 
+// eventHeap is the binary-heap event store behind heapSched. The sift
+// routines are inlined here (rather than going through container/heap) so
+// events are never boxed through interface{}; extraction order is identical
+// because (at, seq) is a strict total order.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && h.less(r, l) {
+			j = r
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// defaultScheduler selects the queue implementation NewEnv builds.
+var defaultScheduler = "wheel"
+
+// SetDefaultScheduler selects the event-queue implementation used by
+// subsequently created environments: "wheel" (the default hierarchical
+// timing wheel) or "heap" (the pre-refactor binary heap, retained as a
+// test-only shim for the scheduler-equivalence tests). It returns the
+// previous setting so tests can restore it.
+func SetDefaultScheduler(name string) string {
+	switch name {
+	case "wheel", "heap":
+	default:
+		panic("sim: unknown scheduler " + name)
+	}
+	prev := defaultScheduler
+	defaultScheduler = name
+	return prev
 }
 
 // Env is a simulation environment: a virtual clock plus an event queue.
 // The zero value is not usable; create environments with NewEnv.
 type Env struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	yield  chan struct{}
-	procs  map[*Proc]struct{}
-	closed bool
+	now     Time
+	seq     uint64
+	fired   uint64
+	firedCB uint64
+	firedPr [tagCount]uint64
+	sched   scheduler
+	yield   chan struct{}
+	procs   map[*Proc]struct{}
+	closed  bool
 }
 
 // NewEnv returns a fresh environment with the clock at zero.
 func NewEnv() *Env {
+	var s scheduler
+	if defaultScheduler == "heap" {
+		s = &heapSched{}
+	} else {
+		s = newTimingWheel()
+	}
 	return &Env{
-		yield: make(chan struct{}),
+		sched: s,
+		yield: make(chan struct{}, 1),
 		procs: make(map[*Proc]struct{}),
 	}
 }
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
+
+// SchedulerName identifies the event-queue implementation backing this
+// environment ("wheel" or "heap").
+func (e *Env) SchedulerName() string { return e.sched.name() }
 
 // At schedules fn to run after delay. fn executes inline in the scheduler
 // and must not block; it may schedule further events, push to queues, wake
@@ -105,7 +166,7 @@ func (e *Env) At(delay Duration, fn func()) {
 		panic("sim: negative delay")
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.sched.schedule(event{at: e.now + delay, seq: e.seq, fn: fn})
 }
 
 // scheduleProc enqueues a wake-up for p at now+delay against its current
@@ -115,7 +176,7 @@ func (e *Env) scheduleProc(p *Proc, delay Duration, tag int) {
 		panic("sim: negative delay")
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, proc: p, gen: p.gen, tag: tag})
+	e.sched.schedule(event{at: e.now + delay, seq: e.seq, proc: p, gen: p.gen, tag: tag})
 }
 
 // Proc is a simulated process. All methods that block (Sleep, Wait*) must be
@@ -143,11 +204,17 @@ func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
 }
 
 // SpawnAt creates a process executing fn, scheduled to start after delay.
+//
+// The handshake channels are buffered (capacity 1): the protocol is a strict
+// ping-pong — at most one resume token and one yield token are ever in
+// flight — so buffering never reorders anything, but it lets each side hand
+// off without a synchronous rendezvous, roughly halving the scheduler↔proc
+// context switches.
 func (e *Env) SpawnAt(delay Duration, name string, fn func(*Proc)) *Proc {
 	if e.closed {
 		panic("sim: Spawn on closed Env")
 	}
-	p := &Proc{Name: name, env: e, resume: make(chan int)}
+	p := &Proc{Name: name, env: e, resume: make(chan int, 1)}
 	e.procs[p] = struct{}{}
 	go func() {
 		defer func() {
@@ -186,6 +253,7 @@ const (
 	tagSignal
 	tagQueue
 	tagResource
+	tagCount
 )
 
 // block yields control to the scheduler and waits to be resumed, returning
@@ -211,23 +279,21 @@ func (p *Proc) Yield() { p.Sleep(0) }
 
 // Run processes events until the queue is empty, then returns the final
 // clock value.
-func (e *Env) Run() Time { return e.RunUntil(1<<62 - 1) }
+func (e *Env) Run() Time { return e.RunUntil(maxTime) }
 
 // RunUntil processes events with timestamps ≤ until, then sets the clock to
 // until (if it advanced that far) and returns it. Events beyond the horizon
 // stay queued; RunUntil may be called repeatedly.
 func (e *Env) RunUntil(until Time) Time {
-	for e.events.Len() > 0 {
-		ev := e.events[0]
-		if ev.at > until {
-			if e.now < until {
-				e.now = until
-			}
-			return e.now
+	for {
+		ev, ok := e.sched.next(until)
+		if !ok {
+			break
 		}
-		heap.Pop(&e.events)
 		if ev.fn != nil {
 			e.now = ev.at
+			e.fired++
+			e.firedCB++
 			ev.fn()
 			continue
 		}
@@ -236,21 +302,41 @@ func (e *Env) RunUntil(until Time) Time {
 			continue // stale wake-up
 		}
 		e.now = ev.at
+		e.fired++
+		e.firedPr[ev.tag]++
 		p.gen++ // invalidate competing wake sources
 		p.resume <- ev.tag
 		<-e.yield
 	}
-	if e.now < until && until < 1<<62-1 {
+	if e.now < until && until < maxTime {
 		e.now = until
 	}
 	return e.now
 }
 
+// SchedulerName identifies the default event-queue implementation new
+// environments will use.
+func SchedulerName() string { return defaultScheduler }
+
+// Fired returns the number of events dispatched so far (callbacks run plus
+// process resumes; stale wake-ups that were dropped do not count). It is the
+// denominator for wall-clock events/sec measurements.
+func (e *Env) Fired() uint64 { return e.fired }
+
+// FiredBreakdown returns the dispatched-event mix: callbacks and process
+// resumes by wake source (start, timer, signal, queue, resource). The
+// breakdown shows what a macro benchmark is actually paying for — process
+// resumes cost a goroutine handshake, callbacks do not.
+func (e *Env) FiredBreakdown() (callbacks uint64, procByTag [5]uint64) {
+	copy(procByTag[:], e.firedPr[:])
+	return e.firedCB, procByTag
+}
+
 // Idle reports whether no events remain.
-func (e *Env) Idle() bool { return e.events.Len() == 0 }
+func (e *Env) Idle() bool { return e.sched.pending() == 0 }
 
 // Pending returns the number of queued events (including stale ones).
-func (e *Env) Pending() int { return e.events.Len() }
+func (e *Env) Pending() int { return e.sched.pending() }
 
 // Close terminates every live process so no goroutines leak. The
 // environment must not be used afterwards.
@@ -268,7 +354,7 @@ func (e *Env) Close() {
 		p.resume <- 0
 		<-e.yield
 	}
-	e.events = nil
+	e.sched.clear()
 }
 
 // Signal is a broadcast/wake-one condition variable for processes. Waiters
@@ -300,6 +386,9 @@ func (s *Signal) WaitTimeout(p *Proc, d Duration) (timedOut bool) {
 	return p.block() == tagTimer
 }
 
+// Waiting returns the number of registered waiters (including stale ones).
+func (s *Signal) Waiting() int { return len(s.waiters) }
+
 // Wake resumes up to n waiting processes (all of them if n < 0). Waiters
 // whose wake generation has moved on (e.g. they timed out) are skipped.
 func (s *Signal) Wake(n int) int {
@@ -314,7 +403,7 @@ func (s *Signal) Wake(n int) int {
 			continue // stale waiter
 		}
 		s.env.seq++
-		heap.Push(&s.env.events, event{at: s.env.now, seq: s.env.seq, proc: w.proc, gen: w.gen, tag: tagSignal})
+		s.env.sched.schedule(event{at: s.env.now, seq: s.env.seq, proc: w.proc, gen: w.gen, tag: tagSignal})
 		woken++
 	}
 	s.waiters = rest

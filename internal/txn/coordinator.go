@@ -154,7 +154,7 @@ func (c *Coordinator) doCalls(t *host.Thread, calls []*pendingCall) {
 			}
 		}
 		if !progress {
-			c.sig.WaitTimeout(t.P, 10*sim.Microsecond)
+			t.WaitSignal(c.sig, 10*sim.Microsecond)
 		}
 	}
 }
