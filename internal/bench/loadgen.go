@@ -243,7 +243,7 @@ func runLoadKnee(opts Options) *Result {
 		outs = append(outs, kneeOut{Transport: tr, Result: res})
 	}
 	r.AddArtifact("BENCH_loadgen_knee.json", marshalArtifact(outs))
-	r.Note("the knee is the highest offered rate whose open-loop run still meets the SLO; ScaleRPC's grouped RC connections sustain more than per-client RC at 400 clients (capacity ~4.8 vs ~3.4 Mops/s)")
+	r.Note("the knee is the highest offered rate whose open-loop run still meets the SLO; the two transports hit it for different reasons — RawWrite is capacity-bound (~3.3 Mops/s achievable, backlog divergence beyond), while ScaleRPC has capacity to spare (>5.7 Mops/s achieved at 6 offered) but its rotation tail crosses the p99 limit just above its knee")
 	return r
 }
 

@@ -162,8 +162,9 @@ func (t *Thread) EndWorkLazy() {
 // WaitSignal parks the thread on sig for at most d, absorbing any pending
 // deferred charge into the wait: the cost occupies a core via a pure
 // scheduler callback while the thread is already parked, instead of a
-// separate charge-sleep before parking. Under full core contention it falls
-// back to the blocking flush first so FIFO admission is preserved. The
+// separate charge-sleep before parking. Under core contention — all units
+// busy, or acquirers already queued for a freed one — it falls back to the
+// blocking flush first so FIFO admission is preserved. The
 // thread becomes signal-responsive at the park time rather than after the
 // charge — an overlap of at most the deferred tens of nanoseconds, well
 // under every poll interval in the model. Reports whether the wait timed

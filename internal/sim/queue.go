@@ -153,13 +153,17 @@ func (r *Resource) Use(p *Proc, cost Duration) {
 // UseAsync charges cost unit-nanoseconds of busy time starting now without
 // blocking the caller: a free unit is taken immediately and returned by a
 // scheduler callback cost later, so no process wake-up is involved. Returns
-// false — charging nothing — when every unit is busy; callers must then fall
-// back to the blocking Use so FIFO admission under contention is preserved.
+// false — charging nothing — when every unit is busy OR any Acquire waiter
+// is queued; callers must then fall back to the blocking Use so FIFO
+// admission under contention is preserved. The waiter check matters: after a
+// Release elects a waiter, the freed unit is spoken for until the waiter's
+// resume event runs, and a callback grabbing it in that window would re-park
+// the waiter and jump the queue.
 func (r *Resource) UseAsync(cost Duration) bool {
 	if cost <= 0 {
 		return true
 	}
-	if r.inUse >= r.capacity {
+	if r.inUse >= r.capacity || r.queueLen > 0 {
 		return false
 	}
 	r.tick()

@@ -48,6 +48,40 @@ func TestQueuePushWakesExactlyOne(t *testing.T) {
 	}
 }
 
+// TestUseAsyncDoesNotJumpAcquireQueue pins FIFO admission against the
+// async-charge fast path: after Release frees the unit and elects a queued
+// waiter, a callback running before the waiter's resume event sees a free
+// unit. UseAsync must refuse it (the unit is spoken for) so the waiter is
+// not re-parked behind the callback's charge.
+func TestUseAsyncDoesNotJumpAcquireQueue(t *testing.T) {
+	e := NewEnv()
+	defer e.Close()
+	r := NewResource(e, 1)
+	var acquiredAt Time
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(100)
+		// Scheduled before Release's wake, so it fires at t=100 in the
+		// window after the unit is freed but before the elected waiter's
+		// resume event runs — exactly the steal window.
+		e.At(0, func() {
+			if r.UseAsync(50) {
+				t.Error("UseAsync charged while an Acquire waiter was queued")
+			}
+		})
+		r.Release()
+	})
+	e.SpawnAt(10, "waiter", func(p *Proc) {
+		r.Acquire(p)
+		acquiredAt = e.Now()
+		r.Release()
+	})
+	e.Run()
+	if acquiredAt != 100 {
+		t.Fatalf("queued waiter acquired at t=%d, want t=100 (queue was jumped)", acquiredAt)
+	}
+}
+
 // TestQueueBatonOnTimeoutRace covers the wake-one stranding hazard: a Push
 // elects consumer A in the same instant A's timeout timer fires first, so
 // the wake goes stale against A's new generation. A must pass the baton to

@@ -8,7 +8,10 @@ import "math/bits"
 // seeded experiments on both and assert identical event order.
 type scheduler interface {
 	// schedule enqueues ev. ev.at must be ≥ the timestamp of the last event
-	// returned by next (events are never scheduled in the past).
+	// the caller *dispatched* (Env schedules at now+delay). It may lie behind
+	// the queue's internal position: stale events (dropped wake-ups) advance
+	// the wheel without advancing Env.now, so a fresh event can legitimately
+	// land behind the wheel's cursor and must still fire in (at, seq) order.
 	schedule(ev event)
 	// next dequeues the earliest event with at ≤ until, in (at, seq) order.
 	// ok is false when no such event exists; later events stay queued.
@@ -45,8 +48,13 @@ const (
 //     (seq increases monotonically), and a cascade from level k fills the
 //     empty level-(k-1) slots of the block being entered before any direct
 //     insert into that block can occur.
-//   - due holds the events at exactly cur, in seq order; same-instant
-//     follow-ups (At(0), Signal.Wake) append behind with higher seq.
+//   - due is (at, seq)-sorted. Normally it holds only events at exactly cur
+//     (same-instant follow-ups — At(0), Signal.Wake — append behind with
+//     higher seq), but it may additionally carry a leading run of events at
+//     timestamps < cur: dispatching a stale event (a dropped wake-up)
+//     advances cur without advancing Env.now, so a fresh event scheduled at
+//     now+delay can land behind cur and is sort-inserted ahead of the
+//     at==cur entries.
 type timingWheel struct {
 	cur     uint64
 	count   int
@@ -83,15 +91,29 @@ func (w *timingWheel) lowestSet(level int) (int, bool) {
 
 func (w *timingWheel) schedule(ev event) {
 	at := uint64(ev.at)
-	if at < w.cur {
-		panic("sim: event scheduled in the past")
-	}
 	w.count++
-	if at == w.cur {
+	switch {
+	case at == w.cur:
 		w.due = append(w.due, ev)
-		return
+	case at > w.cur:
+		w.insert(at, ev)
+	default:
+		// at < cur: a stale dispatch moved the wheel past Env.now, and the
+		// caller scheduled relative to Env.now. The event precedes everything
+		// queued in the slots (all ≥ cur) but may interleave with earlier
+		// behind-cursor events already in due — sort-insert to keep due in
+		// (at, seq) order. seq is globally monotonic, so among equal
+		// timestamps the new event goes last and comparing at alone suffices.
+		// This path is cold (requires a drained stale tail), so the O(n)
+		// insert into the tiny due list is irrelevant.
+		i := w.dueHead
+		for i < len(w.due) && uint64(w.due[i].at) <= at {
+			i++
+		}
+		w.due = append(w.due, event{})
+		copy(w.due[i+1:], w.due[i:])
+		w.due[i] = ev
 	}
-	w.insert(at, ev)
 }
 
 // insert places ev into the slot owning timestamp at. The level is the
@@ -133,9 +155,11 @@ func (w *timingWheel) next(until Time) (event, bool) {
 	u := uint64(until)
 	for {
 		if w.dueHead < len(w.due) {
-			// due events fire at cur; a shorter horizon than a previous run's
-			// must not release them.
-			if w.cur > u {
+			// Gate on the head event's own timestamp, not cur: a shorter
+			// horizon than a previous run's must not release the at==cur
+			// entries, while a behind-cursor event (see schedule) must fire
+			// even when cur itself is beyond the horizon.
+			if uint64(w.due[w.dueHead].at) > u {
 				return event{}, false
 			}
 			ev := w.due[w.dueHead]

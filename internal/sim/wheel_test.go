@@ -135,6 +135,91 @@ func TestWheelBlockCrossing(t *testing.T) {
 	}
 }
 
+// TestWheelStaleTailThenSchedule pins the cur/now desync hazard: Run()
+// drains a queue whose last event is a stale timer (its signal won), which
+// advances the wheel's cursor far past Env.now since stale events are
+// dropped without dispatching. Scheduling afterwards at now+delay lands
+// behind the cursor and must neither panic nor lose or reorder events.
+func TestWheelStaleTailThenSchedule(t *testing.T) {
+	e := NewEnv()
+	defer e.Close()
+	s := NewSignal(e)
+	e.Spawn("w", func(p *Proc) {
+		if s.WaitTimeout(p, 1000) {
+			t.Error("wait should have been won by the signal, not the timer")
+		}
+	})
+	e.At(10, func() { s.Wake(1) })
+	e.Run() // drains the stale t=1000 timer; the clock stays at 10
+	if e.Now() != 10 {
+		t.Fatalf("now = %d after drain, want 10", e.Now())
+	}
+	var fired []Time
+	rec := func() { fired = append(fired, e.Now()) }
+	// All behind the wheel's cursor (≈1000), deliberately scheduled out of
+	// order, plus one beyond it.
+	e.At(20, rec)
+	e.At(5, rec)
+	e.At(5, rec) // equal timestamp: must keep schedule (seq) order
+	e.At(2000, rec)
+	// A horizon short of the stale cursor must still release the early pair.
+	e.RunUntil(15)
+	if len(fired) != 2 || fired[0] != 15 || fired[1] != 15 {
+		t.Fatalf("fired after RunUntil(15) = %v, want [15 15]", fired)
+	}
+	e.Run()
+	want := []Time{15, 15, 30, 2010}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestWheelBehindCursorMatchesHeap exercises the same aftermath directly at
+// the scheduler level: after a drain leaves the wheel's cursor ahead of the
+// Env clock, behind-cursor schedules must dequeue in exactly the heap's
+// (at, seq) order, and a horizon shorter than the cursor must still release
+// them.
+func TestWheelBehindCursorMatchesHeap(t *testing.T) {
+	w := newTimingWheel()
+	h := &heapSched{}
+	both := func(ev event) { w.schedule(ev); h.schedule(ev) }
+	// A lone far-future event, drained: the Env would have dropped it as a
+	// stale timer, leaving the cursor at 1010 while the clock stayed behind.
+	both(event{at: 1010, seq: 1, fn: func() {}})
+	drain(w, maxTime)
+	drain(h, maxTime)
+	// Fresh events behind the cursor, out of order, plus one at the cursor
+	// and one beyond it.
+	both(event{at: 20, seq: 2, fn: func() {}})
+	both(event{at: 15, seq: 3, fn: func() {}})
+	both(event{at: 15, seq: 4, fn: func() {}})
+	both(event{at: 1010, seq: 5, fn: func() {}})
+	both(event{at: 4000, seq: 6, fn: func() {}})
+	check := func(until Time, want [][2]uint64) {
+		t.Helper()
+		wGot := drain(w, until)
+		hGot := drain(h, until)
+		if len(wGot) != len(want) || len(hGot) != len(want) {
+			t.Fatalf("drain(%d): wheel %v heap %v, want %v", until, wGot, hGot, want)
+		}
+		for i := range want {
+			if wGot[i] != want[i] || hGot[i] != want[i] {
+				t.Fatalf("drain(%d): wheel %v heap %v, want %v", until, wGot, hGot, want)
+			}
+		}
+	}
+	check(20, [][2]uint64{{15, 3}, {15, 4}, {20, 2}})
+	check(maxTime, [][2]uint64{{1010, 5}, {4000, 6}})
+	if w.pending() != 0 || h.pending() != 0 {
+		t.Fatalf("pending after full drain: wheel %d heap %d", w.pending(), h.pending())
+	}
+}
+
 // TestHeapSchedulerShim verifies the retained heap implementation still
 // drives an Env end to end.
 func TestHeapSchedulerShim(t *testing.T) {
