@@ -1,0 +1,339 @@
+package chaos
+
+// Shard-failover chaos: crash a shard primary mid-run — including mid-2PC —
+// while tokened KV writers and a cross-shard transfer coordinator keep
+// driving the deployment, then hold the sharded store to the same four
+// invariants the transport-level matrix enforces:
+//
+//  1. At-most-once execution: no put token is fresh-applied by the client
+//     path ("exec") more than once, across retries and promotion.
+//  2. Acknowledged work durable: every acked put was applied at least once
+//     (exec on the primary or repl on the promoted backup).
+//  3. Integrity: every value a read delivers is the deterministic fill of
+//     some put the workload actually attempted — nothing invented, nothing
+//     corrupted.
+//  4. Liveness: every client (KV writers and the transfer coordinator)
+//     drains its budget before the hard stop.
+//
+// One seed derives the crash schedule, the cluster RNG and the workload, so
+// the same ShardConfig produces a byte-identical ShardResult.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"scalerpc/internal/cluster"
+	"scalerpc/internal/faults"
+	"scalerpc/internal/host"
+	"scalerpc/internal/mica"
+	"scalerpc/internal/shard"
+	"scalerpc/internal/sim"
+	"scalerpc/internal/txn"
+)
+
+// chaosShardStore sizes the per-partition stores for chaos runs: small but
+// roomy enough that inserts never evict.
+func chaosShardStore() mica.Config {
+	return mica.Config{Buckets: 1 << 10, Items: 1 << 12, SlotSize: 128}
+}
+
+// ShardConfig selects one seeded shard-failover run. Seed is required;
+// everything else defaults.
+type ShardConfig struct {
+	Seed uint64 `json:"seed"`
+	// Clients is the number of tokened KV writers (default 4).
+	Clients int `json:"clients,omitempty"`
+	// Ops is the put/get pairs per KV client (default 40).
+	Ops int `json:"ops,omitempty"`
+	// Transfers is the cross-shard 2PC transfer budget (default 30).
+	Transfers int `json:"transfers,omitempty"`
+	// Partitions in the shard map (default 8).
+	Partitions int `json:"partitions,omitempty"`
+	// Budget is the hard stop (default 60 ms of virtual time).
+	Budget sim.Duration `json:"budget_ns,omitempty"`
+}
+
+// ShardResult is one run's outcome. Same ShardConfig ⇒ byte-identical JSON.
+type ShardResult struct {
+	Seed       uint64 `json:"seed"`
+	Clients    int    `json:"clients"`
+	Ops        int    `json:"ops"`
+	Transfers  int    `json:"transfers"`
+	Partitions int    `json:"partitions"`
+	CrashHost  int    `json:"crash_host"`
+	CrashAtNs  int64  `json:"crash_at_ns"`
+
+	Acked       uint64 `json:"acked"`
+	PutFailures uint64 `json:"put_failures"`
+	Gets        uint64 `json:"gets"`
+	GetMisses   uint64 `json:"get_misses"`
+	ExecApplies uint64 `json:"exec_applies"`
+	ReplApplies uint64 `json:"repl_applies"`
+
+	TxnCommits uint64 `json:"txn_commits"`
+	TxnAborts  uint64 `json:"txn_aborts"`
+
+	Failovers  uint64 `json:"failovers"`
+	FinalEpoch uint32 `json:"final_epoch"`
+	Routed     uint64 `json:"routed"`
+	Redirects  uint64 `json:"redirects"`
+	DedupHits  uint64 `json:"dedup_hits"`
+
+	StuckClients int      `json:"stuck_clients"`
+	Violations   []string `json:"violations,omitempty"`
+	ElapsedNs    int64    `json:"elapsed_ns"`
+}
+
+// Pass reports whether every invariant held.
+func (r *ShardResult) Pass() bool { return len(r.Violations) == 0 }
+
+// shardKVRun tracks one KV writer's progress.
+type shardKVRun struct {
+	acked     []uint64 // tokens acked, in completion order
+	putFails  uint64
+	gets      uint64
+	misses    uint64
+	badValues []string // delivered values matching no attempted put
+	done      bool
+}
+
+// shardKey gives client c's k-th key: distinct per writer so the integrity
+// check can compare against that writer's own attempted values.
+func shardKey(c, k int) []byte {
+	key := make([]byte, 8)
+	binary.LittleEndian.PutUint64(key, uint64(c)<<16|uint64(k))
+	return key
+}
+
+// shardValue is the deterministic fill for client c's seq-th put.
+func shardValue(c, seq int) []byte {
+	return []byte(fmt.Sprintf("c%02d-s%06d", c, seq))
+}
+
+// RunShard executes one seeded shard-failover schedule.
+func RunShard(cfg ShardConfig) (*ShardResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 40
+	}
+	if cfg.Transfers <= 0 {
+		cfg.Transfers = 30
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 8
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 60 * sim.Millisecond
+	}
+
+	// Topology: shard hosts 0-3, director 4, clients 5-6.
+	ccfg := cluster.Default(7)
+	ccfg.Seed = cfg.Seed + 1
+	c := cluster.New(ccfg)
+	defer c.Close()
+
+	dcfg := shard.DefaultDeployConfig(cfg.Partitions, []int{0, 1, 2, 3}, 4,
+		chaosShardStore())
+	d := shard.Deploy(c, dcfg)
+
+	// Crash partition 0's primary at a seeded point inside the workload
+	// window — mid-run, so in-flight puts and 2PC rounds straddle it.
+	crashHost := d.Map.Primary[0]
+	crashAt := int64(2*sim.Millisecond) + int64(cfg.Seed%8)*int64(250*sim.Microsecond)
+	c.InstallFaults(&faults.Scenario{
+		Name: "shard-crash", Seed: cfg.Seed,
+		Crashes: []faults.Crash{{Node: crashHost, At: crashAt}},
+	})
+
+	// Fresh-apply accounting for invariants 1 and 2: every node reports
+	// exec (client-path) and repl (backup-path) applies per token.
+	execs := make(map[uint64]uint32)
+	repls := make(map[uint64]uint32)
+	for _, n := range d.Nodes {
+		n.ApplyHook = func(token uint64, kind string) {
+			if kind == "exec" {
+				execs[token]++
+			} else {
+				repls[token]++
+			}
+		}
+	}
+
+	rcfg := shard.DefaultRouterConfig()
+	rcfg.Opts.Timeout = 500 * sim.Microsecond
+	rcfg.Opts.MaxRetries = 25
+
+	// Transfer accounts, preloaded on primaries and backups.
+	const accounts = 64
+	acct := func(i int) []byte { return []byte(fmt.Sprintf("xfer%04d", i)) }
+	money := func(v int64) []byte {
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, uint64(v))
+		return b
+	}
+	for i := 0; i < accounts; i++ {
+		if err := d.LoadKV(acct(i), money(1000)); err != nil {
+			return nil, err
+		}
+	}
+
+	hardStop := c.Env.Now() + sim.Time(cfg.Budget)
+	runs := make([]*shardKVRun, cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		cr := &shardKVRun{}
+		runs[i] = cr
+		ch := c.Hosts[5+i%2]
+		ch.Spawn("shard-chaos-kv", func(th *host.Thread) {
+			r := d.NewRouter(ch, rcfg)
+			kv := r.KVClient(uint16(i + 1))
+			attempted := make(map[string]bool)
+			for s := 0; s < cfg.Ops && th.P.Now() < hardStop; s++ {
+				k := shardKey(i, s%8)
+				val := shardValue(i, s)
+				attempted[string(val)] = true
+				if tok, ok := kv.Put(th, k, val); ok {
+					cr.acked = append(cr.acked, tok)
+				} else {
+					cr.putFails++
+				}
+				if got, found, ok := kv.Get(th, k); ok {
+					cr.gets++
+					if !found {
+						cr.misses++
+					} else if !attempted[string(got)] {
+						cr.badValues = append(cr.badValues, string(got))
+					}
+				}
+				// Pace the workload so ops straddle the crash window and
+				// the failover happens under live traffic.
+				th.P.Sleep(120 * sim.Microsecond)
+			}
+			cr.done = true
+		})
+	}
+
+	// Cross-shard 2PC disturbance: transfers keep running through the
+	// crash, so prepares and commits are in flight when the primary dies.
+	var commits, aborts uint64
+	txnDone := false
+	c.Hosts[6].Spawn("shard-chaos-txn", func(th *host.Thread) {
+		r := d.NewRouter(c.Hosts[6], rcfg)
+		co := d.NewCoordinator(r, 99)
+		for i := 0; i < cfg.Transfers && th.P.Now() < hardStop; i++ {
+			from, to := acct(i%accounts), acct((i*11+5)%accounts)
+			if string(from) == string(to) {
+				continue
+			}
+			tx := &txn.Txn{
+				Writes: [][]byte{from, to},
+				Apply: func(rv, wv [][]byte) [][]byte {
+					a := int64(binary.LittleEndian.Uint64(wv[0]))
+					b := int64(binary.LittleEndian.Uint64(wv[1]))
+					return [][]byte{money(a - 1), money(b + 1)}
+				},
+			}
+			for th.P.Now() < hardStop {
+				err := co.Run(th, tx)
+				if err == nil {
+					commits++
+					break
+				}
+				aborts++
+				if err != txn.ErrAborted {
+					break
+				}
+				th.P.Sleep(20 * sim.Microsecond)
+			}
+			th.P.Sleep(120 * sim.Microsecond)
+		}
+		txnDone = true
+	})
+
+	allDone := func() bool {
+		if !txnDone {
+			return false
+		}
+		for _, cr := range runs {
+			if !cr.done {
+				return false
+			}
+		}
+		return true
+	}
+	for !allDone() && c.Env.Now() < hardStop {
+		c.Env.RunUntil(c.Env.Now() + 200*sim.Microsecond)
+	}
+	// Run past crash detection even if the workload drained early, so the
+	// failover (and its event log) is always part of the result, then let
+	// in-flight completions settle.
+	if settle := sim.Time(crashAt) + sim.Time(3*sim.Millisecond); c.Env.Now() < settle {
+		c.Env.RunUntil(settle)
+	}
+	c.Env.RunUntil(c.Env.Now() + sim.Time(sim.Millisecond))
+
+	res := &ShardResult{
+		Seed: cfg.Seed, Clients: cfg.Clients, Ops: cfg.Ops,
+		Transfers: cfg.Transfers, Partitions: cfg.Partitions,
+		CrashHost: crashHost, CrashAtNs: crashAt,
+		TxnCommits: commits, TxnAborts: aborts,
+		Failovers: d.Stats.Failovers, FinalEpoch: d.LiveMap().Epoch,
+		Routed: d.Stats.Routed, Redirects: d.Stats.Redirects,
+		DedupHits: d.Stats.DedupHits,
+		ElapsedNs: int64(c.Env.Now()),
+	}
+	violate := func(format string, args ...interface{}) {
+		if len(res.Violations) < 16 {
+			res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+		}
+	}
+
+	// Invariant 1: at-most-once fresh client-path application.
+	toks := make([]uint64, 0, len(execs))
+	for tok := range execs {
+		toks = append(toks, tok)
+	}
+	sort.Slice(toks, func(i, j int) bool { return toks[i] < toks[j] })
+	for _, tok := range toks {
+		res.ExecApplies += uint64(execs[tok])
+		if execs[tok] > 1 {
+			violate("token %#x exec-applied %d times", tok, execs[tok])
+		}
+	}
+	for _, n := range repls {
+		res.ReplApplies += uint64(n)
+	}
+
+	for i, cr := range runs {
+		res.Acked += uint64(len(cr.acked))
+		res.PutFailures += cr.putFails
+		res.Gets += cr.gets
+		res.GetMisses += cr.misses
+		// Invariant 2: acked ⇒ applied somewhere.
+		for _, tok := range cr.acked {
+			if execs[tok] == 0 && repls[tok] == 0 {
+				violate("token %#x acked but never applied", tok)
+			}
+		}
+		// Invariant 3: delivered values are attempted fills.
+		for _, v := range cr.badValues {
+			violate("client %d read value %q matching no attempted put", i, v)
+		}
+		// Invariant 4: liveness.
+		if !cr.done {
+			res.StuckClients++
+			violate("kv client %d stuck within the budget", i)
+		}
+	}
+	if !txnDone {
+		res.StuckClients++
+		violate("transfer coordinator stuck within the budget")
+	}
+	if res.Failovers == 0 {
+		violate("crash at %d ns never produced a failover", crashAt)
+	}
+	return res, nil
+}

@@ -311,6 +311,15 @@ func (m *Manager) RegisterService(name string, svc Service) { m.services[name] =
 // Host returns the manager's host.
 func (m *Manager) Host() *host.Host { return m.h }
 
+// PeerLease reports when the last keepalive (or handshake) from peer was
+// observed, and whether one has been observed at all. Failure detectors
+// above the control plane (e.g. the shard director) compare the age against
+// Config.LeaseTTL instead of running their own heartbeat protocol.
+func (m *Manager) PeerLease(peer int) (sim.Time, bool) {
+	at, ok := m.leases[peer]
+	return at, ok
+}
+
 // Start launches the manager thread (handshake serving + sweeps).
 func (m *Manager) Start() {
 	if m.started {

@@ -1,0 +1,440 @@
+package shard
+
+import (
+	"encoding/binary"
+
+	"scalerpc/internal/ctrlplane"
+	"scalerpc/internal/host"
+	"scalerpc/internal/mica"
+	"scalerpc/internal/nic"
+	"scalerpc/internal/rpccore"
+	"scalerpc/internal/sim"
+	"scalerpc/internal/txn"
+)
+
+// handlerTab captures a participant's handlers without a real server: it
+// implements rpccore.Server so txn.Participant.RegisterHandlers lands in a
+// plain dispatch table the node indexes per partition.
+type handlerTab map[uint8]rpccore.Handler
+
+func (h handlerTab) Register(id uint8, fn rpccore.Handler) { h[id] = fn }
+func (h handlerTab) Start()                                {}
+
+// NodeConfig shapes one shard server.
+type NodeConfig struct {
+	// StoreCfg sizes each partition's MICA store.
+	StoreCfg mica.Config
+	// ReplTimeout bounds one synchronous primary→backup forward; past it
+	// the primary answers the client RRetry (puts) or proceeds without the
+	// backup (2PC commits, which are already decided).
+	ReplTimeout sim.Duration
+	// ReplOpts are the exactly-once caller knobs on the replication link.
+	ReplOpts rpccore.CallOpts
+}
+
+// DefaultNodeConfig returns replication timing that resolves well under
+// the default fault schedules: a forward retries twice inside a 200 µs
+// envelope.
+func DefaultNodeConfig(store mica.Config) NodeConfig {
+	return NodeConfig{
+		StoreCfg:    store,
+		ReplTimeout: 200 * sim.Microsecond,
+		ReplOpts: rpccore.CallOpts{
+			Timeout:       60 * sim.Microsecond,
+			RetryInterval: 25 * sim.Microsecond,
+			MaxRetries:    2,
+		},
+	}
+}
+
+type txnTok struct {
+	id   uint64
+	part int
+}
+
+// Node is one shard server: MICA partitions with their ScaleTX
+// participants (primary or backup role per the installed map), the routed
+// request handler for its ScaleRPC server, and the replication handler for
+// its dedicated raw-write replication server. Primaries forward every
+// write synchronously to the partition's backup before applying, so the
+// backup always holds a token before the client can see its ack — the
+// property that keeps the exactly-once invariants across a failover.
+type Node struct {
+	HostID int
+	Host   *host.Host
+
+	cfg   NodeConfig
+	stats *Stats
+	cur   *Map
+
+	parts map[int]*txn.Participant
+	tabs  map[int]handlerTab
+
+	// appliedKV caches replies by put token; appliedTxn records applied
+	// 2PC commits by (txnID, partition). Both are fed by the client path
+	// on the primary and the replication path on the backup, which is
+	// what lets a promoted backup dedup a retried request it only ever
+	// saw as a replica.
+	appliedKV  map[uint64][]byte
+	appliedTxn map[txnTok]bool
+
+	links   map[int]*replLink
+	replSig *sim.Signal
+
+	// ApplyHook observes fresh write applies for invariant accounting:
+	// kind is "exec" on the primary client path, "repl" on the backup
+	// replication path.
+	ApplyHook func(token uint64, kind string)
+
+	pushHandle uint64
+}
+
+// NewNode builds a node serving its slice of m on host h.
+func NewNode(h *host.Host, m *Map, cfg NodeConfig) *Node {
+	n := &Node{
+		HostID:     h.ID,
+		Host:       h,
+		cfg:        cfg,
+		stats:      SharedStats(h.Tel.Registry()),
+		cur:        m.Clone(),
+		parts:      make(map[int]*txn.Participant),
+		tabs:       make(map[int]handlerTab),
+		appliedKV:  make(map[uint64][]byte),
+		appliedTxn: make(map[txnTok]bool),
+		links:      make(map[int]*replLink),
+		replSig:    sim.NewSignal(h.Env),
+	}
+	prim, back := n.cur.HostPartitions(n.HostID)
+	for _, p := range append(append([]int(nil), prim...), back...) {
+		n.ensurePart(p)
+	}
+	return n
+}
+
+// Epoch returns the installed map epoch.
+func (n *Node) Epoch() uint32 { return n.cur.Epoch }
+
+// Map returns the installed map (read-only).
+func (n *Node) Map() *Map { return n.cur }
+
+// Store returns the partition's store, creating it if the node was just
+// assigned the partition (deploy-time loading and replica audits).
+func (n *Node) Store(part int) *mica.Store {
+	n.ensurePart(part)
+	return n.parts[part].Store
+}
+
+func (n *Node) ensurePart(p int) {
+	if n.parts[p] != nil {
+		return
+	}
+	part := txn.NewParticipant(n.Host, n.cfg.StoreCfg)
+	tab := handlerTab{}
+	part.RegisterHandlers(tab)
+	n.parts[p] = part
+	n.tabs[p] = tab
+}
+
+// applyMap installs a newer map version, creating stores for any
+// partitions the node just picked up (they start empty: a drafted backup
+// only catches writes from its promotion onward).
+func (n *Node) applyMap(m *Map) {
+	if m.Epoch <= n.cur.Epoch {
+		return
+	}
+	n.cur = m.Clone()
+	prim, back := n.cur.HostPartitions(n.HostID)
+	for _, p := range append(append([]int(nil), prim...), back...) {
+		n.ensurePart(p)
+	}
+	n.stats.MapPushes++
+}
+
+// AddReplLink wires the outbound replication connection toward peer. conn
+// must terminate at peer's replication server; it is wrapped in the
+// exactly-once caller with the node's ReplOpts.
+func (n *Node) AddReplLink(peer int, conn rpccore.Conn) {
+	n.links[peer] = &replLink{
+		caller:  rpccore.NewCaller(conn, n.cfg.ReplOpts, rpccore.SharedRel(n.Host.Tel.Registry())),
+		sig:     n.replSig,
+		results: make(map[uint64]*replResult),
+	}
+}
+
+// ReplSignal is the activity signal replication connections must be
+// created with, so responses wake blocked forwards.
+func (n *Node) ReplSignal() *sim.Signal { return n.replSig }
+
+// RegisterOn installs the node's planes: the routed envelope handler on
+// the client-facing server and the replication handler on the replication
+// server.
+func (n *Node) RegisterOn(client, repl rpccore.Server) {
+	client.Register(HShard, n.handleShard)
+	repl.Register(HRepl, n.handleRepl)
+}
+
+// InstallPushService registers the "shard.node" control-plane service the
+// director pushes new map versions through.
+func (n *Node) InstallPushService(mgr *ctrlplane.Manager) {
+	mgr.RegisterService(SvcNodePush, nodePushSvc{n})
+}
+
+// StartLease dials the director's lease service once and holds the
+// connection open, so the node's control-plane manager keepalives carry
+// its liveness to the director from then on.
+func (n *Node) StartLease(mgr *ctrlplane.Manager, directorHost int) {
+	n.Host.Spawn("shard-lease", func(t *host.Thread) {
+		for {
+			if _, err := mgr.Dial(t, directorHost, SvcLease, nil); err == nil {
+				return // hold the connection forever; never Close
+			}
+			t.P.Sleep(50 * sim.Microsecond)
+		}
+	})
+}
+
+// handleShard serves one routed request on the client-facing plane.
+func (n *Node) handleShard(t *host.Thread, clientID uint16, req, out []byte) int {
+	epoch, part, inner, body, err := DecodeEnv(req)
+	if err != nil || part < 0 || part >= n.cur.Partitions {
+		out[0] = RRetry
+		return 1
+	}
+	if epoch != n.cur.Epoch {
+		n.stats.EpochMismatches++
+		out[0] = RStale
+		binary.LittleEndian.PutUint32(out[1:], n.cur.Epoch)
+		return 5
+	}
+	if n.cur.Primary[part] != n.HostID {
+		out[0] = RWrongShard
+		binary.LittleEndian.PutUint32(out[1:], n.cur.Epoch)
+		binary.LittleEndian.PutUint16(out[5:], uint16(n.cur.Primary[part]))
+		return 7
+	}
+
+	switch inner {
+	case HKVGet:
+		it, err := n.parts[part].Store.Get(t, body)
+		out[0] = ROK
+		if err != nil {
+			out[1] = 0
+			return 2
+		}
+		out[1] = 1
+		return 2 + copy(out[2:], it.Value)
+
+	case HKVPut:
+		token, key, value, err := DecodeKVPut(body)
+		if err != nil {
+			out[0] = RRetry
+			return 1
+		}
+		if rep, ok := n.appliedKV[token]; ok {
+			n.stats.DedupHits++
+			return copy(out, rep)
+		}
+		kvs := []txn.KV{{Key: key, Value: value}}
+		if !n.replicate(t, part, ReplKV, token, kvs) {
+			out[0] = RRetry
+			return 1
+		}
+		if _, err := n.parts[part].Store.Put(t, key, value); err != nil {
+			out[0] = RRetry
+			return 1
+		}
+		if n.ApplyHook != nil {
+			n.ApplyHook(token, "exec")
+		}
+		n.appliedKV[token] = []byte{ROK}
+		out[0] = ROK
+		return 1
+
+	case txn.HCommit:
+		txnID, kvs, err := txn.DecodeWriteReq(body)
+		if err != nil {
+			out[0] = RRetry
+			return 1
+		}
+		key := txnTok{txnID, part}
+		if n.appliedTxn[key] {
+			n.stats.DedupHits++
+			out[0], out[1] = ROK, 1
+			return 2
+		}
+		// The commit is already decided (logged everywhere), so a backup
+		// that cannot be reached must not block it: forward best-effort
+		// and apply regardless.
+		n.replicate(t, part, ReplTxn, txnID, kvs)
+		m := n.tabs[part][txn.HCommit](t, clientID, body, out[1:])
+		n.appliedTxn[key] = true
+		out[0] = ROK
+		return 1 + m
+
+	default:
+		fn := n.tabs[part][inner]
+		if fn == nil {
+			out[0] = RRetry
+			return 1
+		}
+		m := fn(t, clientID, body, out[1:])
+		out[0] = ROK
+		return 1 + m
+	}
+}
+
+// replicate synchronously forwards one write set to the partition's
+// backup. True means the backup holds it (or there is no backup to hold
+// it); false means the forward could not be confirmed in time.
+func (n *Node) replicate(t *host.Thread, part int, kind uint8, token uint64, kvs []txn.KV) bool {
+	b := n.cur.Backup[part]
+	if b == NoHost {
+		return true
+	}
+	link := n.links[b]
+	if link == nil {
+		return true // deployed without a replication mesh
+	}
+	size := 7 + 16
+	for _, kv := range kvs {
+		size += 3 + len(kv.Key) + len(kv.Value)
+	}
+	buf := make([]byte, size)
+	m := EncodeRepl(buf, n.cur.Epoch, part, kind, token, kvs)
+	start := t.P.Now()
+	n.stats.ReplForwards++
+	status, ok := link.call(t, buf[:m], n.cfg.ReplTimeout)
+	if !ok || status != ROK {
+		n.stats.ReplFailures++
+		return false
+	}
+	n.stats.ObserveReplLag(uint64(t.P.Now() - start))
+	return true
+}
+
+// handleRepl applies one forwarded write set on the backup role's plane.
+func (n *Node) handleRepl(t *host.Thread, clientID uint16, req, out []byte) int {
+	epoch, part, kind, token, kvs, err := DecodeRepl(req)
+	if err != nil {
+		out[0] = RRetry
+		return 1
+	}
+	// Fence stale primaries: a forward stamped below our epoch comes from
+	// a node that lost its partition in a failover we already installed.
+	if epoch < n.cur.Epoch {
+		out[0] = RStale
+		return 1
+	}
+	n.ensurePart(part)
+	switch kind {
+	case ReplTxn:
+		key := txnTok{token, part}
+		if n.appliedTxn[key] {
+			out[0] = ROK
+			return 1
+		}
+		for _, kv := range kvs {
+			n.parts[part].Store.Put(t, kv.Key, kv.Value)
+		}
+		n.appliedTxn[key] = true
+	default: // ReplKV
+		if _, ok := n.appliedKV[token]; ok {
+			out[0] = ROK
+			return 1
+		}
+		for _, kv := range kvs {
+			n.parts[part].Store.Put(t, kv.Key, kv.Value)
+		}
+		if n.ApplyHook != nil {
+			n.ApplyHook(token, "repl")
+		}
+		n.appliedKV[token] = []byte{ROK}
+	}
+	out[0] = ROK
+	return 1
+}
+
+// replResult is one forward's completion state.
+type replResult struct {
+	done   bool
+	err    bool
+	status uint8
+}
+
+// replLink is one node→peer replication connection: an exactly-once
+// caller over the raw-write plane, shared by every handler thread on the
+// node (each call matches its own request id out of the demux table).
+type replLink struct {
+	caller  *rpccore.Caller
+	sig     *sim.Signal
+	nextReq uint64
+	results map[uint64]*replResult
+}
+
+// call sends one replication record and blocks until its ack, a caller
+// timeout, or the outer deadline.
+func (l *replLink) call(t *host.Thread, payload []byte, timeout sim.Duration) (uint8, bool) {
+	l.nextReq++
+	reqID := l.nextReq
+	res := &replResult{}
+	l.results[reqID] = res
+	deadline := t.P.Now() + timeout
+	posted := false
+	for {
+		if !posted {
+			posted = l.caller.TrySend(t, HRepl, payload, reqID)
+		}
+		l.poll(t)
+		if res.done {
+			delete(l.results, reqID)
+			if res.err {
+				return 0, false
+			}
+			return res.status, true
+		}
+		if t.P.Now() >= deadline {
+			delete(l.results, reqID)
+			return 0, false
+		}
+		wait := deadline - t.P.Now()
+		if wait > 5*sim.Microsecond {
+			wait = 5 * sim.Microsecond
+		}
+		t.WaitSignal(l.sig, wait)
+	}
+}
+
+func (l *replLink) poll(t *host.Thread) {
+	l.caller.Poll(t, func(r rpccore.Response) {
+		res := l.results[r.ReqID]
+		if res == nil || res.done {
+			return
+		}
+		res.done = true
+		if r.Err || r.TimedOut || len(r.Payload) < 1 {
+			res.err = true
+			return
+		}
+		res.status = r.Payload[0]
+	})
+}
+
+// nodePushSvc receives map versions the director pushes.
+type nodePushSvc struct{ n *Node }
+
+func (s nodePushSvc) Accept(t *host.Thread, peer int, qp *nic.QP, payload []byte) ([]byte, uint64, error) {
+	if m, err := DecodeMap(payload); err == nil {
+		s.n.applyMap(m)
+	}
+	s.n.pushHandle++
+	return nil, s.n.pushHandle, nil
+}
+
+func (s nodePushSvc) Resume(t *host.Thread, peer int, qp *nic.QP, payload []byte, handle uint64) ([]byte, uint64, error) {
+	if m, err := DecodeMap(payload); err == nil {
+		s.n.applyMap(m)
+	}
+	return nil, handle, nil
+}
+
+func (s nodePushSvc) Closed(peer int, handle uint64, reason ctrlplane.CloseReason) {}

@@ -1,0 +1,66 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"scalerpc/internal/cluster"
+	"scalerpc/internal/faults"
+	"scalerpc/internal/host"
+	"scalerpc/internal/sim"
+)
+
+// TestShardTelemetryDeterministic extends the repo's determinism invariant
+// to the shard scope: two identical seeded failover runs must produce
+// byte-identical telemetry JSON, and the dump must carry every shard.*
+// counter the subsystem promises (mirroring the rpc.* assertions in
+// internal/bench).
+func TestShardTelemetryDeterministic(t *testing.T) {
+	run := func() []byte {
+		ccfg := cluster.Default(7)
+		ccfg.Seed = 9
+		c := cluster.New(ccfg)
+		defer c.Close()
+		cfg := DefaultDeployConfig(8, []int{0, 1, 2, 3}, 4, testStoreCfg())
+		d := Deploy(c, cfg)
+		dead := d.Map.Primary[0]
+		c.InstallFaults(&faults.Scenario{
+			Name: "shard-telemetry", Seed: 9,
+			Crashes: []faults.Crash{{Node: dead, At: int64(2 * sim.Millisecond)}},
+		})
+
+		rcfg := DefaultRouterConfig()
+		rcfg.Opts.Timeout = 500 * sim.Microsecond
+		rcfg.Opts.MaxRetries = 20
+		ch := c.Hosts[5]
+		ch.Spawn("client", func(th *host.Thread) {
+			r := d.NewRouter(ch, rcfg)
+			kv := r.KVClient(1)
+			for s := 0; th.P.Now() < 6*sim.Millisecond; s++ {
+				k := key8(uint64(s % 16))
+				kv.Put(th, k, []byte(fmt.Sprintf("v%06d", s)))
+				kv.Get(th, k)
+				th.P.Sleep(60 * sim.Microsecond)
+			}
+		})
+		c.Env.RunUntil(10 * sim.Millisecond)
+		return c.Telemetry.JSON()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical seeded shard runs produced different telemetry JSON")
+	}
+	dump := string(a)
+	for _, name := range []string{
+		"shard.routed", "shard.redirects", "shard.epoch_mismatches",
+		"shard.map_fetches", "shard.map_pushes", "shard.failovers",
+		"shard.repl_forwards", "shard.repl_failures", "shard.dedup_hits",
+		"shard.coalesced", "shard.timeouts", "shard.repl_lag_ns",
+	} {
+		if !strings.Contains(dump, name) {
+			t.Fatalf("dump missing %q", name)
+		}
+	}
+}

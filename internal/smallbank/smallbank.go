@@ -67,12 +67,16 @@ func money(v int64) []byte {
 
 func amount(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }
 
-// Load inserts all account rows into their owning participants.
-func Load(parts []*txn.Participant, cfg Config) error {
+// Amount decodes a row value to its balance (for TotalBalanceWith callers).
+func Amount(b []byte) int64 { return amount(b) }
+
+// LoadWith inserts all account rows through put — the caller decides
+// placement (and replication: a sharded deployment's put writes both the
+// primary and the backup replica).
+func LoadWith(cfg Config, put func(key, value []byte) error) error {
 	for a := 0; a < cfg.Accounts; a++ {
 		for _, k := range [][]byte{SavingsKey(a), CheckingKey(a)} {
-			p := parts[txn.ShardKey(k, len(parts))]
-			if _, err := p.Store.Put(nil, k, money(cfg.InitialBalance)); err != nil {
+			if err := put(k, money(cfg.InitialBalance)); err != nil {
 				return fmt.Errorf("smallbank: load account %d: %w", a, err)
 			}
 		}
@@ -80,21 +84,38 @@ func Load(parts []*txn.Participant, cfg Config) error {
 	return nil
 }
 
-// TotalBalance sums every row (the conservation invariant checked by
-// tests; deposits change it, payments must not).
-func TotalBalance(parts []*txn.Participant, cfg Config) int64 {
+// Load inserts all account rows into their owning participants using the
+// shared ShardKey placement.
+func Load(parts []*txn.Participant, cfg Config) error {
+	return LoadWith(cfg, func(k, v []byte) error {
+		p := parts[txn.ShardKey(k, len(parts))]
+		_, err := p.Store.Put(nil, k, v)
+		return err
+	})
+}
+
+// TotalBalanceWith sums every row through get (the conservation invariant
+// checked by tests; deposits change it, payments must not).
+func TotalBalanceWith(cfg Config, get func(key []byte) int64) int64 {
 	var sum int64
 	for a := 0; a < cfg.Accounts; a++ {
 		for _, k := range [][]byte{SavingsKey(a), CheckingKey(a)} {
-			p := parts[txn.ShardKey(k, len(parts))]
-			it, err := p.Store.Get(nil, k)
-			if err != nil {
-				panic(err)
-			}
-			sum += amount(it.Value)
+			sum += get(k)
 		}
 	}
 	return sum
+}
+
+// TotalBalance sums every row across participants placed by ShardKey.
+func TotalBalance(parts []*txn.Participant, cfg Config) int64 {
+	return TotalBalanceWith(cfg, func(k []byte) int64 {
+		p := parts[txn.ShardKey(k, len(parts))]
+		it, err := p.Store.Get(nil, k)
+		if err != nil {
+			panic(err)
+		}
+		return amount(it.Value)
+	})
 }
 
 // Gen produces SmallBank transactions.

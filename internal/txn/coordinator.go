@@ -65,6 +65,11 @@ type Coordinator struct {
 	OneSided bool
 	Stats    CoordinatorStats
 
+	// Place maps a key to the participant index that owns it. It defaults
+	// to ShardKey over the participant count; a sharded deployment swaps
+	// in its shard-map placement so txn and KV routing agree on ownership.
+	Place func(key []byte) int
+
 	h       *host.Host
 	parts   []*PartRef
 	sig     *sim.Signal
@@ -104,6 +109,30 @@ func NewCoordinator(h *host.Host, id uint64, parts []*Participant, conns []rpcco
 		}
 		ref.qp = cqp
 		c.parts = append(c.parts, ref)
+	}
+	n := len(c.parts)
+	c.Place = func(key []byte) int { return ShardKey(key, n) }
+	return c
+}
+
+// NewRoutedCoordinator wires a coordinator to opaque RPC connections only —
+// no local Participant handles and no one-sided QPs — so it can drive 2PC
+// through a shard router where the participants live behind the wire. place
+// decides which connection owns each key; the coordinator is RPC-only
+// (OneSided must stay false).
+func NewRoutedCoordinator(h *host.Host, id uint64, conns []rpccore.Conn, place func(key []byte) int, sig *sim.Signal) *Coordinator {
+	c := &Coordinator{
+		ID:    id,
+		Place: place,
+		h:     h,
+		sig:   sig,
+	}
+	if c.Place == nil {
+		n := len(conns)
+		c.Place = func(key []byte) int { return ShardKey(key, n) }
+	}
+	for _, conn := range conns {
+		c.parts = append(c.parts, &PartRef{Conn: conn})
 	}
 	return c
 }
@@ -206,12 +235,12 @@ func (c *Coordinator) Run(t *host.Thread, txn *Txn) error {
 		return parts[pi]
 	}
 	for i, k := range txn.Reads {
-		pp := need(ShardKey(k, len(c.parts)))
+		pp := need(c.Place(k))
 		pp.reads = append(pp.reads, k)
 		pp.readIdx = append(pp.readIdx, i)
 	}
 	for i, k := range txn.Writes {
-		pp := need(ShardKey(k, len(c.parts)))
+		pp := need(c.Place(k))
 		pp.writes = append(pp.writes, k)
 		pp.writeIdx = append(pp.writeIdx, i)
 	}
@@ -334,7 +363,7 @@ func (c *Coordinator) Run(t *host.Thread, txn *Txn) error {
 		// One RDMA WRITE per item installs value+version and zeroes the
 		// lock, with no response to wait for (§4.2's key optimization).
 		for gi := range txn.Writes {
-			pi := ShardKey(txn.Writes[gi], len(c.parts))
+			pi := c.Place(txn.Writes[gi])
 			img := c.scratch.Bytes()[4096+gi*256:]
 			n := mica.BuildCommitImage(img, txn.Writes[gi], newVals[gi], writeVers[gi]+1)
 			t.WriteMem(c.scratch.Base+uint64(4096+gi*256), n)
