@@ -23,8 +23,8 @@ import (
 // ServiceName is the control-plane service a RawWrite server registers.
 const ServiceName = "rawrpc"
 
-// Join request payload: respAddr u64 | respRKey u32.
-const joinReqSize = 8 + 4
+// Join request payload: respAddr u64 | respRKey u32 | tenant u16.
+const joinReqSize = 8 + 4 + 2
 
 // Join/resume response payload: id u16 (the zone is the id — static map).
 const joinRespSize = 2
@@ -44,6 +44,21 @@ func (s *Server) BindControlPlane(m *ctrlplane.Manager) {
 
 type ctrlAdapter struct{ s *Server }
 
+// PreAdmit gates a dial before any QP is built. A parked or quarantined
+// identity that still holds its zone charge passes for free: its quota was
+// never released, so readmitting it cannot exceed the tenant's budget.
+func (a *ctrlAdapter) PreAdmit(peer int, service string, payload []byte) error {
+	s := a.s
+	if s.gate == nil || len(payload) != joinReqSize {
+		return nil
+	}
+	if cs := s.findParked(payload); cs != nil && cs.counted {
+		return nil
+	}
+	_, err := s.gate.AdmitConn(binary.LittleEndian.Uint16(payload[12:]), true)
+	return err
+}
+
 // Accept admits a new client on the next static zone (reusing zones of
 // dropped clients). A cold rejoin with the same response region reclaims
 // the still-parked identity.
@@ -52,7 +67,19 @@ func (a *ctrlAdapter) Accept(t *host.Thread, peer int, qp *nic.QP, payload []byt
 	if len(payload) != joinReqSize {
 		return nil, 0, fmt.Errorf("rawrpc: join payload is %d bytes, want %d", len(payload), joinReqSize)
 	}
+	tenant := binary.LittleEndian.Uint16(payload[12:])
 	if cs := s.findParked(payload); cs != nil {
+		// A reclaimed identity keeps its original tenant (and, if parked,
+		// its still-live zone charge); a different tenant presenting an
+		// aliased region must not inherit either.
+		if s.gate != nil && cs.tenant != tenant {
+			return nil, 0, fmt.Errorf("rawrpc: identity owned by another tenant")
+		}
+		if s.gate != nil && !cs.counted {
+			if _, err := s.gate.AdmitConn(cs.tenant, true); err != nil {
+				return nil, 0, err
+			}
+		}
 		cs.parked = false
 		if cs.limbo {
 			cs.limbo = false
@@ -64,7 +91,13 @@ func (a *ctrlAdapter) Accept(t *host.Thread, peer int, qp *nic.QP, payload []byt
 			}
 		}
 		cs.qp = qp
+		s.tenantOpen(cs)
 		return joinResp(cs), uint64(cs.id) + 1, nil
+	}
+	if s.gate != nil {
+		if _, err := s.gate.AdmitConn(tenant, true); err != nil {
+			return nil, 0, err
+		}
 	}
 	id, err := s.allocID()
 	if err != nil {
@@ -76,6 +109,7 @@ func (a *ctrlAdapter) Accept(t *host.Thread, peer int, qp *nic.QP, payload []byt
 		zone:     int(id),
 		respAddr: binary.LittleEndian.Uint64(payload),
 		respRKey: binary.LittleEndian.Uint32(payload[8:]),
+		tenant:   tenant,
 	}
 	if int(id) == len(s.clients) {
 		s.clients = append(s.clients, cs)
@@ -89,6 +123,7 @@ func (a *ctrlAdapter) Accept(t *host.Thread, peer int, qp *nic.QP, payload []byt
 		s.replies.Drop(id)
 		s.clients[id] = cs
 	}
+	s.tenantOpen(cs)
 	return joinResp(cs), uint64(id) + 1, nil
 }
 
@@ -101,6 +136,15 @@ func (a *ctrlAdapter) Resume(t *host.Thread, peer int, qp *nic.QP, payload []byt
 	if cs == nil {
 		return nil, 0, errors.New("rawrpc: no parked client matches the resume payload")
 	}
+	if s.gate != nil && len(payload) == joinReqSize &&
+		cs.tenant != binary.LittleEndian.Uint16(payload[12:]) {
+		return nil, 0, errors.New("rawrpc: identity owned by another tenant")
+	}
+	if s.gate != nil && !cs.counted {
+		if _, err := s.gate.AdmitConn(cs.tenant, true); err != nil {
+			return nil, 0, err
+		}
+	}
 	cs.parked = false
 	if cs.limbo {
 		cs.limbo = false
@@ -112,6 +156,7 @@ func (a *ctrlAdapter) Resume(t *host.Thread, peer int, qp *nic.QP, payload []byt
 		}
 	}
 	cs.qp = qp
+	s.tenantOpen(cs)
 	return joinResp(cs), uint64(cs.id) + 1, nil
 }
 
@@ -135,6 +180,10 @@ func (a *ctrlAdapter) Closed(peer int, handle uint64, reason ctrlplane.CloseReas
 		return
 	}
 	if reason == ctrlplane.CloseLeave {
+		// The zone stays mapped and swept, so its tenant charge stays live
+		// too: a gracefully departed bulk tenant keeps eating its quota,
+		// which is the honest accounting of RawWrite's non-shrinking
+		// footprint.
 		cs.parked = true
 		return
 	}
@@ -150,6 +199,10 @@ func (a *ctrlAdapter) Closed(peer int, handle uint64, reason ctrlplane.CloseReas
 		// resumed elsewhere.
 		return
 	}
+	// The server gave the client up for dead: release the tenant charge so
+	// the quota can readmit it (a resurrected identity is re-charged on its
+	// way back in through Accept/Resume).
+	s.tenantClose(cs)
 	cs.parked = false
 	cs.limbo = true
 	s.limbo = append(s.limbo, cs.id)
@@ -171,6 +224,7 @@ func (s *Server) Forget(id uint16) {
 	if cs == nil || (!cs.parked && !cs.limbo) {
 		return
 	}
+	s.tenantClose(cs)
 	cs.parked = false
 	cs.limbo = true
 	for i, l := range s.limbo {
@@ -231,10 +285,16 @@ func (s *Server) findParked(payload []byte) *clientState {
 	return nil
 }
 
-// Join admits a client through the control plane: register the regions,
-// dial the server's manager, and build a Conn on the dialed QP. t must run
-// on the client host.
+// Join admits a client through the control plane under the default tenant:
+// register the regions, dial the server's manager, and build a Conn on the
+// dialed QP. t must run on the client host.
 func (s *Server) Join(t *host.Thread, dir *ctrlplane.Directory, sig *sim.Signal) (*Conn, error) {
+	return s.JoinTenant(t, dir, sig, 0)
+}
+
+// JoinTenant is Join with explicit tenant attribution: the server's tenant
+// gate (if any) charges the zone to the tenant at admission.
+func (s *Server) JoinTenant(t *host.Thread, dir *ctrlplane.Directory, sig *sim.Signal, tenant uint16) (*Conn, error) {
 	ch := t.Host
 	mgr := dir.Manager(ch.ID)
 	if mgr == nil {
@@ -245,14 +305,15 @@ func (s *Server) Join(t *host.Thread, dir *ctrlplane.Directory, sig *sim.Signal)
 	respReg := ch.Mem.Register(s.Cfg.BlockSize*(s.Cfg.BlocksPerClient+1),
 		memory.PageSize2M, memory.LocalWrite|memory.RemoteWrite)
 	c := &Conn{
-		h:     ch,
-		s:     s,
-		stage: stage,
-		resp:  rpcwire.NewPool(respReg, s.Cfg.BlockSize, s.Cfg.BlocksPerClient+1, 1),
-		sig:   sig,
-		slots: make([]slot, s.Cfg.BlocksPerClient),
-		nfree: s.Cfg.BlocksPerClient,
-		mgr:   mgr,
+		h:          ch,
+		s:          s,
+		stage:      stage,
+		resp:       rpcwire.NewPool(respReg, s.Cfg.BlockSize, s.Cfg.BlocksPerClient+1, 1),
+		sig:        sig,
+		slots:      make([]slot, s.Cfg.BlocksPerClient),
+		nfree:      s.Cfg.BlocksPerClient,
+		mgr:        mgr,
+		joinTenant: tenant,
 	}
 	cp, err := mgr.Dial(t, s.Host.ID, ServiceName, c.joinPayload())
 	if err != nil {
@@ -312,6 +373,7 @@ func (c *Conn) joinPayload() []byte {
 	p := make([]byte, joinReqSize)
 	binary.LittleEndian.PutUint64(p, c.resp.Region.Base)
 	binary.LittleEndian.PutUint32(p[8:], c.resp.Region.RKey)
+	binary.LittleEndian.PutUint16(p[12:], c.joinTenant)
 	return p
 }
 

@@ -71,6 +71,9 @@ type Server struct {
 	// bounded exactly-once reply cache consulted before every handler run.
 	rel     *rpccore.RelStats
 	replies *rpccore.ReplyCache
+
+	// gate, when set, charges every zone to a tenant (tenancy.go).
+	gate TenantGate
 }
 
 // clientState is the server-side view of one connected client.
@@ -88,6 +91,11 @@ type clientState struct {
 	// the id (and with it the reply cache's dedup window) stays reserved
 	// for a crash-recovered client dialing back in with the same regions.
 	limbo bool
+
+	// tenant owns the zone; counted marks the charge as live with the
+	// tenant gate (tenancy.go).
+	tenant  uint16
+	counted bool
 }
 
 // scratchRing is the number of response staging blocks per worker; the
@@ -305,6 +313,8 @@ type Conn struct {
 	mgr  *ctrlplane.Manager
 	cp   *ctrlplane.Conn
 	left bool
+	// joinTenant is stamped into every join payload (membership.go).
+	joinTenant uint16
 }
 
 type slot struct {

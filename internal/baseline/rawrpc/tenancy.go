@@ -1,0 +1,46 @@
+// Tenant gating for the RawWrite baseline. RawWrite has no scheduler to
+// weight, so the only tenant lever is the zone footprint itself: every
+// admitted client consumes one statically mapped zone, and a graceful
+// leave keeps it mapped (the design the paper criticizes), so a tenant's
+// zone quota is charged for the lifetime of the identity, not of the
+// connection. Only an ungraceful quarantine — the server giving the
+// client up for dead — releases the charge.
+package rawrpc
+
+// TenantGate is the subset of the tenant manager's surface the RawWrite
+// server needs. Every RawWrite connection is reported pinned: a static
+// zone is a permanent reservation, exactly what a reserved zone is on the
+// ScaleRPC side. Declared locally so rawrpc does not depend on the tenant
+// package; internal/tenant's Manager satisfies it structurally.
+type TenantGate interface {
+	// AdmitConn decides whether the tenant may take one more zone. nil
+	// admits; ctrlplane.ErrAdmitQueue parks the dial in the admission
+	// queue; any other error rejects. Must be side-effect free (called in
+	// the pre-admission gate, again in Accept/Resume, and on every queue
+	// retry).
+	AdmitConn(tenant uint16, pinned bool) (pinnedGranted bool, err error)
+	ConnOpened(tenant uint16, pinned bool)
+	ConnClosed(tenant uint16, pinned bool)
+}
+
+// SetTenantGate installs the tenant manager. Must be called before
+// clients join; nil (the default) disables tenant gating.
+func (s *Server) SetTenantGate(g TenantGate) { s.gate = g }
+
+// tenantOpen charges the client's zone to its tenant, at most once per
+// charge/release cycle.
+func (s *Server) tenantOpen(cs *clientState) {
+	if s.gate != nil && !cs.counted {
+		cs.counted = true
+		s.gate.ConnOpened(cs.tenant, true)
+	}
+}
+
+// tenantClose releases the zone charge; safe on every teardown path (only
+// the first after a charge counts).
+func (s *Server) tenantClose(cs *clientState) {
+	if s.gate != nil && cs.counted {
+		cs.counted = false
+		s.gate.ConnClosed(cs.tenant, true)
+	}
+}

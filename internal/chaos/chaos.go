@@ -254,7 +254,7 @@ func Run(cfg Config) (*Result, error) {
 		sig := sim.NewSignal(c.Env)
 		conn := rpccore.NewCaller(connect(ch, sig), opts, rel)
 		ch.Spawn("chaos-client", func(th *host.Thread) {
-			driveClient(th, conn, sig, i, cfg.Calls, hardStop, cr)
+			driveClient(th, conn, sig, i, cfg.Calls, hardStop, cr, nil)
 		})
 	}
 
@@ -278,7 +278,10 @@ func Run(cfg Config) (*Result, error) {
 
 // driveClient issues calls sequentially: send token (i, s), poll until the
 // Caller resolves it (response or synthetic timeout), verify the echo.
-func driveClient(th *host.Thread, conn *rpccore.Caller, sig *sim.Signal, idx, calls int, hardStop sim.Time, cr *clientRun) {
+// rec, when non-nil, collects the windowed telemetry (offered at issue,
+// latency and completion at successful resolution) the SLO controller
+// samples in the tenant-shed variant.
+func driveClient(th *host.Thread, conn *rpccore.Caller, sig *sim.Signal, idx, calls int, hardStop sim.Time, cr *clientRun, rec *latRecorder) {
 	payload := make([]byte, payloadLen)
 	expect := make([]byte, payloadLen)
 	for s := 0; s < calls; s++ {
@@ -291,6 +294,10 @@ func driveClient(th *host.Thread, conn *rpccore.Caller, sig *sim.Signal, idx, ca
 				return
 			}
 			th.WaitSignal(sig, 10*sim.Microsecond)
+		}
+		start := th.P.Now()
+		if rec != nil {
+			rec.offered++
 		}
 		resolved := false
 		for !resolved {
@@ -310,6 +317,10 @@ func driveClient(th *host.Thread, conn *rpccore.Caller, sig *sim.Signal, idx, ca
 						cr.mismatch++
 					} else {
 						cr.acked = append(cr.acked, tok)
+						if rec != nil {
+							rec.completed++
+							rec.hist.Record(int64(th.P.Now() - start))
+						}
 					}
 				}
 			})

@@ -1,0 +1,250 @@
+// The tenant-shed chaos variant: drop-class faults run against a server
+// whose scheduler is under a tenant authority while the online SLO
+// controller sheds bulk load mid-run. The four reliability invariants
+// must hold exactly as in the plain matrix — admission shedding, weight
+// shrinking and class demotion may slow tenants down, but they must never
+// lose, duplicate or corrupt acknowledged work.
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scalerpc/internal/cluster"
+	"scalerpc/internal/host"
+	"scalerpc/internal/loadgen"
+	"scalerpc/internal/rpccore"
+	"scalerpc/internal/scalerpc"
+	"scalerpc/internal/sim"
+	"scalerpc/internal/stats"
+	"scalerpc/internal/tenant"
+)
+
+// TenantConfig selects one tenant-shed chaos run. Seed is required.
+type TenantConfig struct {
+	Seed uint64 `json:"seed"`
+	// Clients is the measured latency-tenant population (default 4);
+	// Calls is the per-client budget (default 150).
+	Clients int `json:"clients,omitempty"`
+	Calls   int `json:"calls,omitempty"`
+	// Bulk is the steadily loaded bulk population (default 8); Churn is
+	// the additional bulk fodder the churn process connects and
+	// disconnects throughout the run (default 6), whose reconnects are
+	// what level-3 shedding refuses.
+	Bulk  int `json:"bulk,omitempty"`
+	Churn int `json:"churn,omitempty"`
+	// Budget is the hard stop (default 40 ms of virtual time).
+	Budget sim.Duration `json:"budget_ns,omitempty"`
+}
+
+// TenantOutcome is the run's artifact: the standard invariant Result plus
+// the controller's deterministic action log and shed counters. Same
+// TenantConfig ⇒ byte-identical JSON.
+type TenantOutcome struct {
+	Result *Result `json:"result"`
+	// Actions is the controller's ladder log; a run that never trips has
+	// an empty log (the test asserts the tight SLO does trip).
+	Actions []tenant.Action `json:"actions"`
+	// ShedRejects counts churn reconnects refused while the controller
+	// held the bulk tenant at level 3; QuotaRejects counts refusals by
+	// the tenant's own connection quota at lower levels.
+	ShedRejects  uint64 `json:"shed_rejects"`
+	QuotaRejects uint64 `json:"quota_rejects"`
+	FinalLevel   int    `json:"final_level"`
+	Windows      uint64 `json:"windows"`
+	Violations   uint64 `json:"slo_violations"`
+}
+
+// latRecorder aggregates the measured tenant's telemetry for the
+// controller's sampling window.
+type latRecorder struct {
+	hist      *stats.Histogram
+	offered   uint64
+	completed uint64
+}
+
+// RunTenant executes one seeded tenant-shed schedule.
+func RunTenant(cfg TenantConfig) (*TenantOutcome, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Calls <= 0 {
+		cfg.Calls = 150
+	}
+	if cfg.Bulk <= 0 {
+		cfg.Bulk = 8
+	}
+	if cfg.Churn <= 0 {
+		cfg.Churn = 6
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 40 * sim.Millisecond
+	}
+	scen := GenScenario(ClassDrop, cfg.Seed)
+	if err := scen.Validate(); err != nil {
+		return nil, err
+	}
+
+	ccfg := cluster.Default(3)
+	ccfg.Seed = cfg.Seed + 1
+	c := cluster.New(ccfg)
+	defer c.Close()
+	p := c.InstallFaults(scen)
+	rel := rpccore.SharedRel(c.Telemetry)
+
+	m := tenant.NewManager(c.Telemetry.Scope("qos"))
+	latID := m.Register(tenant.Spec{Name: "lat",
+		Quota: tenant.Quota{MaxConns: cfg.Clients + 2, Weight: 4, Class: tenant.ClassLatency}})
+	bulkID := m.Register(tenant.Spec{Name: "bulk",
+		Quota: tenant.Quota{MaxConns: cfg.Bulk + cfg.Churn + 2, Weight: 1, Class: tenant.ClassBulk}})
+
+	execs := make(map[uint64]uint32)
+	handler := func(t *host.Thread, clientID uint16, req []byte, out []byte) int {
+		t.Work(100)
+		if len(req) >= 8 {
+			execs[binary.LittleEndian.Uint64(req)]++
+		}
+		return copy(out, req)
+	}
+
+	scfg := scalerpc.DefaultServerConfig()
+	scfg.Workers = 4
+	scfg.GroupSize = 8
+	scfg.TimeSlice = 50 * sim.Microsecond
+	scfg.BlocksPerClient = 8
+	scfg.MaxClients = 256
+	s := scalerpc.NewServer(c.Hosts[0], scfg)
+	s.SetTenantAuthority(m)
+	s.Register(1, handler)
+	s.Start()
+
+	hardStop := c.Env.Now() + sim.Time(cfg.Budget)
+	opts := callOpts(ClassDrop)
+
+	// The steadily loaded bulk population: fire-and-forget echo traffic
+	// for the whole run, the noisy neighbor the controller squeezes.
+	for i := 0; i < cfg.Bulk; i++ {
+		i := i
+		ch := c.Hosts[1+i%2]
+		sig := sim.NewSignal(c.Env)
+		bc := s.ConnectTenant(ch, sig, bulkID, false)
+		if bc == nil {
+			return nil, fmt.Errorf("chaos: bulk client %d refused at setup", i)
+		}
+		caller := rpccore.NewCaller(bc, opts, rel)
+		ch.Spawn("tenant-bulk", func(th *host.Thread) {
+			payload := make([]byte, payloadLen)
+			for seq := 0; th.P.Now() < hardStop; seq++ {
+				fillPayload(payload, token(1000+i, seq))
+				if !caller.TrySend(th, 1, payload, uint64(seq)) {
+					caller.Poll(th, func(rpccore.Response) {})
+					th.WaitSignal(sig, 20*sim.Microsecond)
+					continue
+				}
+				resolved := false
+				for !resolved && th.P.Now() < hardStop {
+					caller.Poll(th, func(r rpccore.Response) {
+						if r.ReqID == uint64(seq) {
+							resolved = true
+						}
+					})
+					if !resolved {
+						th.WaitSignal(sig, 20*sim.Microsecond)
+					}
+				}
+			}
+		})
+	}
+
+	// The measured latency tenant's windowed telemetry and the controller
+	// protecting it. The SLO is deliberately tight for a run under
+	// injected loss — retry spikes blow through it, so the ladder must
+	// move (and recover in quiet stretches).
+	rec := &latRecorder{hist: stats.NewHistogram()}
+	slo := loadgen.SLO{Targets: []loadgen.SLOTarget{{Q: 0.99, LimitUs: 30}}, MinCompletion: 0.5}
+	ctlCfg := tenant.ControllerConfig{
+		Interval:     100 * sim.Microsecond,
+		TripWindows:  1,
+		ClearWindows: 4,
+		MinSamples:   4,
+		WeightFactor: 0.25,
+	}
+	ctl := m.NewController(latID, slo, func() (*stats.Histogram, uint64, uint64) {
+		return rec.hist, rec.offered, rec.completed
+	}, ctlCfg)
+	ctl.Start(c.Env)
+
+	// The churn fodder: a seeded process connects and disconnects bulk
+	// identities all run long; while the controller holds level 3 these
+	// reconnects are refused at admission (ShedRejects — refusals below
+	// level 3 are plain quota rejects and counted separately).
+	out := &TenantOutcome{}
+	{
+		sig := sim.NewSignal(c.Env)
+		ids := make([]uint16, 0, cfg.Churn)
+		for i := 0; i < cfg.Churn; i++ {
+			if bc := s.ConnectTenant(c.Hosts[1+i%2], sig, bulkID, false); bc != nil {
+				ids = append(ids, bc.ID())
+			}
+		}
+		rng := stats.NewRNG(cfg.Seed ^ saltChurn ^ 0x7e7e7e7e)
+		c.Env.Spawn("tenant-churn", func(pr *sim.Proc) {
+			for k := 0; pr.Now() < hardStop; k++ {
+				if len(ids) > 0 && rng.Float64() < 0.6 {
+					j := rng.Intn(len(ids))
+					s.Disconnect(ids[j])
+					ids = append(ids[:j], ids[j+1:]...)
+				} else {
+					if bc := s.ConnectTenant(c.Hosts[1+k%2], sig, bulkID, false); bc != nil {
+						ids = append(ids, bc.ID())
+					} else if ctl.Level() >= 3 {
+						out.ShedRejects++
+					} else {
+						out.QuotaRejects++
+					}
+				}
+				pr.Sleep(sim.Duration(80+rng.Intn(80)) * sim.Microsecond)
+			}
+		})
+	}
+
+	runs := make([]*clientRun, cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		cr := &clientRun{}
+		runs[i] = cr
+		ch := c.Hosts[1+i%2]
+		sig := sim.NewSignal(c.Env)
+		lc := s.ConnectTenant(ch, sig, latID, false)
+		if lc == nil {
+			return nil, fmt.Errorf("chaos: latency client %d refused at setup", i)
+		}
+		caller := rpccore.NewCaller(lc, opts, rel)
+		ch.Spawn("tenant-lat", func(th *host.Thread) {
+			driveClient(th, caller, sig, i, cfg.Calls, hardStop, cr, rec)
+		})
+	}
+
+	allDone := func() bool {
+		for _, cr := range runs {
+			if !cr.done {
+				return false
+			}
+		}
+		return true
+	}
+	for !allDone() && c.Env.Now() < hardStop {
+		c.Env.RunUntil(c.Env.Now() + 100*sim.Microsecond)
+	}
+	ctl.Stop()
+	c.Env.RunUntil(c.Env.Now() + sim.Time(sim.Millisecond))
+
+	res := assemble(Config{Class: ClassDrop, Seed: cfg.Seed, Transport: "ScaleRPC",
+		Clients: cfg.Clients, Calls: cfg.Calls}, scen, p, rel, runs, execs, int64(c.Env.Now()))
+	out.Result = res
+	out.Actions = ctl.Actions
+	out.FinalLevel = ctl.Level()
+	out.Windows = ctl.Windows
+	out.Violations = ctl.Violations
+	return out, nil
+}

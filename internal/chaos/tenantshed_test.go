@@ -1,0 +1,47 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestTenantShedInvariants runs the tenant-shed variant across a small
+// seed matrix: the controller must actually move the ladder (the SLO is
+// tight under injected loss) and all four reliability invariants must
+// hold while it sheds mid-run.
+func TestTenantShedInvariants(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		out, err := RunTenant(TenantConfig{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !out.Result.Pass() {
+			t.Errorf("seed %d: invariants violated: %v", seed, out.Result.Violations)
+		}
+		if len(out.Actions) == 0 {
+			t.Errorf("seed %d: controller never moved (windows=%d violations=%d)",
+				seed, out.Windows, out.Violations)
+		}
+	}
+}
+
+// TestTenantShedDeterministic pins byte-determinism: the same seed must
+// produce an identical outcome artifact, controller action log included.
+func TestTenantShedDeterministic(t *testing.T) {
+	a, err := RunTenant(TenantConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTenant(TenantConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("same seed diverged:\n%s\n%s", aj, bj)
+	}
+	if len(a.Actions) == 0 {
+		t.Fatal("run never tripped the controller; determinism check is vacuous")
+	}
+}

@@ -45,20 +45,26 @@ type Config struct {
 
 	DialTimeout sim.Duration // per-attempt handshake reply timeout
 	DialRetries int          // resends before a dial fails
+
+	// AdmitQueueTimeout bounds how long a dial parked by a Gatekeeper's
+	// ErrAdmitQueue may wait for quota; entries still over quota after
+	// this age are rejected. Queued entries are re-examined every sweep.
+	AdmitQueueTimeout sim.Duration
 }
 
 // DefaultConfig returns the standard control-plane timing parameters.
 func DefaultConfig() Config {
 	return Config{
-		RecvDepth:     128,
-		SlotBytes:     256,
-		SweepInterval: 25_000,
-		LeaseInterval: 100_000,
-		LeaseTTL:      400_000,
-		CacheCap:      256,
-		IdleTimeout:   5_000_000,
-		DialTimeout:   200_000,
-		DialRetries:   3,
+		RecvDepth:         128,
+		SlotBytes:         256,
+		SweepInterval:     25_000,
+		LeaseInterval:     100_000,
+		LeaseTTL:          400_000,
+		CacheCap:          256,
+		IdleTimeout:       5_000_000,
+		DialTimeout:       200_000,
+		DialRetries:       3,
+		AdmitQueueTimeout: 400_000,
 	}
 }
 
@@ -114,6 +120,23 @@ type Service interface {
 	// Closed reports a departure. For every reason except CloseLeave the
 	// QP is being destroyed and the handle will not return.
 	Closed(peer int, handle uint64, reason CloseReason)
+}
+
+// ErrAdmitQueue is the sentinel a Gatekeeper returns to park a dial in the
+// manager's admission queue instead of rejecting it outright: the request
+// is retried every sweep until the gate clears, then accepted, or until
+// AdmitQueueTimeout lapses, then rejected.
+var ErrAdmitQueue = errors.New("ctrlplane: admission queued")
+
+// Gatekeeper is an optional extension a Service implements to screen dials
+// before any QP is created: admission control. PreAdmit sees the connect
+// (or resume) request's opaque payload and returns nil to proceed,
+// ErrAdmitQueue (possibly wrapped) to park the dial in the admission
+// queue, or any other error to reject with that reason. PreAdmit must be
+// side-effect free — the manager calls it again on every queue retry, and
+// Accept/Resume still runs afterwards as the authoritative admission.
+type Gatekeeper interface {
+	PreAdmit(peer int, service string, payload []byte) error
 }
 
 // Event is one entry of the manager's connection event log. The log is the
@@ -201,6 +224,16 @@ type Stats struct {
 	CapEvictions  uint64
 	KeepalivesTx  uint64
 	KeepalivesRx  uint64
+	AdmitQueued   uint64 // dials parked by a Gatekeeper
+	AdmitReleased uint64 // parked dials later admitted
+	AdmitTimeouts uint64 // parked dials rejected at AdmitQueueTimeout
+}
+
+// admitEntry is one dial parked in the admission queue (FIFO).
+type admitEntry struct {
+	peer int
+	msg  wireMsg
+	at   sim.Time
 }
 
 const sendRing = 32
@@ -227,6 +260,9 @@ type Manager struct {
 	conns    map[uint32]*serverConn // active inbound, by server QPN
 	dups     map[dupKey]uint32      // connect-request dedup → server QPN
 	srvCache map[uint32]*srvCacheEntry
+
+	admitQueue []admitEntry    // dials parked by a Gatekeeper, FIFO
+	admitKeys  map[dupKey]bool // dedup for queued dials (resends)
 
 	cliActive map[uint32]*Conn // active outbound, by client QPN
 	cliCache  map[cacheKey][]*cliCacheEntry
@@ -266,6 +302,7 @@ func NewManager(h *host.Host, cfg Config, dir *Directory) *Manager {
 		conns:     make(map[uint32]*serverConn),
 		dups:      make(map[dupKey]uint32),
 		srvCache:  make(map[uint32]*srvCacheEntry),
+		admitKeys: make(map[dupKey]bool),
 		cliActive: make(map[uint32]*Conn),
 		cliCache:  make(map[cacheKey][]*cliCacheEntry),
 		leases:    make(map[int]sim.Time),
@@ -296,6 +333,9 @@ func NewManager(h *host.Host, cfg Config, dir *Directory) *Manager {
 	sc.CounterVar("cap_evictions", &m.Stats.CapEvictions)
 	sc.CounterVar("keepalives_tx", &m.Stats.KeepalivesTx)
 	sc.CounterVar("keepalives_rx", &m.Stats.KeepalivesRx)
+	sc.CounterVar("admit_queued", &m.Stats.AdmitQueued)
+	sc.CounterVar("admit_released", &m.Stats.AdmitReleased)
+	sc.CounterVar("admit_timeouts", &m.Stats.AdmitTimeouts)
 	sc.GaugeVar("active", &m.activeGauge)
 	sc.GaugeVar("cached", &m.cachedGauge)
 	m.coldHist = sc.Histogram("setup_cold_ns")
@@ -429,11 +469,29 @@ func (m *Manager) onConnReq(t *host.Thread, peer int, msg *wireMsg) {
 		}
 		return
 	}
+	if m.admitKeys[dk] {
+		return // resend of a dial already parked in the admission queue
+	}
 	svc := m.services[msg.svc]
 	if svc == nil {
 		m.reject(t, peer, msg, "unknown service "+msg.svc)
 		return
 	}
+	if err := m.gateCheck(svc, peer, msg); err != nil {
+		if errors.Is(err, ErrAdmitQueue) {
+			m.enqueueAdmit(t, peer, msg, dk)
+		} else {
+			m.reject(t, peer, msg, err.Error())
+		}
+		return
+	}
+	m.acceptConn(t, peer, msg, svc)
+}
+
+// acceptConn runs the post-gate half of a cold connect: QP setup, service
+// admission, and the accept reply.
+func (m *Manager) acceptConn(t *host.Thread, peer int, msg *wireMsg, svc Service) {
+	dk := dupKey{peer, msg.qpn}
 	scq := m.h.NIC.CreateCQ()
 	sqp := t.CreateQP(nic.RC, scq, scq)
 	psn := m.allocPSN()
@@ -464,6 +522,25 @@ func (m *Manager) onConnReq(t *host.Thread, peer int, msg *wireMsg) {
 // onResume reactivates a parked connection in one round trip: no QP work,
 // just service readmission.
 func (m *Manager) onResume(t *host.Thread, peer int, msg *wireMsg) {
+	if svc := m.services[msg.svc]; svc != nil {
+		dk := dupKey{peer, msg.qpn2}
+		if m.admitKeys[dk] {
+			return // resend of a resume already parked in the admission queue
+		}
+		if err := m.gateCheck(svc, peer, msg); err != nil {
+			if errors.Is(err, ErrAdmitQueue) {
+				m.enqueueAdmit(t, peer, msg, dk)
+			} else {
+				m.reject(t, peer, msg, err.Error())
+			}
+			return
+		}
+	}
+	m.resumeConn(t, peer, msg)
+}
+
+// resumeConn runs the post-gate half of a cached resume.
+func (m *Manager) resumeConn(t *host.Thread, peer int, msg *wireMsg) {
 	ent := m.srvCache[msg.qpn]
 	if ent == nil || ent.peer != peer || ent.svc != msg.svc ||
 		ent.clientQPN != msg.qpn2 || ent.qp.Err() != nil {
@@ -499,6 +576,71 @@ func (m *Manager) reject(t *host.Thread, peer int, msg *wireMsg, reason string) 
 	m.Stats.Rejects++
 	m.event("reject", peer, msg.qpn, 0)
 	m.send(t, peer, &wireMsg{kind: kindReject, reqID: msg.reqID, reason: reason})
+}
+
+// gateCheck consults the service's Gatekeeper, if it has one.
+func (m *Manager) gateCheck(svc Service, peer int, msg *wireMsg) error {
+	if gk, ok := svc.(Gatekeeper); ok {
+		return gk.PreAdmit(peer, msg.svc, msg.payload)
+	}
+	return nil
+}
+
+// enqueueAdmit parks a gated dial in the FIFO admission queue.
+func (m *Manager) enqueueAdmit(t *host.Thread, peer int, msg *wireMsg, dk dupKey) {
+	m.admitKeys[dk] = true
+	m.admitQueue = append(m.admitQueue, admitEntry{peer: peer, msg: *msg, at: t.P.Now()})
+	m.Stats.AdmitQueued++
+	m.event("admit_queue", peer, msg.qpn, 0)
+}
+
+// drainAdmitQueue retries parked dials in FIFO order: each entry's gate is
+// re-checked (an earlier release this pass consumes quota the next entry
+// sees), released entries run the normal accept/resume path, and entries
+// still gated past AdmitQueueTimeout are rejected.
+func (m *Manager) drainAdmitQueue(t *host.Thread) {
+	if len(m.admitQueue) == 0 {
+		return
+	}
+	now := t.P.Now()
+	kept := m.admitQueue[:0]
+	for i := range m.admitQueue {
+		e := m.admitQueue[i]
+		dk := dupKey{e.peer, e.msg.qpn}
+		if e.msg.kind == kindResume {
+			dk = dupKey{e.peer, e.msg.qpn2}
+		}
+		svc := m.services[e.msg.svc]
+		if svc == nil {
+			delete(m.admitKeys, dk)
+			m.reject(t, e.peer, &e.msg, "unknown service "+e.msg.svc)
+			continue
+		}
+		err := m.gateCheck(svc, e.peer, &e.msg)
+		switch {
+		case err == nil:
+			delete(m.admitKeys, dk)
+			m.Stats.AdmitReleased++
+			m.event("admit_release", e.peer, e.msg.qpn, 0)
+			if e.msg.kind == kindResume {
+				m.resumeConn(t, e.peer, &e.msg)
+			} else {
+				m.acceptConn(t, e.peer, &e.msg, svc)
+			}
+		case errors.Is(err, ErrAdmitQueue):
+			if now-e.at > m.cfg.AdmitQueueTimeout {
+				delete(m.admitKeys, dk)
+				m.Stats.AdmitTimeouts++
+				m.reject(t, e.peer, &e.msg, "admission queue timeout")
+			} else {
+				kept = append(kept, e)
+			}
+		default:
+			delete(m.admitKeys, dk)
+			m.reject(t, e.peer, &e.msg, err.Error())
+		}
+	}
+	m.admitQueue = kept
 }
 
 // onDisconnect retires an active inbound connection: a graceful one parks
@@ -647,6 +789,10 @@ func (m *Manager) sweep(t *host.Thread) {
 			m.cliCache[key] = kept
 		}
 	}
+
+	// Admission-queue retries run after expiry/aging so quota freed this
+	// sweep is immediately available to parked dials.
+	m.drainAdmitQueue(t)
 
 	m.activeGauge = float64(len(m.conns) + len(m.cliActive))
 	m.cachedGauge = float64(len(m.srvCache) + m.cliCached)

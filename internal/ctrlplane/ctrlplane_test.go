@@ -1,6 +1,7 @@
 package ctrlplane_test
 
 import (
+	"errors"
 	"testing"
 
 	"scalerpc/internal/cluster"
@@ -237,5 +238,110 @@ func TestIdleTeardownAndCapEviction(t *testing.T) {
 	}
 	if len(svc.Parked) != 0 {
 		t.Fatalf("service still has %d parked handles after teardown", len(svc.Parked))
+	}
+}
+
+// gatedEcho wraps EchoService with a Gatekeeper whose policy the test
+// controls.
+type gatedEcho struct {
+	*ctrlplane.EchoService
+	admit func() error
+}
+
+func (g *gatedEcho) PreAdmit(peer int, svc string, payload []byte) error { return g.admit() }
+
+// TestAdmitQueueReleasesWhenQuotaFrees parks an over-quota dial in the
+// admission queue and checks it is admitted once the first connection
+// leaves — no client-side retry logic involved, the server re-examines the
+// queue on its sweep.
+func TestAdmitQueueReleasesWhenQuotaFrees(t *testing.T) {
+	cfg := ctrlplane.DefaultConfig()
+	c := cluster.New(cluster.Default(3))
+	t.Cleanup(c.Close)
+	dir := ctrlplane.NewDirectory()
+	for _, h := range c.Hosts {
+		ctrlplane.NewManager(h, cfg, dir).Start()
+	}
+	svc := &gatedEcho{EchoService: ctrlplane.NewEchoService()}
+	svc.admit = func() error {
+		if len(svc.Live) >= 1 {
+			return ctrlplane.ErrAdmitQueue
+		}
+		return nil
+	}
+	dir.Manager(0).RegisterService("echo", svc)
+
+	var connA, connB *ctrlplane.Conn
+	var errA, errB error
+	stage := 0
+	c.Hosts[1].Spawn("dialerA", func(th *host.Thread) {
+		connA, errA = dir.Manager(1).Dial(th, 0, "echo", nil)
+		stage = 1
+		// Hold the only slot until well after B has queued, then leave.
+		th.P.Sleep(150_000)
+		connA.Close(th)
+	})
+	c.Hosts[2].Spawn("dialerB", func(th *host.Thread) {
+		for stage == 0 {
+			th.P.Sleep(5_000)
+		}
+		connB, errB = dir.Manager(2).Dial(th, 0, "echo", nil)
+		stage = 2
+	})
+	step(t, c, 5_000_000, func() bool { return stage == 2 })
+	if errA != nil || errB != nil {
+		t.Fatalf("dials failed: A=%v B=%v", errA, errB)
+	}
+	if connB == nil || connB.Cached {
+		t.Fatal("B should hold a cold connection admitted from the queue")
+	}
+	st := dir.Manager(0).Stats
+	if st.AdmitQueued != 1 || st.AdmitReleased != 1 || st.AdmitTimeouts != 0 {
+		t.Fatalf("admission stats = queued %d released %d timeouts %d, want 1/1/0",
+			st.AdmitQueued, st.AdmitReleased, st.AdmitTimeouts)
+	}
+}
+
+// TestAdmitQueueTimeoutRejects keeps the gate closed: the parked dial must
+// be rejected with a reason once AdmitQueueTimeout lapses, and a
+// hard-error gate must reject immediately without queueing.
+func TestAdmitQueueTimeoutRejects(t *testing.T) {
+	cfg := ctrlplane.DefaultConfig()
+	cfg.AdmitQueueTimeout = 50_000
+	c := cluster.New(cluster.Default(2))
+	t.Cleanup(c.Close)
+	dir := ctrlplane.NewDirectory()
+	for _, h := range c.Hosts {
+		ctrlplane.NewManager(h, cfg, dir).Start()
+	}
+	svc := &gatedEcho{EchoService: ctrlplane.NewEchoService()}
+	svc.admit = func() error { return ctrlplane.ErrAdmitQueue }
+	dir.Manager(0).RegisterService("echo", svc)
+
+	var err error
+	done := false
+	c.Hosts[1].Spawn("dialer", func(th *host.Thread) {
+		_, err = dir.Manager(1).Dial(th, 0, "echo", nil)
+		done = true
+	})
+	step(t, c, 5_000_000, func() bool { return done })
+	var rej *ctrlplane.RejectError
+	if !errorsAs(err, &rej) {
+		t.Fatalf("err = %v, want RejectError after queue timeout", err)
+	}
+	if dir.Manager(0).Stats.AdmitTimeouts != 1 {
+		t.Fatalf("AdmitTimeouts = %d, want 1", dir.Manager(0).Stats.AdmitTimeouts)
+	}
+
+	// A hard gate error skips the queue entirely.
+	svc.admit = func() error { return errors.New("tenant quota exceeded") }
+	done = false
+	c.Hosts[1].Spawn("dialer2", func(th *host.Thread) {
+		_, err = dir.Manager(1).Dial(th, 0, "echo", nil)
+		done = true
+	})
+	step(t, c, 5_000_000, func() bool { return done })
+	if !errorsAs(err, &rej) || rej.Reason != "tenant quota exceeded" {
+		t.Fatalf("err = %v, want immediate reject with gate reason", err)
 	}
 }

@@ -154,6 +154,19 @@ func (r *Runner) Start(env *sim.Env) {
 	}
 }
 
+// TenantSample exposes a tenant's live cumulative latency histogram and
+// offered/completed counts so an online controller can evaluate sliding
+// SLO windows (via stats.Histogram.DeltaSince) while the workload runs.
+// The returned histogram is the live object: snapshot it, don't mutate it.
+func (r *Runner) TenantSample(name string) (lat *stats.Histogram, offered, completed uint64, ok bool) {
+	for _, ts := range r.tenants {
+		if ts.spec.Name == name {
+			return ts.lat, ts.offered, ts.completed, true
+		}
+	}
+	return nil, 0, 0, false
+}
+
 // Horizon returns the virtual time at which arrivals stop.
 func (r *Runner) Horizon() sim.Time { return r.horizon }
 

@@ -56,3 +56,33 @@ func (s SLO) Evaluate(lat *stats.Histogram, offered, completed uint64) (bool, []
 	}
 	return len(fails) == 0, fails
 }
+
+// SLOWindow evaluates an SLO over consecutive virtual-time windows instead
+// of cumulative totals: each Advance call snapshots the live histogram and
+// counters, evaluates the SLO on the delta since the previous snapshot, and
+// rolls the snapshot forward. A transient violation therefore fails only
+// the windows it occurred in and clears once behaviour recovers — the
+// property an online admission controller needs, and one the cumulative
+// Evaluate cannot provide (a polluted histogram stays polluted).
+type SLOWindow struct {
+	SLO SLO
+
+	prev          *stats.Histogram
+	prevOffered   uint64
+	prevCompleted uint64
+}
+
+// Advance closes the current window against the live cumulative histogram
+// and counters, returning whether the window passed, the violated targets,
+// and the number of completions observed inside the window (callers
+// typically skip decisions on windows with too few samples).
+func (w *SLOWindow) Advance(lat *stats.Histogram, offered, completed uint64) (pass bool, fails []string, n uint64) {
+	delta := lat.DeltaSince(w.prev)
+	dOffered := offered - w.prevOffered
+	dCompleted := completed - w.prevCompleted
+	w.prev = lat.Clone()
+	w.prevOffered = offered
+	w.prevCompleted = completed
+	pass, fails = w.SLO.Evaluate(delta, dOffered, dCompleted)
+	return pass, fails, dCompleted
+}

@@ -1,0 +1,121 @@
+package loadgen
+
+import (
+	"testing"
+
+	"scalerpc/internal/stats"
+)
+
+// TestSLOWindowTransientViolation drives three windows through one live
+// cumulative histogram: clean traffic, a transient latency excursion, and
+// recovery. The windowed evaluator must fail exactly the middle window,
+// while the cumulative evaluator stays failed forever once polluted —
+// the difference that makes SLOWindow usable as an online control signal.
+func TestSLOWindowTransientViolation(t *testing.T) {
+	slo := P99(50) // p99 ≤ 50µs
+	win := &SLOWindow{SLO: slo}
+	lat := stats.NewHistogram()
+	var offered, completed uint64
+
+	record := func(n int, v int64) {
+		for i := 0; i < n; i++ {
+			lat.Record(v)
+			offered++
+			completed++
+		}
+	}
+
+	// Window 1: 1000 fast samples at 10µs.
+	record(1000, 10_000)
+	pass, fails, n := win.Advance(lat, offered, completed)
+	if !pass || n != 1000 {
+		t.Fatalf("window 1: want pass with 1000 samples, got pass=%v n=%d fails=%v", pass, n, fails)
+	}
+
+	// Window 2: transient violation — half the samples at 400µs.
+	record(500, 10_000)
+	record(500, 400_000)
+	pass, fails, n = win.Advance(lat, offered, completed)
+	if pass || n != 1000 {
+		t.Fatalf("window 2: want fail with 1000 samples, got pass=%v n=%d", pass, n)
+	}
+	if len(fails) == 0 {
+		t.Fatal("window 2: expected a violated-target reason")
+	}
+
+	// Window 3: recovered.
+	record(1000, 10_000)
+	pass, _, n = win.Advance(lat, offered, completed)
+	if !pass || n != 1000 {
+		t.Fatalf("window 3: want pass after recovery, got pass=%v n=%d", pass, n)
+	}
+
+	// The cumulative evaluator is still polluted by window 2's excursion:
+	// 500/3000 samples at 400µs keeps the cumulative p99 far above 50µs.
+	if cumPass, _ := slo.Evaluate(lat, offered, completed); cumPass {
+		t.Fatal("cumulative Evaluate unexpectedly cleared — windowing would be pointless")
+	}
+}
+
+// TestSLOWindowCompletionFloor checks the windowed completion-fraction
+// check: a window where offered ran ahead of completions fails, and the
+// next balanced window clears.
+func TestSLOWindowCompletionFloor(t *testing.T) {
+	win := &SLOWindow{SLO: SLO{MinCompletion: 0.99}}
+	lat := stats.NewHistogram()
+	var offered, completed uint64
+
+	offered, completed = 1000, 1000
+	for i := 0; i < 1000; i++ {
+		lat.Record(10_000)
+	}
+	if pass, _, _ := win.Advance(lat, offered, completed); !pass {
+		t.Fatal("balanced window should pass")
+	}
+
+	offered += 1000
+	completed += 900 // 10% abandoned this window
+	if pass, _, _ := win.Advance(lat, offered, completed); pass {
+		t.Fatal("90% completion window should fail the 0.99 floor")
+	}
+
+	offered += 1000
+	completed += 1000
+	if pass, _, _ := win.Advance(lat, offered, completed); !pass {
+		t.Fatal("recovered window should pass")
+	}
+}
+
+// TestHistogramDeltaSince pins the snapshot/delta contract on the stats
+// histogram itself: counts, total, mean and quantiles reflect only the
+// post-snapshot samples.
+func TestHistogramDeltaSince(t *testing.T) {
+	h := stats.NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Record(5_000)
+	}
+	snap := h.Clone()
+	for i := 0; i < 100; i++ {
+		h.Record(80_000)
+	}
+	d := h.DeltaSince(snap)
+	if d.Count() != 100 {
+		t.Fatalf("delta count = %d, want 100", d.Count())
+	}
+	if q := d.Quantile(0.5); q < 60_000 {
+		t.Fatalf("delta median %d should reflect only the slow samples", q)
+	}
+	if min := d.Min(); min < 5_000 {
+		t.Fatalf("delta min %d below any recorded sample", min)
+	}
+	// Delta against a nil snapshot is the whole histogram.
+	full := h.DeltaSince(nil)
+	if full.Count() != h.Count() {
+		t.Fatalf("nil-snapshot delta count = %d, want %d", full.Count(), h.Count())
+	}
+	// Empty delta.
+	empty := h.DeltaSince(h.Clone())
+	if empty.Count() != 0 || empty.Quantile(0.99) != 0 {
+		t.Fatalf("empty delta not empty: n=%d", empty.Count())
+	}
+}

@@ -84,6 +84,7 @@ type Conn struct {
 	mgr        *ctrlplane.Manager
 	cp         *ctrlplane.Conn
 	joinPinned bool
+	joinTenant uint16
 	left       bool
 
 	// Named-API state (api.go).

@@ -27,9 +27,10 @@ import (
 const ServiceName = "scalerpc"
 
 // Join request payload: respAddr u64 | respRKey u32 | stageAddr u64 |
-// stageRKey u32 | pinned u8 — the region exchange that Connect performs
-// out of band, carried in the connect-request instead.
-const joinReqSize = 8 + 4 + 8 + 4 + 1
+// stageRKey u32 | pinned u8 | tenant u16 — the region exchange that
+// Connect performs out of band, carried in the connect-request instead,
+// plus the tenant identity the admission gate and fair scheduler key on.
+const joinReqSize = 8 + 4 + 8 + 4 + 1 + 2
 
 // Join/resume response payload: id u16 | pinnedGranted u8 | zone i16.
 const joinRespSize = 2 + 1 + 2
@@ -47,8 +48,23 @@ func (s *Server) BindControlPlane(m *ctrlplane.Manager) {
 	m.RegisterService(ServiceName, &ctrlAdapter{s: s})
 }
 
-// ctrlAdapter implements ctrlplane.Service for a ScaleRPC server.
+// ctrlAdapter implements ctrlplane.Service (and ctrlplane.Gatekeeper) for
+// a ScaleRPC server.
 type ctrlAdapter struct{ s *Server }
+
+// PreAdmit screens a dial before the control plane builds any QP state:
+// with a tenant authority installed, an over-quota tenant's dial is queued
+// (ctrlplane.ErrAdmitQueue) or rejected here, before the handshake spends
+// a single ModifyQP. Side-effect free; Accept/Resume re-run the decision
+// authoritatively.
+func (a *ctrlAdapter) PreAdmit(peer int, service string, payload []byte) error {
+	s := a.s
+	if s.tenantAuth == nil || len(payload) != joinReqSize {
+		return nil
+	}
+	_, err := s.tenantAuth.AdmitConn(binary.LittleEndian.Uint16(payload[25:]), payload[24] != 0)
+	return err
+}
 
 // Accept admits a new client: allocate an id (reusing ids released by
 // lease expiry or cache teardown), record its regions, and place it in a
@@ -61,8 +77,21 @@ func (a *ctrlAdapter) Accept(t *host.Thread, peer int, qp *nic.QP, payload []byt
 	if len(payload) != joinReqSize {
 		return nil, 0, fmt.Errorf("scalerpc: join payload is %d bytes, want %d", len(payload), joinReqSize)
 	}
+	tenant := binary.LittleEndian.Uint16(payload[25:])
+	pinReq := payload[24] != 0
+	if s.tenantAuth != nil {
+		granted, err := s.tenantAuth.AdmitConn(tenant, pinReq)
+		if err != nil {
+			return nil, 0, err
+		}
+		pinReq = granted
+	}
 	if cs := s.findParked(payload); cs != nil {
-		a.rebind(t, cs, qp, payload[24] != 0)
+		// The tenant must be set before rebind places the client: class-
+		// pure grouping reads the joining client's class at placement.
+		cs.tenant = tenant
+		a.rebind(t, cs, qp, pinReq)
+		s.tenantOpen(cs)
 		return joinResp(cs), uint64(cs.id) + 1, nil
 	}
 	id, err := s.allocID()
@@ -78,13 +107,15 @@ func (a *ctrlAdapter) Accept(t *host.Thread, peer int, qp *nic.QP, payload []byt
 		stageRKey: binary.LittleEndian.Uint32(payload[20:]),
 		zone:      -1,
 		warmZone:  -1,
+		tenant:    tenant,
 	}
 	if int(id) == len(s.clients) {
 		s.clients = append(s.clients, cs)
 	} else {
 		s.clients[id] = cs
 	}
-	a.placeJoined(cs, payload[24] != 0)
+	a.placeJoined(cs, pinReq)
+	s.tenantOpen(cs)
 	s.Stats.Joins++
 	if s.trace.Enabled {
 		s.trace.Emit(t.P.Now(), "client_join", telemetry.A("client", int64(id)))
@@ -104,7 +135,16 @@ func (a *ctrlAdapter) Resume(t *host.Thread, peer int, qp *nic.QP, payload []byt
 	if cs == nil {
 		return nil, 0, errors.New("scalerpc: no parked client matches the resume payload")
 	}
-	a.rebind(t, cs, qp, cs.pinned)
+	pinReq := cs.pinned
+	if s.tenantAuth != nil {
+		granted, err := s.tenantAuth.AdmitConn(cs.tenant, pinReq)
+		if err != nil {
+			return nil, 0, err
+		}
+		pinReq = granted
+	}
+	a.rebind(t, cs, qp, pinReq)
+	s.tenantOpen(cs)
 	return joinResp(cs), uint64(cs.id) + 1, nil
 }
 
@@ -174,6 +214,7 @@ func (a *ctrlAdapter) Closed(peer int, handle uint64, reason ctrlplane.CloseReas
 		return
 	}
 	if reason == ctrlplane.CloseLeave {
+		s.tenantClose(cs)
 		s.unplace(cs)
 		cs.parked = true
 		s.Stats.Leaves++
@@ -197,6 +238,7 @@ func (a *ctrlAdapter) Closed(peer int, handle uint64, reason ctrlplane.CloseReas
 	if reason == ctrlplane.CloseExpired {
 		s.Stats.Expires++
 	}
+	s.tenantClose(cs)
 	s.unplace(cs)
 	cs.parked = false
 	cs.limbo = true
@@ -297,6 +339,15 @@ func (s *Server) lookupHandle(handle uint64) *clientState {
 // a reserved zone; like ConnectLatencySensitive it degrades to the grouped
 // path when none is free (check Conn.Pinned for the outcome).
 func (s *Server) Join(t *host.Thread, dir *ctrlplane.Directory, sig *sim.Signal, pinned bool) (*Conn, error) {
+	return s.JoinTenant(t, dir, sig, pinned, 0)
+}
+
+// JoinTenant is Join with an explicit tenant identity: the tenant id rides
+// in the connect-request payload, so the server-side admission gate can
+// queue or reject the dial against the tenant's quota before any QP is
+// built, and every request the client later stages is attributed to the
+// tenant. Tenant 0 is the default tenant.
+func (s *Server) JoinTenant(t *host.Thread, dir *ctrlplane.Directory, sig *sim.Signal, pinned bool, tenant uint16) (*Conn, error) {
 	ch := t.Host
 	mgr := dir.Manager(ch.ID)
 	if mgr == nil {
@@ -319,6 +370,7 @@ func (s *Server) Join(t *host.Thread, dir *ctrlplane.Directory, sig *sim.Signal,
 		poolIdx:      -1,
 		mgr:          mgr,
 		joinPinned:   pinned,
+		joinTenant:   tenant,
 	}
 	c.trace = s.trace
 	cp, err := mgr.Dial(t, s.Host.ID, ServiceName, c.joinPayload())
@@ -404,6 +456,7 @@ func (c *Conn) joinPayload() []byte {
 	if c.joinPinned {
 		p[24] = 1
 	}
+	binary.LittleEndian.PutUint16(p[25:], c.joinTenant)
 	return p
 }
 

@@ -45,15 +45,13 @@ func (s *Server) runScheduler(t *host.Thread) {
 // soloScan keeps failure detection alive when a single group means no
 // context switches ever run: dead members must still be probed and evicted
 // at slice boundaries, or a crashed client would hold its zone forever.
+// The slice window settles through the same settleSlice path as a real
+// switch — it used to reset served/bytes inline, which zeroed per-tenant
+// byte attribution before anything could sample it.
 func (s *Server) soloScan(t *host.Thread) {
 	out := append([]uint16(nil), s.groups[0]...)
 	evict := s.scanFailures(t, out)
-	for _, cid := range out {
-		if cs := s.clients[cid]; cs != nil {
-			cs.served = 0
-			cs.bytes = 0
-		}
-	}
+	s.settleSlice(out)
 	for _, cid := range evict {
 		s.Stats.Evictions++
 		if s.trace.Enabled {
@@ -68,32 +66,76 @@ func (s *Server) soloScan(t *host.Thread) {
 // P_i = T_i/S_i) receive a longer slice, squeezing shared time away from
 // idle clients (§3.2).
 func (s *Server) sliceFor(g int) sim.Duration {
-	if !s.Cfg.Dynamic || g >= len(s.groups) || len(s.groups) < 2 {
+	if g >= len(s.groups) || len(s.groups) < 2 {
 		return s.Cfg.TimeSlice
 	}
-	var sum, all float64
-	var n, m int
-	for _, cid := range s.groups[g] {
-		sum += s.clients[cid].priority
-		n++
+	ratio := 1.0
+	if s.Cfg.Dynamic {
+		var sum, all float64
+		var n, m int
+		for _, cid := range s.groups[g] {
+			sum += s.clients[cid].priority
+			n++
+		}
+		for _, cs := range s.clients {
+			if cs != nil && !cs.parked {
+				all += cs.priority
+				m++
+			}
+		}
+		if n > 0 && m > 0 && all > 0 {
+			ratio = (sum / float64(n)) / (all / float64(m))
+			if ratio < 0.75 {
+				ratio = 0.75
+			}
+			if ratio > 1.5 {
+				ratio = 1.5
+			}
+		}
 	}
+	ratio *= s.tenantWeightRatio(g)
+	if ratio == 1 && !s.Cfg.Dynamic {
+		return s.Cfg.TimeSlice
+	}
+	return sim.Duration(float64(s.Cfg.TimeSlice) * ratio)
+}
+
+// tenantWeightRatio is the weighted-fair term of the slice budget: the
+// group's mean tenant weight over the grouped population's mean, clamped
+// to [1/4, 2]. An authority that shrinks a bulk tenant's weight to 0.25
+// therefore cuts that tenant's groups to quarter slices (the scheduler
+// floor, TimeSlice/4) while the latency tenant's groups stretch toward 2x.
+func (s *Server) tenantWeightRatio(g int) float64 {
+	if s.tenantAuth == nil {
+		return 1
+	}
+	var sum float64
+	var n int
+	for _, cid := range s.groups[g] {
+		if cs := s.clients[cid]; cs != nil {
+			sum += s.tenantAuth.SliceWeight(cs.tenant)
+			n++
+		}
+	}
+	var all float64
+	var m int
 	for _, cs := range s.clients {
-		if cs != nil && !cs.parked {
-			all += cs.priority
+		if cs != nil && !cs.parked && !cs.pinned && cs.group >= 0 {
+			all += s.tenantAuth.SliceWeight(cs.tenant)
 			m++
 		}
 	}
 	if n == 0 || m == 0 || all == 0 {
-		return s.Cfg.TimeSlice
+		return 1
 	}
 	ratio := (sum / float64(n)) / (all / float64(m))
-	if ratio < 0.75 {
-		ratio = 0.75
+	if ratio < 0.25 {
+		ratio = 0.25
 	}
-	if ratio > 1.5 {
-		ratio = 1.5
+	if ratio > 2 {
+		ratio = 2
 	}
-	return sim.Duration(float64(s.Cfg.TimeSlice) * ratio)
+	return ratio
 }
 
 // warmTarget returns the pool and group receiving warmup fetches. With a
@@ -152,8 +194,17 @@ func (s *Server) fetchWarmups(t *host.Thread) {
 
 // fetchGroup prefetches one group's staged requests into pool.
 func (s *Server) fetchGroup(t *host.Thread, pool *rpcwire.Pool, g int, zoneOf func(*clientState) int) {
-	for _, cid := range s.groups[g] {
+	// Snapshot the membership: the READs below yield, and a client may
+	// disconnect (shrinking the live group slice in place) while this
+	// thread is blocked — iterating the live slice would then read a
+	// stale id past the new length. Members that depart mid-fetch show
+	// up as nil client states and are skipped.
+	grp := append([]uint16(nil), s.groups[g]...)
+	for _, cid := range grp {
 		cs := s.clients[cid]
+		if cs == nil {
+			continue
+		}
 		zone := zoneOf(cs)
 		if zone < 0 {
 			continue
@@ -253,10 +304,10 @@ func (s *Server) contextSwitch(t *host.Thread) {
 			s.Stats.Notifies++
 		}
 	}
-	// Failure detection reads cs.served, so it must precede updatePriorities
-	// (which zeroes the slice window).
+	// Failure detection reads cs.served, so it must precede settleSlice
+	// (which samples tenant attribution and then zeroes the slice window).
 	evict := s.scanFailures(t, out)
-	s.updatePriorities(out)
+	s.settleSlice(out)
 
 	// Promote the warmed group.
 	s.cur = (s.cur + 1) % len(s.groups)
@@ -427,13 +478,20 @@ func (s *Server) scanFailures(t *host.Thread, out []uint16) []uint16 {
 	return evict
 }
 
-// updatePriorities folds the last slice's observations into each outgoing
-// client's priority P_i = T_i / S_i (§3.2).
-func (s *Server) updatePriorities(group []uint16) {
+// settleSlice closes one slice's accounting window for the given members:
+// per-tenant byte attribution is sampled first, then each outgoing
+// client's priority P_i = T_i / S_i folds in the observations (§3.2), and
+// only then does the window reset. Both switch paths (contextSwitch and
+// soloScan) must come through here — resetting served/bytes anywhere else
+// silently destroys the attribution the fair scheduler depends on.
+func (s *Server) settleSlice(group []uint16) {
 	for _, cid := range group {
 		cs := s.clients[cid]
 		if cs == nil {
 			continue
+		}
+		if s.tenantAuth != nil && (cs.served > 0 || cs.bytes > 0) {
+			s.tenantAuth.SliceAccount(cs.tenant, cs.served, cs.bytes)
 		}
 		avgSize := 1.0
 		if cs.served > 0 {
@@ -447,6 +505,7 @@ func (s *Server) updatePriorities(group []uint16) {
 		cs.served = 0
 		cs.bytes = 0
 	}
+	s.settlePinned()
 }
 
 // regroup rebuilds group membership. The current (just-promoted) group is
@@ -465,12 +524,21 @@ func (s *Server) regroup() {
 			rest = append(rest, cs.id)
 		}
 	}
-	if !s.Cfg.Dynamic && !s.sizeBoundsViolated() {
+	if !s.Cfg.Dynamic && !s.sizeBoundsViolated() && s.tenantAuth == nil {
 		return
 	}
 	if s.Cfg.Dynamic {
 		sort.SliceStable(rest, func(i, j int) bool {
 			return s.clients[rest[i]].priority > s.clients[rest[j]].priority
+		})
+	}
+	if s.tenantAuth != nil {
+		// Class partitioning: a stable sort by class keeps the priority
+		// order within each class and the chunking below never lets a
+		// chunk span a class boundary, so a bulk tenant can never ride in
+		// (and inflate) a latency-class group.
+		sort.SliceStable(rest, func(i, j int) bool {
+			return s.tenantClassOf(rest[i]) < s.tenantClassOf(rest[j])
 		})
 	}
 	g := s.Cfg.GroupSize
@@ -480,19 +548,36 @@ func (s *Server) regroup() {
 		if n > len(rest) {
 			n = len(rest)
 		}
-		// Absorb a would-be trailing runt into this group (lazy merge).
-		if len(rest)-n < g/2 && len(rest)-n > 0 && len(rest) <= g*3/2 {
+		if s.tenantAuth != nil {
+			// Cut the chunk at the first class change.
+			for i := 1; i < n; i++ {
+				if s.tenantClassOf(rest[i]) != s.tenantClassOf(rest[0]) {
+					n = i
+					break
+				}
+			}
+		}
+		// Absorb a would-be trailing runt into this group (lazy merge) —
+		// only within one class when partitioned (rest is class-sorted, so
+		// the last element matching the first means the whole tail does).
+		if len(rest)-n < g/2 && len(rest)-n > 0 && len(rest) <= g*3/2 &&
+			(s.tenantAuth == nil || s.tenantClassOf(rest[len(rest)-1]) == s.tenantClassOf(rest[0])) {
 			n = len(rest)
 		}
 		newGroups = append(newGroups, append([]uint16(nil), rest[:n]...))
 		rest = rest[n:]
 	}
 	// A runt at the very end (including a lone runt after the frozen
-	// current group) merges backwards while the bound allows.
+	// current group) merges backwards while the bound allows — never
+	// across a class boundary.
 	for len(newGroups) >= 2 {
 		last := newGroups[len(newGroups)-1]
 		prev := newGroups[len(newGroups)-2]
 		if len(last) >= g/2 || len(prev)+len(last) > g*3/2 {
+			break
+		}
+		if s.tenantAuth != nil && len(prev) > 0 &&
+			s.tenantClassOf(prev[0]) != s.tenantClassOf(last[0]) {
 			break
 		}
 		newGroups[len(newGroups)-2] = append(prev, last...)
@@ -521,14 +606,17 @@ func (s *Server) regroup() {
 
 // sizeBoundsViolated reports whether any group is outside [G/2, 3G/2]
 // (§3.2's lazy split/merge rule). The final group may legitimately be
-// small when the client population is not a multiple of the group size.
+// small when the client population is not a multiple of the group size;
+// under class partitioning every class's trailing group may be a runt, so
+// only the upper bound triggers a mid-rotation regroup there (the
+// per-rotation regroup at cur==0 still re-balances within classes).
 func (s *Server) sizeBoundsViolated() bool {
 	g := s.Cfg.GroupSize
 	for i, grp := range s.groups {
 		if len(grp) > g*3/2 {
 			return true
 		}
-		if len(grp) < g/2 && i != len(s.groups)-1 {
+		if len(grp) < g/2 && i != len(s.groups)-1 && s.tenantAuth == nil {
 			return true
 		}
 	}
@@ -538,7 +626,7 @@ func (s *Server) sizeBoundsViolated() bool {
 // Connect admits a new RPCClient: an RC QP pair, the client's staged and
 // response regions, a group placement, and an endpoint entry slot.
 func (s *Server) Connect(ch *host.Host, sig *sim.Signal) *Conn {
-	return s.connect(ch, sig, false)
+	return s.connect(ch, sig, false, 0)
 }
 
 // ConnectLatencySensitive admits a client onto a reserved zone: it is
@@ -547,10 +635,15 @@ func (s *Server) Connect(ch *host.Host, sig *sim.Signal) *Conn {
 // sketches as future work (§3.6.2). It fails (returns nil) when all
 // reserved zones are taken.
 func (s *Server) ConnectLatencySensitive(ch *host.Host, sig *sim.Signal) *Conn {
-	return s.connect(ch, sig, true)
+	return s.connect(ch, sig, true, 0)
 }
 
-func (s *Server) connect(ch *host.Host, sig *sim.Signal, pinned bool) *Conn {
+// connect builds the client's state and places it. The tenant must be
+// known here, before place(): class-pure grouping reads the joining
+// client's class, and a late tenant assignment would seed a mismatched
+// singleton group per join — with regroup only running at rotation start,
+// a large join wave would leave the rotation cycling one-member groups.
+func (s *Server) connect(ch *host.Host, sig *sim.Signal, pinned bool, tenant uint16) *Conn {
 	if len(s.clients) >= s.Cfg.MaxClients {
 		panic("scalerpc: server full")
 	}
@@ -576,6 +669,7 @@ func (s *Server) connect(ch *host.Host, sig *sim.Signal, pinned bool) *Conn {
 		zone:      -1,
 		warmZone:  -1,
 		pinned:    pinned,
+		tenant:    tenant,
 	}
 	s.clients = append(s.clients, cs)
 	if pinned {
@@ -637,12 +731,28 @@ func (s *Server) reservedZoneFor(cs *clientState) int {
 // place assigns a new client to a group: the last group if it is below the
 // default size, otherwise a fresh group. (The 3/2 bound governs lazy
 // splits of groups that grow later; admission fills to the default size.)
+// Under a tenant authority only groups of the client's scheduling class
+// are candidates, so groups stay class-pure from the first join — regroup
+// preserves the invariant thereafter.
 func (s *Server) place(cs *clientState) {
-	if len(s.groups) > 0 {
-		last := len(s.groups) - 1
-		if len(s.groups[last]) < s.Cfg.GroupSize {
-			s.groups[last] = append(s.groups[last], cs.id)
-			cs.group = last
+	if s.tenantAuth == nil {
+		if len(s.groups) > 0 {
+			last := len(s.groups) - 1
+			if len(s.groups[last]) < s.Cfg.GroupSize {
+				s.groups[last] = append(s.groups[last], cs.id)
+				cs.group = last
+				return
+			}
+		}
+	} else {
+		class := s.tenantAuth.GroupClass(cs.tenant)
+		for i := len(s.groups) - 1; i >= 0; i-- {
+			grp := s.groups[i]
+			if len(grp) == 0 || len(grp) >= s.Cfg.GroupSize || s.tenantClassOf(grp[0]) != class {
+				continue
+			}
+			s.groups[i] = append(grp, cs.id)
+			cs.group = i
 			return
 		}
 	}
@@ -661,6 +771,7 @@ func (s *Server) Disconnect(id uint16) {
 	if cs == nil {
 		return
 	}
+	s.tenantClose(cs)
 	s.unplace(cs)
 	s.clients[id] = nil
 	s.Host.NIC.DestroyQP(cs.qp)
@@ -723,6 +834,7 @@ func (s *Server) Reconnect(c *Conn) {
 			zone:      -1,
 			warmZone:  -1,
 			pinned:    c.pinned,
+			tenant:    c.joinTenant,
 		}
 		s.clients[c.id] = cs
 		if c.pinned {
@@ -736,6 +848,7 @@ func (s *Server) Reconnect(c *Conn) {
 		} else {
 			s.place(cs)
 		}
+		s.tenantOpen(cs)
 	} else {
 		cs.qp = sqp
 		cs.fetchedUpTo = 0

@@ -57,6 +57,12 @@ type clientState struct {
 	bytes    uint64
 	priority float64
 
+	// tenant is the owning tenant id (0 = default tenant); counted marks
+	// that the TenantAuthority has been told this connection is open and
+	// must be told when it closes (whichever teardown path fires first).
+	tenant  uint16
+	counted bool
+
 	// notifiedEpoch is the last switch epoch whose context_switch_event
 	// reached this client piggybacked on a response.
 	notifiedEpoch uint64
@@ -167,6 +173,10 @@ type Server struct {
 	tel       telemetry.Scope
 	trace     *telemetry.Trace
 	handlerNs *telemetry.Histogram
+
+	// tenantAuth, when set, gates admission and shapes scheduling per
+	// tenant (see tenancy.go). Nil disables all tenant machinery.
+	tenantAuth TenantAuthority
 
 	// rel is the registry-shared end-to-end reliability counter block;
 	// replies is the bounded exactly-once reply cache consulted before

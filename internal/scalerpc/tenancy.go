@@ -1,0 +1,122 @@
+// Multi-tenant hooks: the scheduler and the membership adapter consult an
+// optional TenantAuthority so a tenant manager (internal/tenant) can
+// enforce connection quotas at admission, reserve zones per tenant, weight
+// the rotation's time slices, keep tenant classes in separate groups, and
+// attribute served work for noisy-neighbor accounting — without scalerpc
+// depending on the tenant package.
+package scalerpc
+
+import (
+	"scalerpc/internal/host"
+	"scalerpc/internal/sim"
+)
+
+// TenantAuthority shapes admission and scheduling per tenant. All methods
+// run on server-host threads (manager or scheduler); implementations need
+// no locking. Tenant 0 is the default tenant for unmanaged clients.
+type TenantAuthority interface {
+	// AdmitConn decides whether one more connection from the tenant may be
+	// admitted, and whether a requested reserved (pinned) zone is within
+	// the tenant's zone quota. A nil error admits; ctrlplane.ErrAdmitQueue
+	// (possibly wrapped) parks the dial in the control plane's admission
+	// queue; any other error rejects with that reason. The call must be
+	// side-effect free: it runs once in the handshake's pre-admission gate
+	// and again in Accept/Resume.
+	AdmitConn(tenant uint16, pinned bool) (pinnedGranted bool, err error)
+	// ConnOpened/ConnClosed track the tenant's live connection count (and
+	// pinned-zone occupancy). The server guarantees they pair.
+	ConnOpened(tenant uint16, pinned bool)
+	ConnClosed(tenant uint16, pinned bool)
+	// SliceWeight returns the tenant's fair-share weight (1 = neutral).
+	// The scheduler scales a group's time slice by the ratio of its mean
+	// member weight to the population mean, so shrinking a bulk tenant's
+	// weight shortens every slice its clients appear in.
+	SliceWeight(tenant uint16) float64
+	// GroupClass partitions tenants into scheduling classes: regroup never
+	// mixes classes in one group, so a latency class rotates in groups a
+	// bulk tenant cannot inflate. Lower classes sort first.
+	GroupClass(tenant uint16) int
+	// SliceAccount attributes one client's slice window (requests served,
+	// payload bytes) to its tenant, sampled at every slice boundary before
+	// the window resets.
+	SliceAccount(tenant uint16, served, bytes uint64)
+}
+
+// SetTenantAuthority installs the tenant manager. Must be called before
+// clients join; a nil authority disables all tenant machinery (the
+// default).
+func (s *Server) SetTenantAuthority(a TenantAuthority) { s.tenantAuth = a }
+
+// tenantOpen reports an admitted client to the authority, at most once per
+// open/close cycle.
+func (s *Server) tenantOpen(cs *clientState) {
+	if s.tenantAuth != nil && !cs.counted {
+		cs.counted = true
+		s.tenantAuth.ConnOpened(cs.tenant, cs.pinned)
+	}
+}
+
+// tenantClose reports a departed client to the authority; safe to call on
+// every teardown path (only the first after an open counts).
+func (s *Server) tenantClose(cs *clientState) {
+	if s.tenantAuth != nil && cs.counted {
+		cs.counted = false
+		s.tenantAuth.ConnClosed(cs.tenant, cs.pinned)
+	}
+}
+
+// settlePinned closes the slice accounting window for reserved-zone
+// clients. Pinned clients never pass through settleSlice (they are in no
+// group), so without this their served/bytes would accumulate unsampled
+// forever. Their priority is deliberately not EWMA-updated: pinned clients
+// do not compete in the rotation, and folding them into the priority
+// population would shift every dynamic slice ratio. Runs only when an
+// authority is installed, preserving legacy accounting otherwise.
+func (s *Server) settlePinned() {
+	if s.tenantAuth == nil {
+		return
+	}
+	for z := s.Cfg.maxZones(); z < s.Cfg.totalZones(); z++ {
+		owner := s.zoneOwner[z]
+		if owner < 0 || s.clients[owner] == nil {
+			continue
+		}
+		cs := s.clients[owner]
+		if cs.served > 0 || cs.bytes > 0 {
+			s.tenantAuth.SliceAccount(cs.tenant, cs.served, cs.bytes)
+			cs.served = 0
+			cs.bytes = 0
+		}
+	}
+}
+
+// tenantClassOf returns the scheduling class for a grouped client.
+func (s *Server) tenantClassOf(cid uint16) int {
+	cs := s.clients[cid]
+	if cs == nil {
+		return 0
+	}
+	return s.tenantAuth.GroupClass(cs.tenant)
+}
+
+// ConnectTenant is the backdoor counterpart of Connect for tests and
+// benchmarks that want tenant attribution without the control plane: the
+// authority's quota still gates admission (nil is returned when it
+// rejects or queues), and the connection is opened against the tenant.
+func (s *Server) ConnectTenant(ch *host.Host, sig *sim.Signal, tenant uint16, pinned bool) *Conn {
+	wantPinned := pinned
+	if s.tenantAuth != nil {
+		granted, err := s.tenantAuth.AdmitConn(tenant, pinned)
+		if err != nil {
+			return nil
+		}
+		wantPinned = granted
+	}
+	c := s.connect(ch, sig, wantPinned, tenant)
+	if c == nil {
+		return nil
+	}
+	c.joinTenant = tenant
+	s.tenantOpen(s.clients[c.id])
+	return c
+}

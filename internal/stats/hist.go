@@ -181,6 +181,64 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 }
 
+// Clone returns a deep copy of the histogram, suitable as a snapshot for
+// windowed delta evaluation.
+func (h *Histogram) Clone() *Histogram {
+	cp := &Histogram{
+		counts: append([]uint64(nil), h.counts...),
+		total:  h.total,
+		sum:    h.sum,
+		min:    h.min,
+		max:    h.max,
+	}
+	return cp
+}
+
+// DeltaSince returns a histogram holding only the samples recorded in h
+// after the snapshot prev was taken. prev must be an earlier snapshot of
+// the same histogram (e.g. from Clone); buckets that shrank are clamped to
+// zero. The delta's min/max are approximated from its occupied bucket
+// bounds, clamped to the live histogram's exact extremes.
+func (h *Histogram) DeltaSince(prev *Histogram) *Histogram {
+	d := NewHistogram()
+	if prev == nil {
+		return h.Clone()
+	}
+	d.counts = make([]uint64, len(h.counts))
+	first, last := -1, -1
+	for i, c := range h.counts {
+		var old uint64
+		if i < len(prev.counts) {
+			old = prev.counts[i]
+		}
+		if c > old {
+			d.counts[i] = c - old
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 {
+		return d
+	}
+	if h.total > prev.total {
+		d.total = h.total - prev.total
+	}
+	if h.sum > prev.sum {
+		d.sum = h.sum - prev.sum
+	}
+	d.min = bucketLow(first)
+	if d.min < h.min {
+		d.min = h.min
+	}
+	d.max = bucketHigh(last) - 1
+	if d.max > h.max {
+		d.max = h.max
+	}
+	return d
+}
+
 // Reset discards all samples.
 func (h *Histogram) Reset() {
 	for i := range h.counts {
