@@ -149,6 +149,7 @@ func TestMetricsJSONDeterministicUnderFaults(t *testing.T) {
 	// counters must be present (if zero-valued) in any instrumented run.
 	for _, name := range []string{
 		"faults.injected.drops", "nic0.qp.retransmits",
+		"nic0.atomic_ops", "nic0.qp.atomic_replays",
 		"rpc.retries", "rpc.hedges", "rpc.dedup_hits",
 		"rpc.deadline_exceeded", "rpc.late_drops", "wire.crc_drops",
 	} {

@@ -1,0 +1,285 @@
+// The rds chaos variant: drop and duplication faults run against the
+// one-sided path of internal/rds's remote MPMC queue. Producers claim
+// tail tickets with FetchAdd and consumers claim head tickets the same
+// way, so the fault plane attacks exactly the operations that are NOT
+// idempotent: a retransmitted FetchAdd that re-executed would hand two
+// producers the same slot (an element lost to overwrite) or hand one
+// consumer two tickets (an element double-applied). The NIC's atomic
+// replay cache is what makes the protocol hold — duplicates are answered
+// from the cache, never re-executed — and the run asserts it fired.
+//
+// Invariants per seeded run:
+//
+//  1. No lost elements: every token a producer enqueued is dequeued by
+//     exactly one consumer.
+//  2. No double-applied elements: no token is dequeued twice, and no
+//     dequeue returns bytes matching no enqueued token.
+//  3. Liveness: every producer and consumer drains its budget before the
+//     hard stop, despite drops stalling individual verbs on the
+//     retransmit timer.
+//
+// One seed derives the fault rates, the cluster RNG and the workload
+// pacing, so the same RDSConfig produces a byte-identical RDSResult.
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"scalerpc/internal/cluster"
+	"scalerpc/internal/faults"
+	"scalerpc/internal/host"
+	"scalerpc/internal/rds"
+	"scalerpc/internal/sim"
+	"scalerpc/internal/stats"
+)
+
+// saltRDS keeps the rds schedule generator independent of the other
+// chaos classes when the matrix reuses seeds.
+const saltRDS = 0xa0761d6478bd642f
+
+// RDSConfig selects one seeded rds-queue chaos run. Seed is required;
+// everything else defaults.
+type RDSConfig struct {
+	Seed uint64 `json:"seed"`
+	// Producers each enqueue Elems unique tokens (defaults 4 × 30).
+	Producers int `json:"producers,omitempty"`
+	Elems     int `json:"elems,omitempty"`
+	// Consumers split the total dequeue quota evenly (default 4).
+	Consumers int `json:"consumers,omitempty"`
+	// Budget is the hard stop (default 80 ms of virtual time).
+	Budget sim.Duration `json:"budget_ns,omitempty"`
+}
+
+// RDSResult is one run's outcome. Same RDSConfig ⇒ byte-identical JSON.
+type RDSResult struct {
+	Seed      uint64  `json:"seed"`
+	Producers int     `json:"producers"`
+	Elems     int     `json:"elems"`
+	Consumers int     `json:"consumers"`
+	DropRate  float64 `json:"drop_rate"`
+	DupRate   float64 `json:"dup_rate"`
+
+	Enqueued uint64 `json:"enqueued"`
+	Dequeued uint64 `json:"dequeued"`
+
+	// Server-NIC responder counters: every ticket claim is an AtomicOp;
+	// AtomicReplays counts duplicated claims absorbed by the replay cache.
+	AtomicOps     uint64 `json:"atomic_ops"`
+	AtomicReplays uint64 `json:"atomic_replays"`
+	QueueSpins    uint64 `json:"queue_spins"`
+	Retransmits   uint64 `json:"retransmits"`
+
+	StuckClients int      `json:"stuck_clients"`
+	Violations   []string `json:"violations,omitempty"`
+	ElapsedNs    int64    `json:"elapsed_ns"`
+}
+
+// Pass reports whether every invariant held.
+func (r *RDSResult) Pass() bool { return len(r.Violations) == 0 }
+
+// rdsToken encodes producer p's k-th element: unique across the run and
+// self-describing, so the multiset check can name what went missing.
+func rdsToken(p, k int) uint64 { return uint64(p+1)<<32 | uint64(k+1) }
+
+// RunRDS executes one seeded drop+dup schedule against the one-sided
+// remote queue.
+func RunRDS(cfg RDSConfig) (*RDSResult, error) {
+	if cfg.Producers <= 0 {
+		cfg.Producers = 4
+	}
+	if cfg.Elems <= 0 {
+		cfg.Elems = 30
+	}
+	if cfg.Consumers <= 0 {
+		cfg.Consumers = 4
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 80 * sim.Millisecond
+	}
+	total := cfg.Producers * cfg.Elems
+
+	rng := stats.NewRNG(cfg.Seed ^ saltRDS)
+	// Duplication is the star of this schedule (it is what exercises the
+	// atomic replay cache), with a drop rate on top so retransmitted —
+	// not just duplicated — atomics are in play too. No payload
+	// corruption: the one-sided path carries no app-level checksum, and
+	// past-ICRC mangling is the transport matrix's concern.
+	dropRate := 0.002 + 0.010*rng.Float64()
+	dupRate := 0.030 + 0.030*rng.Float64()
+
+	// Topology: server 0, producer host 1, consumer host 2.
+	ccfg := cluster.Default(3)
+	ccfg.Seed = cfg.Seed + 1
+	c := cluster.New(ccfg)
+	defer c.Close()
+
+	d := rds.Deploy(c, rds.Config{
+		ServerHost: 0,
+		// A ring smaller than the total element count, so slot reuse (and
+		// the lap protocol's commit words) is part of every run.
+		Layout: rds.Layout{Buckets: 16, SlotsPerBucket: 4, ValSize: 16, QueueCap: 32},
+	})
+
+	c.InstallFaults(&faults.Scenario{
+		Name: fmt.Sprintf("chaos-rds-%d", cfg.Seed),
+		Seed: rng.Uint64() | 1,
+		Links: []faults.LinkFault{{
+			Src: -1, Dst: -1,
+			DropRate: dropRate,
+			DupRate:  dupRate,
+		}},
+		// The forgiving retransmit timer recovers drops without erroring
+		// QPs; raise the retry budget for unlucky runs.
+		NIC: faults.NICTuning{RetransmitTimeoutNs: 20_000, RetryCount: 7},
+	})
+
+	hardStop := c.Env.Now() + sim.Time(cfg.Budget)
+
+	prodDone := make([]bool, cfg.Producers)
+	for p := 0; p < cfg.Producers; p++ {
+		p := p
+		prng := stats.NewRNG(cfg.Seed ^ saltRDS ^ uint64(0x1000+p))
+		cl := d.NewOneSided(c.Hosts[1])
+		c.Hosts[1].Spawn(fmt.Sprintf("rds-chaos-prod%d", p), func(th *host.Thread) {
+			buf := make([]byte, 8)
+			for k := 0; k < cfg.Elems; k++ {
+				if th.P.Now() >= hardStop {
+					return
+				}
+				binary.LittleEndian.PutUint64(buf, rdsToken(p, k))
+				if err := cl.Enqueue(th, buf); err != nil {
+					// Enqueue blocks on a full ring and the NIC retries
+					// drops, so any surfaced error is an invariant
+					// violation reported by the multiset check.
+					return
+				}
+				// Jittered pacing interleaves producers' ticket claims.
+				th.P.Sleep(sim.Duration(5+prng.Intn(40)) * sim.Microsecond)
+			}
+			prodDone[p] = true
+		})
+	}
+
+	// Fixed quotas: each consumer dequeues exactly its share of the total,
+	// so no consumer claims a head ticket that no producer will ever fill.
+	consDone := make([]bool, cfg.Consumers)
+	got := make([]map[uint64]int, cfg.Consumers)
+	for q := 0; q < cfg.Consumers; q++ {
+		q := q
+		quota := total / cfg.Consumers
+		if q < total%cfg.Consumers {
+			quota++
+		}
+		crng := stats.NewRNG(cfg.Seed ^ saltRDS ^ uint64(0x2000+q))
+		cl := d.NewOneSided(c.Hosts[2])
+		got[q] = make(map[uint64]int)
+		c.Hosts[2].Spawn(fmt.Sprintf("rds-chaos-cons%d", q), func(th *host.Thread) {
+			buf := make([]byte, 16)
+			for k := 0; k < quota; k++ {
+				if th.P.Now() >= hardStop {
+					return
+				}
+				n, err := cl.Dequeue(th, buf)
+				if err != nil {
+					return
+				}
+				if n != 8 {
+					got[q][^uint64(0)]++ // malformed element; fails integrity
+					continue
+				}
+				got[q][binary.LittleEndian.Uint64(buf)]++
+				th.P.Sleep(sim.Duration(5+crng.Intn(40)) * sim.Microsecond)
+			}
+			consDone[q] = true
+		})
+	}
+
+	allDone := func() bool {
+		for _, ok := range prodDone {
+			if !ok {
+				return false
+			}
+		}
+		for _, ok := range consDone {
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for !allDone() && c.Env.Now() < hardStop {
+		c.Env.RunUntil(c.Env.Now() + 200*sim.Microsecond)
+	}
+	// Let trailing completions (slot frees, retransmits in flight) settle.
+	c.Env.RunUntil(c.Env.Now() + sim.Time(sim.Millisecond))
+
+	srvNIC := c.Hosts[0].NIC
+	res := &RDSResult{
+		Seed: cfg.Seed, Producers: cfg.Producers, Elems: cfg.Elems,
+		Consumers: cfg.Consumers, DropRate: dropRate, DupRate: dupRate,
+		QueueSpins:    d.Stats.QueueSpins,
+		AtomicOps:     srvNIC.Stats.AtomicOps,
+		AtomicReplays: srvNIC.Stats.AtomicReplays,
+		Retransmits:   c.Hosts[1].NIC.Stats.QPRetransmits + c.Hosts[2].NIC.Stats.QPRetransmits,
+		ElapsedNs:     int64(c.Env.Now()),
+	}
+	violate := func(format string, args ...interface{}) {
+		if len(res.Violations) < 16 {
+			res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+		}
+	}
+
+	// Invariant 3: liveness.
+	for p, ok := range prodDone {
+		if !ok {
+			res.StuckClients++
+			violate("producer %d stuck within the budget", p)
+		}
+	}
+	for q, ok := range consDone {
+		if !ok {
+			res.StuckClients++
+			violate("consumer %d stuck within the budget", q)
+		}
+	}
+
+	// Invariants 1 and 2: exact multiset equality between the enqueued and
+	// dequeued token sets.
+	counts := make(map[uint64]int)
+	for _, m := range got {
+		for tok, n := range m {
+			counts[tok] += n
+			res.Dequeued += uint64(n)
+		}
+	}
+	res.Enqueued = uint64(total)
+	expected := make([]uint64, 0, total)
+	for p := 0; p < cfg.Producers; p++ {
+		for k := 0; k < cfg.Elems; k++ {
+			expected = append(expected, rdsToken(p, k))
+		}
+	}
+	sort.Slice(expected, func(i, j int) bool { return expected[i] < expected[j] })
+	for _, tok := range expected {
+		switch counts[tok] {
+		case 1:
+		case 0:
+			violate("token %#x enqueued but never dequeued (lost element)", tok)
+		default:
+			violate("token %#x dequeued %d times (double-applied)", tok, counts[tok])
+		}
+		delete(counts, tok)
+	}
+	// Anything left was delivered but never enqueued.
+	strays := make([]uint64, 0, len(counts))
+	for tok := range counts {
+		strays = append(strays, tok)
+	}
+	sort.Slice(strays, func(i, j int) bool { return strays[i] < strays[j] })
+	for _, tok := range strays {
+		violate("token %#x dequeued %d times but never enqueued", tok, counts[tok])
+	}
+	return res, nil
+}

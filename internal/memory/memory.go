@@ -124,18 +124,65 @@ func (g *Registry) Deregister(r *Region) {
 	delete(g.byLKey, r.LKey)
 }
 
+// RemoteOp classifies a remote access for permission checking. Atomics
+// are their own class: ibverbs grants them with IBV_ACCESS_REMOTE_ATOMIC,
+// not with the write permission, and the NIC enforces the distinction in
+// hardware — a CAS against a write-only region is a remote access error.
+type RemoteOp int
+
+// Remote access classes.
+const (
+	RemoteOpRead RemoteOp = iota
+	RemoteOpWrite
+	RemoteOpAtomic
+)
+
+func (o RemoteOp) String() string {
+	switch o {
+	case RemoteOpRead:
+		return "READ"
+	case RemoteOpWrite:
+		return "WRITE"
+	case RemoteOpAtomic:
+		return "ATOMIC"
+	}
+	return "?"
+}
+
 // TranslateRemote resolves an (rkey, addr, size) triple for a remote
-// operation, enforcing permissions.
+// read or write, enforcing permissions. CAS/FetchAdd targets go through
+// TranslateRemoteOp with RemoteOpAtomic instead — atomics do not ride the
+// write permission.
 func (g *Registry) TranslateRemote(rkey uint32, addr uint64, size int, write bool) (*Region, []byte, error) {
+	op := RemoteOpRead
+	if write {
+		op = RemoteOpWrite
+	}
+	return g.TranslateRemoteOp(rkey, addr, size, op)
+}
+
+// TranslateRemoteOp resolves an (rkey, addr, size) triple for a remote
+// operation of the given class, enforcing the matching access flag:
+// RemoteRead for READs, RemoteWrite for WRITEs, RemoteAtomic for
+// CAS/FetchAdd.
+func (g *Registry) TranslateRemoteOp(rkey uint32, addr uint64, size int, op RemoteOp) (*Region, []byte, error) {
 	r, ok := g.byRKey[rkey]
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: rkey %d", ErrBadKey, rkey)
 	}
-	if write && r.Flags&RemoteWrite == 0 {
-		return nil, nil, fmt.Errorf("%w: remote write to rkey %d", ErrPerm, rkey)
-	}
-	if !write && r.Flags&RemoteRead == 0 {
-		return nil, nil, fmt.Errorf("%w: remote read of rkey %d", ErrPerm, rkey)
+	switch op {
+	case RemoteOpRead:
+		if r.Flags&RemoteRead == 0 {
+			return nil, nil, fmt.Errorf("%w: remote read of rkey %d", ErrPerm, rkey)
+		}
+	case RemoteOpWrite:
+		if r.Flags&RemoteWrite == 0 {
+			return nil, nil, fmt.Errorf("%w: remote write to rkey %d", ErrPerm, rkey)
+		}
+	case RemoteOpAtomic:
+		if r.Flags&RemoteAtomic == 0 {
+			return nil, nil, fmt.Errorf("%w: remote atomic on rkey %d", ErrPerm, rkey)
+		}
 	}
 	b, err := r.Slice(addr, size)
 	if err != nil {

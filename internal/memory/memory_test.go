@@ -55,6 +55,50 @@ func TestPermissionEnforcement(t *testing.T) {
 	}
 }
 
+func TestRemoteOpPermissions(t *testing.T) {
+	g := NewRegistry()
+	cases := []struct {
+		name  string
+		flags Access
+		op    RemoteOp
+		ok    bool
+	}{
+		{"read-granted", RemoteRead, RemoteOpRead, true},
+		{"read-denied", RemoteWrite | RemoteAtomic, RemoteOpRead, false},
+		{"write-granted", RemoteWrite, RemoteOpWrite, true},
+		{"write-denied", RemoteRead | RemoteAtomic, RemoteOpWrite, false},
+		{"atomic-granted", RemoteAtomic, RemoteOpAtomic, true},
+		// Atomics must not ride the write permission: a region opened
+		// for RemoteWrite only still rejects CAS/FetchAdd.
+		{"atomic-denied-write-only", RemoteRead | RemoteWrite, RemoteOpAtomic, false},
+		{"atomic-denied-read-only", RemoteRead, RemoteOpAtomic, false},
+		{"all-atomic", RemoteRead | RemoteWrite | RemoteAtomic, RemoteOpAtomic, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := g.Register(64, PageSize4K, tc.flags)
+			_, _, err := g.TranslateRemoteOp(r.RKey, r.Base, 8, tc.op)
+			if tc.ok && err != nil {
+				t.Fatalf("%s on %v region: unexpected error %v", tc.op, tc.flags, err)
+			}
+			if !tc.ok && !errors.Is(err, ErrPerm) {
+				t.Fatalf("%s on %v region: err = %v, want ErrPerm", tc.op, tc.flags, err)
+			}
+		})
+	}
+}
+
+func TestTranslateRemoteDelegates(t *testing.T) {
+	g := NewRegistry()
+	r := g.Register(64, PageSize4K, RemoteRead|RemoteWrite)
+	if _, _, err := g.TranslateRemote(r.RKey, r.Base, 8, false); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if _, _, err := g.TranslateRemote(r.RKey, r.Base, 8, true); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
 func TestDeregister(t *testing.T) {
 	g := NewRegistry()
 	r := g.Register(64, PageSize4K, RemoteRead)

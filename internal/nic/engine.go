@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"scalerpc/internal/fabric"
+	"scalerpc/internal/memory"
 	"scalerpc/internal/sim"
 	"scalerpc/internal/telemetry"
 )
@@ -592,6 +593,7 @@ func (n *NIC) processIn(pkt *packet) (occ sim.Duration, act func()) {
 				// Atomics are not idempotent: replay the cached result
 				// instead of re-executing.
 				if old, ok := qp.replayAtomic(pkt.psn); ok {
+					n.Stats.AtomicReplays++
 					return occ, func() {
 						resp := n.ctl(pktAtomicResp, pkt.transport, pkt.srcQPN, pkt.psn)
 						resp.wrID, resp.signaled, resp.compare = pkt.wrID, pkt.signaled, old
@@ -601,12 +603,13 @@ func (n *NIC) processIn(pkt *packet) (occ sim.Duration, act func()) {
 				return occ, nil
 			}
 		}
-		reg, buf, err := n.mem.TranslateRemote(pkt.rkey, pkt.raddr, 8, true)
+		reg, buf, err := n.mem.TranslateRemoteOp(pkt.rkey, pkt.raddr, 8, memory.RemoteOpAtomic)
 		if err != nil {
 			return occ, func() { n.remoteError(pkt, qp) }
 		}
 		occ += n.chargeMTT(reg, pkt.raddr, 8)
 		n.bus.RecordDMARead(1)
+		n.Stats.AtomicOps++
 		return occ, func() {
 			old := binary.LittleEndian.Uint64(buf)
 			switch pkt.atomicOp {

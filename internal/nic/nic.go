@@ -195,6 +195,9 @@ type Stats struct {
 	QPRetransmits uint64 // WQEs retransmitted by the timeout/RNR retry path
 	RNRNaks       uint64 // RNR NAKs received
 	QPErrors      uint64 // QPs that entered the error state
+	// Atomic responder path (CAS/FetchAdd against local memory).
+	AtomicOps     uint64 // atomics executed against local registered memory
+	AtomicReplays uint64 // duplicate atomics answered from the replay cache
 	// PayloadMangles counts deliveries whose payload was corrupted past
 	// the ICRC (faults-plane CorruptPayload injections committed to memory).
 	PayloadMangles uint64
@@ -313,6 +316,8 @@ func (n *NIC) Register(sc telemetry.Scope) {
 	sc.CounterVar("qp.retransmits", &n.Stats.QPRetransmits)
 	sc.CounterVar("qp.rnr_naks", &n.Stats.RNRNaks)
 	sc.CounterVar("qp.errors", &n.Stats.QPErrors)
+	sc.CounterVar("atomic_ops", &n.Stats.AtomicOps)
+	sc.CounterVar("qp.atomic_replays", &n.Stats.AtomicReplays)
 	sc.CounterVar("payload.mangles", &n.Stats.PayloadMangles)
 	n.trace = sc.Trace()
 }

@@ -1,0 +1,103 @@
+package rds
+
+import (
+	"scalerpc/internal/cluster"
+	"scalerpc/internal/host"
+	"scalerpc/internal/memory"
+	"scalerpc/internal/scalerpc"
+	"scalerpc/internal/sim"
+)
+
+// Config describes one rds deployment on a cluster.
+type Config struct {
+	// ServerHost is the index of the host that owns the structures.
+	ServerHost int
+	// Layout fixes the region geometry; the zero value uses DefaultLayout.
+	Layout Layout
+	// RPC tunes the ScaleRPC server the rpc backend calls into; the zero
+	// value uses scalerpc.DefaultServerConfig.
+	RPC scalerpc.ServerConfig
+	// ServerWork is the CPU charge per RPC-handled op (default 100 ns).
+	ServerWork sim.Duration
+}
+
+// Deployment is a running rds instance: the server plus the connection
+// factories for the three backends. All clients of one deployment share
+// the Stats block, registered under the cluster's "rds" telemetry scope.
+type Deployment struct {
+	C     *cluster.Cluster
+	Cfg   Config
+	Srv   *Server
+	Stats Stats
+
+	clients int
+}
+
+// Deploy builds the server on cfg.ServerHost, starts its ScaleRPC side,
+// and registers the subsystem's telemetry.
+func Deploy(c *cluster.Cluster, cfg Config) *Deployment {
+	if cfg.Layout == (Layout{}) {
+		cfg.Layout = DefaultLayout()
+	}
+	if cfg.RPC.Workers == 0 {
+		cfg.RPC = scalerpc.DefaultServerConfig()
+	}
+	if cfg.ServerWork <= 0 {
+		cfg.ServerWork = 100 * sim.Nanosecond
+	}
+	d := &Deployment{C: c, Cfg: cfg}
+	d.Srv = newServer(c.Hosts[cfg.ServerHost], cfg.Layout, cfg.RPC, cfg.ServerWork)
+	d.Srv.RPC.Start()
+	sc := c.Telemetry.UniqueScope("rds")
+	sc.CounterVar("ops", &d.Stats.Ops)
+	sc.CounterVar("onesided.ops", &d.Stats.OneSidedOps)
+	sc.CounterVar("rpc.ops", &d.Stats.RPCOps)
+	sc.CounterVar("cas_retries", &d.Stats.CASRetries)
+	sc.CounterVar("torn_retries", &d.Stats.TornRetries)
+	sc.CounterVar("queue_spins", &d.Stats.QueueSpins)
+	sc.CounterVar("adaptive.switches", &d.Stats.Switches)
+	sc.CounterVar("adaptive.probes", &d.Stats.Probes)
+	return d
+}
+
+// NewOneSided connects a one-sided client on host ch: a dedicated RC QP
+// pair to the server (the server side stays passive — one-sided traffic
+// consumes no receives and generates no responder CQEs) plus a private
+// scratch region for READ landings and WRITE staging.
+func (d *Deployment) NewOneSided(ch *host.Host) *OneSided {
+	c := &OneSided{d: d, id: d.clients, readSpan: span(d.Srv.Lay)}
+	d.clients++
+	c.cq = ch.NIC.CreateCQ()
+	scq := d.Srv.H.NIC.CreateCQ()
+	c.qp, _ = d.C.ConnectRC(ch, d.Srv.H, c.cq, c.cq, scq, scq)
+	c.scratch = ch.Mem.Register(2*c.readSpan+64, memory.PageSize4K, memory.LocalWrite)
+	return c
+}
+
+// NewRPC connects a two-sided client on host ch through the server's
+// ScaleRPC endpoint. sig is the client thread's activity signal.
+func (d *Deployment) NewRPC(ch *host.Host, sig *sim.Signal) *RPCClient {
+	c := &RPCClient{d: d, id: d.clients, req: make([]byte, 8+d.Srv.Lay.ValSize)}
+	d.clients++
+	c.conn = d.Srv.RPC.Connect(ch, sig)
+	return c
+}
+
+// NewAdaptive builds the hybrid client: one endpoint of each backend plus
+// the selection state.
+func (d *Deployment) NewAdaptive(ch *host.Host, sig *sim.Signal, pol Policy) *Adaptive {
+	return newAdaptive(d, d.NewOneSided(ch), d.NewRPC(ch, sig), pol)
+}
+
+// NewClient builds a client of the given kind (adaptive uses the default
+// policy).
+func (d *Deployment) NewClient(kind Kind, ch *host.Host, sig *sim.Signal) Client {
+	switch kind {
+	case KindOneSided:
+		return d.NewOneSided(ch)
+	case KindRPC:
+		return d.NewRPC(ch, sig)
+	default:
+		return d.NewAdaptive(ch, sig, Policy{})
+	}
+}

@@ -1,0 +1,125 @@
+package rds
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scalerpc/internal/host"
+	"scalerpc/internal/rpccore"
+	"scalerpc/internal/sim"
+)
+
+// LoadConn adapts an rds Client to rpccore.Conn so internal/loadgen's
+// open-loop runner can drive hash-table workloads through any backend.
+//
+// The runner embeds the sampled key in the payload's first 8 bytes (see
+// loadgen.buildPayload); LoadConn shifts it by one (layout key 0 means
+// "empty slot") and deterministically classifies each request as a Get or
+// a Put from a hash of (key, reqID) against PutFraction. Because the rds
+// op API is blocking, each LoadConn runs a private worker thread that
+// executes queued ops in order; TrySend only enqueues, Poll only drains,
+// so the open-loop client thread never blocks and backlog delay lands in
+// the coordinated-omission-free latency accounting where it belongs.
+type LoadConn struct {
+	cl  Client
+	sig *sim.Signal // shared with the loadgen client (its activity signal)
+	ask *sim.Signal // wakes the worker
+
+	putFraction float64
+	window      int
+
+	queue    []loadOp
+	done     []rpccore.Response
+	inflight int
+	val      []byte
+}
+
+// loadOp is one queued request.
+type loadOp struct {
+	reqID uint64
+	key   uint64
+	put   bool
+	size  int
+}
+
+// NewLoadConn builds the adapter and spawns its worker on host ch. sig
+// must be the same signal the loadgen.Client is configured with; window
+// bounds queued+executing ops (the rpccore.Conn slot count).
+func (d *Deployment) NewLoadConn(ch *host.Host, cl Client, sig *sim.Signal, putFraction float64, window int) *LoadConn {
+	if window <= 0 {
+		window = 4
+	}
+	lc := &LoadConn{
+		cl: cl, sig: sig, ask: sim.NewSignal(d.C.Env),
+		putFraction: putFraction, window: window,
+		val: make([]byte, d.Srv.Lay.ValSize),
+	}
+	ch.Spawn(fmt.Sprintf("rds-load%d", d.clients), lc.worker)
+	return lc
+}
+
+// TrySend implements rpccore.Conn: classify and enqueue.
+func (lc *LoadConn) TrySend(t *host.Thread, handler uint8, payload []byte, reqID uint64) bool {
+	if lc.inflight >= lc.window {
+		return false
+	}
+	if len(payload) < 8 {
+		return false
+	}
+	key := binary.LittleEndian.Uint64(payload) + 1
+	// Deterministic op mix: the same (key, reqID) always classifies the
+	// same way, independent of backend, so every arm of an experiment
+	// issues the identical op sequence.
+	h := mix64(key ^ mix64(reqID+0x9e3779b97f4a7c15))
+	put := float64(h>>11)/float64(1<<53) < lc.putFraction
+	lc.queue = append(lc.queue, loadOp{reqID: reqID, key: key, put: put, size: len(payload)})
+	lc.inflight++
+	lc.ask.Broadcast()
+	return true
+}
+
+// Poll implements rpccore.Conn: drain completed ops.
+func (lc *LoadConn) Poll(t *host.Thread, fn func(rpccore.Response)) int {
+	n := len(lc.done)
+	for _, r := range lc.done {
+		fn(r)
+	}
+	lc.done = lc.done[:0]
+	return n
+}
+
+// Outstanding implements rpccore.Conn.
+func (lc *LoadConn) Outstanding() int { return lc.inflight }
+
+// SlotCount implements rpccore.Conn.
+func (lc *LoadConn) SlotCount() int { return lc.window }
+
+// worker executes queued ops in order on its own thread.
+func (lc *LoadConn) worker(t *host.Thread) {
+	for {
+		for len(lc.queue) == 0 {
+			t.WaitSignal(lc.ask, 50*sim.Microsecond)
+		}
+		op := lc.queue[0]
+		lc.queue = lc.queue[1:]
+		var err error
+		if op.put {
+			// Value bytes derive from the key so verification is possible;
+			// length rides the sampled request size, capped at ValSize.
+			n := op.size
+			if n > len(lc.val) {
+				n = len(lc.val)
+			}
+			binary.LittleEndian.PutUint64(lc.val, mix64(op.key))
+			err = lc.cl.Put(t, op.key, lc.val[:n])
+		} else {
+			err = lc.cl.Get(t, op.key, lc.val)
+			if err == ErrNotFound {
+				err = nil // a miss is a completed lookup, not a failure
+			}
+		}
+		lc.inflight--
+		lc.done = append(lc.done, rpccore.Response{ReqID: op.reqID, Err: err != nil})
+		lc.sig.Broadcast()
+	}
+}
