@@ -254,7 +254,7 @@ func Run(cfg Config) (*Result, error) {
 		sig := sim.NewSignal(c.Env)
 		conn := rpccore.NewCaller(connect(ch, sig), opts, rel)
 		ch.Spawn("chaos-client", func(th *host.Thread) {
-			driveClient(th, conn, sig, i, cfg.Calls, hardStop, cr, nil)
+			driveClient(th, conn, sig, i, cfg.Calls, 0, hardStop, cr, nil)
 		})
 	}
 
@@ -278,13 +278,21 @@ func Run(cfg Config) (*Result, error) {
 
 // driveClient issues calls sequentially: send token (i, s), poll until the
 // Caller resolves it (response or synthetic timeout), verify the echo.
-// rec, when non-nil, collects the windowed telemetry (offered at issue,
-// latency and completion at successful resolution) the SLO controller
-// samples in the tenant-shed variant.
-func driveClient(th *host.Thread, conn *rpccore.Caller, sig *sim.Signal, idx, calls int, hardStop sim.Time, cr *clientRun, rec *latRecorder) {
+// pace, when > 0, inserts that much think time before every call after the
+// first, stretching the client's budget across a fault window instead of
+// draining it in one burst. rec, when non-nil, collects the windowed
+// telemetry (offered at issue, latency and completion at successful
+// resolution) the SLO controller samples in the tenant-shed variant.
+func driveClient(th *host.Thread, conn *rpccore.Caller, sig *sim.Signal, idx, calls int, pace sim.Duration, hardStop sim.Time, cr *clientRun, rec *latRecorder) {
 	payload := make([]byte, payloadLen)
 	expect := make([]byte, payloadLen)
 	for s := 0; s < calls; s++ {
+		if pace > 0 && s > 0 {
+			th.P.Sleep(pace)
+			if th.P.Now() >= hardStop {
+				return
+			}
+		}
 		tok := token(idx, s)
 		fillPayload(payload, tok)
 		reqID := uint64(s)

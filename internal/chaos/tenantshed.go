@@ -221,7 +221,7 @@ func RunTenant(cfg TenantConfig) (*TenantOutcome, error) {
 		}
 		caller := rpccore.NewCaller(lc, opts, rel)
 		ch.Spawn("tenant-lat", func(th *host.Thread) {
-			driveClient(th, caller, sig, i, cfg.Calls, hardStop, cr, rec)
+			driveClient(th, caller, sig, i, cfg.Calls, 0, hardStop, cr, rec)
 		})
 	}
 

@@ -90,9 +90,21 @@ func (c *Cluster) InstallFaults(sc *faults.Scenario) *faults.Plane {
 	p := faults.New(c.Env, sc, rng)
 	p.Install(c.Fabric)
 	p.Register(c.Telemetry.UniqueScope("faults"))
-	for _, h := range c.Hosts {
-		p.TuneNIC(&h.NIC.Cfg)
+	for i, h := range c.Hosts {
+		p.TuneNICNode(i, &h.NIC.Cfg)
 	}
+	// Straggler episodes slow the afflicted host's CPU; the NIC-side
+	// slowdown is applied by the plane's interceptor.
+	p.OnStraggler(func(st faults.Straggler) {
+		if st.Node >= 0 && st.Node < len(c.Hosts) && st.CPUFactor > 1 {
+			c.Hosts[st.Node].SetCPUScale(st.CPUFactor)
+		}
+	})
+	p.OnStragglerEnd(func(node int) {
+		if node >= 0 && node < len(c.Hosts) {
+			c.Hosts[node].SetCPUScale(0)
+		}
+	})
 	c.Faults = p
 	return p
 }
@@ -103,10 +115,18 @@ func (c *Cluster) InstallFaults(sc *faults.Scenario) *faults.Plane {
 // in-band, costed handshake — while ConnectRC/ConnectUC below remain the
 // zero-cost test backdoors.
 func (c *Cluster) CtrlPlane() *ctrlplane.Directory {
+	return c.CtrlPlaneWith(ctrlplane.DefaultConfig())
+}
+
+// CtrlPlaneWith is CtrlPlane with an explicit manager configuration — how
+// experiments enable the adaptive failure detector or sweep lease TTLs.
+// Only the first call's configuration takes effect; later calls return the
+// already-built directory.
+func (c *Cluster) CtrlPlaneWith(cfg ctrlplane.Config) *ctrlplane.Directory {
 	if c.Ctrl == nil {
 		c.Ctrl = ctrlplane.NewDirectory()
 		for _, h := range c.Hosts {
-			ctrlplane.NewManager(h, ctrlplane.DefaultConfig(), c.Ctrl).Start()
+			ctrlplane.NewManager(h, cfg, c.Ctrl).Start()
 		}
 	}
 	return c.Ctrl

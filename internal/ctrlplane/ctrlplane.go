@@ -24,10 +24,12 @@ import (
 	"fmt"
 	"sort"
 
+	"scalerpc/internal/fabric"
 	"scalerpc/internal/host"
 	"scalerpc/internal/memory"
 	"scalerpc/internal/nic"
 	"scalerpc/internal/sim"
+	"scalerpc/internal/stats"
 	"scalerpc/internal/telemetry"
 )
 
@@ -50,6 +52,13 @@ type Config struct {
 	// ErrAdmitQueue may wait for quota; entries still over quota after
 	// this age are rejected. Queued entries are re-examined every sweep.
 	AdmitQueueTimeout sim.Duration
+
+	// Detector, when non-nil, replaces fixed-TTL lease expiry with the
+	// adaptive phi-accrual detector and its degradation ladder (see
+	// detector.go). LeaseTTL stays as the safety net for peers without
+	// enough arrival history. Nil keeps the fixed-TTL behaviour
+	// byte-identical.
+	Detector *DetectorConfig
 }
 
 // DefaultConfig returns the standard control-plane timing parameters.
@@ -227,6 +236,21 @@ type Stats struct {
 	AdmitQueued   uint64 // dials parked by a Gatekeeper
 	AdmitReleased uint64 // parked dials later admitted
 	AdmitTimeouts uint64 // parked dials rejected at AdmitQueueTimeout
+
+	// Failure-detector counters (detector.*). Suspicions/Demotions count
+	// ladder escalations; DetectorEvictions counts peers the adaptive
+	// detector declared dead; FalseEvictions counts lease/detector
+	// evictions of peers the registered ground truth says were alive
+	// (counted in fixed-TTL mode too, so the two modes are comparable);
+	// Readmits counts quarantined peers admitted back; Probes and PingsRx
+	// count detector pings sent and received.
+	DetectorSuspicions uint64
+	DetectorDemotions  uint64
+	DetectorEvictions  uint64
+	FalseEvictions     uint64
+	DetectorReadmits   uint64
+	DetectorProbes     uint64
+	PingsRx            uint64
 }
 
 // admitEntry is one dial parked in the admission queue (FIFO).
@@ -270,6 +294,17 @@ type Manager struct {
 
 	leases map[int]sim.Time // inbound: last keepalive per peer
 	lastKA map[int]sim.Time // outbound: last keepalive sent per peer
+
+	// Adaptive failure detection (nil maps/fields when Config.Detector is
+	// nil). det holds per-peer ladder state; detRNG jitters quarantine
+	// lockouts; groundTruth, when set by a harness, reports whether a peer
+	// is genuinely down (false-eviction accounting); onPeerState hooks let
+	// data planes react to ladder transitions.
+	det         map[int]*peerDetector
+	detRNG      *stats.RNG
+	detScope    telemetry.Scope
+	groundTruth func(peer int) bool
+	onPeerState []func(peer int, old, new PeerState)
 
 	// Events is the deterministic connection event log.
 	Events []Event
@@ -336,11 +371,25 @@ func NewManager(h *host.Host, cfg Config, dir *Directory) *Manager {
 	sc.CounterVar("admit_queued", &m.Stats.AdmitQueued)
 	sc.CounterVar("admit_released", &m.Stats.AdmitReleased)
 	sc.CounterVar("admit_timeouts", &m.Stats.AdmitTimeouts)
+	sc.CounterVar("detector.suspicions", &m.Stats.DetectorSuspicions)
+	sc.CounterVar("detector.demotions", &m.Stats.DetectorDemotions)
+	sc.CounterVar("detector.evictions", &m.Stats.DetectorEvictions)
+	sc.CounterVar("detector.false_evictions", &m.Stats.FalseEvictions)
+	sc.CounterVar("detector.readmits", &m.Stats.DetectorReadmits)
+	sc.CounterVar("detector.probes", &m.Stats.DetectorProbes)
+	sc.CounterVar("detector.pings_rx", &m.Stats.PingsRx)
 	sc.GaugeVar("active", &m.activeGauge)
 	sc.GaugeVar("cached", &m.cachedGauge)
 	m.coldHist = sc.Histogram("setup_cold_ns")
 	m.cachedHist = sc.Histogram("setup_cached_ns")
 	m.trace = sc.Trace()
+	if cfg.Detector != nil {
+		// The RNG split happens only on detector-enabled managers so
+		// existing fixed-TTL runs keep their exact RNG streams.
+		m.det = make(map[int]*peerDetector)
+		m.detRNG = h.RNG.Split()
+		m.detScope = sc.Scope("detector")
+	}
 	dir.mgrs[h.ID] = m
 	return m
 }
@@ -392,6 +441,10 @@ func (m *Manager) send(t *host.Thread, dst int, msg *wireMsg) {
 		Op:   nic.OpSend,
 		LKey: m.sendReg.LKey, LAddr: m.sendReg.Base + uint64(off), Len: n,
 		DstNIC: dst, DstQPN: peer.udQP.QPN,
+		Class: fabric.ClassControl,
+	}
+	if msg.kind == kindKeepalive || msg.kind == kindPing {
+		wr.Class = fabric.ClassKeepalive
 	}
 	if n <= m.h.NIC.Cfg.MaxInline {
 		wr.Inline = true
@@ -449,6 +502,13 @@ func (m *Manager) handleCQE(t *host.Thread, e nic.CQE) {
 	case kindKeepalive:
 		m.Stats.KeepalivesRx++
 		m.leases[e.SrcNIC] = t.P.Now()
+		m.detArrival(e.SrcNIC, t.P.Now())
+	case kindPing:
+		// Failure-detector probe: answer immediately so the suspecting
+		// side gets a fresh arrival sample without waiting a LeaseInterval.
+		m.Stats.PingsRx++
+		m.Stats.KeepalivesTx++
+		m.send(t, e.SrcNIC, &wireMsg{kind: kindKeepalive})
 	case kindDisconnect:
 		m.onDisconnect(t, e.SrcNIC, &msg)
 	}
@@ -471,6 +531,9 @@ func (m *Manager) onConnReq(t *host.Thread, peer int, msg *wireMsg) {
 	}
 	if m.admitKeys[dk] {
 		return // resend of a dial already parked in the admission queue
+	}
+	if m.quarantineReject(t, peer, msg) {
+		return
 	}
 	svc := m.services[msg.svc]
 	if svc == nil {
@@ -513,6 +576,7 @@ func (m *Manager) acceptConn(t *host.Thread, peer int, msg *wireMsg, svc Service
 	m.conns[sqp.QPN] = sc
 	m.dups[dk] = sqp.QPN
 	m.leases[peer] = t.P.Now()
+	m.detArrival(peer, t.P.Now())
 	m.Stats.Accepts++
 	m.event("accept", peer, sqp.QPN, handle)
 	reply := sc.acceptMsg
@@ -522,6 +586,9 @@ func (m *Manager) acceptConn(t *host.Thread, peer int, msg *wireMsg, svc Service
 // onResume reactivates a parked connection in one round trip: no QP work,
 // just service readmission.
 func (m *Manager) onResume(t *host.Thread, peer int, msg *wireMsg) {
+	if m.quarantineReject(t, peer, msg) {
+		return
+	}
 	if svc := m.services[msg.svc]; svc != nil {
 		dk := dupKey{peer, msg.qpn2}
 		if m.admitKeys[dk] {
@@ -566,6 +633,7 @@ func (m *Manager) resumeConn(t *host.Thread, peer int, msg *wireMsg) {
 	m.conns[ent.qp.QPN] = sc
 	m.dups[dupKey{peer, ent.clientQPN}] = ent.qp.QPN
 	m.leases[peer] = t.P.Now()
+	m.detArrival(peer, t.P.Now())
 	m.Stats.Resumes++
 	m.event("resume", peer, ent.qp.QPN, handle)
 	reply := sc.acceptMsg
@@ -723,7 +791,14 @@ func (m *Manager) sweep(t *host.Thread) {
 		}
 	}
 
-	// Inbound lease expiry and QP-error eviction.
+	// Advance the adaptive detector's ladder (no-op in fixed-TTL mode)
+	// before expiry so a peer crossing the eviction rung this sweep loses
+	// its connections this sweep.
+	m.detectorSweep(t, now)
+
+	// Inbound lease expiry and QP-error eviction. falseCounted dedups the
+	// per-peer false-eviction accounting across a peer's connections.
+	var falseCounted map[int]bool
 	for _, qpn := range sortedQPNs(m.conns) {
 		sc := m.conns[qpn]
 		var reason CloseReason
@@ -731,9 +806,18 @@ func (m *Manager) sweep(t *host.Thread) {
 		case sc.qp.Err() != nil:
 			reason = CloseError
 			m.Stats.Evictions++
-		case now-m.leases[sc.peer] > m.cfg.LeaseTTL:
+		case m.peerExpired(sc.peer, now):
 			reason = CloseExpired
 			m.Stats.LeaseExpiries++
+			if m.det == nil && m.groundTruth != nil && !m.groundTruth(sc.peer) && !falseCounted[sc.peer] {
+				// Fixed-TTL mode: the detector path counts its own false
+				// evictions at the ladder transition.
+				if falseCounted == nil {
+					falseCounted = make(map[int]bool)
+				}
+				falseCounted[sc.peer] = true
+				m.Stats.FalseEvictions++
+			}
 		default:
 			continue
 		}
@@ -749,6 +833,10 @@ func (m *Manager) sweep(t *host.Thread) {
 			m.event("expire", sc.peer, qpn, sc.handle)
 		}
 	}
+
+	// Evicted peers enter quarantine once their connections are gone:
+	// rejoin attempts are rejected until a seeded-jitter backoff lapses.
+	m.quarantineEvicted(now)
 
 	// Outbound connections whose QP errored: drop tracking (the owning
 	// data-plane endpoint observes the error through its own polling).

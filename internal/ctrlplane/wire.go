@@ -18,6 +18,10 @@ const (
 	kindResume
 	kindKeepalive
 	kindDisconnect
+	// kindPing is a failure-detector probe: the receiver answers with an
+	// immediate keepalive, giving the suspecting side a fresh arrival
+	// sample without waiting for the next LeaseInterval.
+	kindPing
 )
 
 // wireMsg is the decoded form of every control-plane message. Field use by

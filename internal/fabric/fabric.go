@@ -38,12 +38,28 @@ func DefaultConfig() Config {
 	}
 }
 
+// Message traffic classes, carried end to end so fault rules can target
+// specific protocol roles (e.g. drop only lease keepalives). The fabric
+// itself never interprets the class beyond handing it to the interceptor.
+const (
+	// ClassData is ordinary data-path traffic (the zero value).
+	ClassData byte = 0
+	// ClassControl marks control-plane handshake and teardown frames.
+	ClassControl byte = 1
+	// ClassKeepalive marks liveness traffic: lease keepalives and
+	// failure-detector pings/probes.
+	ClassKeepalive byte = 2
+)
+
 // Message is one unit of delivery between NICs. Payload is opaque to the
 // fabric.
 type Message struct {
 	Src, Dst int
 	Bytes    int // payload size for wire-time purposes
 	Payload  interface{}
+	// Class tags the traffic class of the payload (ClassData et al.) so
+	// interceptors can apply selective fault rules. Informational only.
+	Class byte
 	// Mangled marks this delivery as payload-corrupted past the ICRC (a
 	// Verdict.CorruptPayload injection): the receiving NIC must flip bits
 	// in a private copy of the payload before committing it. Set per
@@ -99,8 +115,18 @@ type Verdict struct {
 	// was only delayed, or a misbehaving switch). The duplicate is always
 	// delivered clean.
 	Duplicate bool
-	// ExtraDelay is added to the switch latency (a latency spike).
+	// ExtraDelay holds the message back after it clears the destination
+	// downlink (a latency spike in the slow endpoint's own processing).
+	// It must not reserve the downlink itself: a straggling NIC delays its
+	// own packets, it does not occupy the switch port while doing so —
+	// otherwise one sick peer head-of-line blocks every healthy flow
+	// sharing the destination port, which is exactly the gray-failure
+	// leakage the chaos suite exists to rule out.
 	ExtraDelay sim.Duration
+	// WireTimeScale, when > 1, multiplies the message's serialization time
+	// on both the source uplink and the destination downlink — a degraded
+	// link running below nominal rate. 0 or 1 means nominal bandwidth.
+	WireTimeScale float64
 }
 
 // Interceptor inspects every message entering the switch and decides its
@@ -169,7 +195,7 @@ func (f *Fabric) Send(msg *Message) {
 		// Switch drop: the uplink serialized the packet, then it vanished.
 		src := f.ports[msg.Src]
 		now := f.env.Now()
-		wt := f.wireTime(msg.Bytes)
+		wt := scaleWire(f.wireTime(msg.Bytes), v.WireTimeScale)
 		txStart := now
 		if src.txFree > txStart {
 			txStart = src.txFree
@@ -192,19 +218,30 @@ func (f *Fabric) Send(msg *Message) {
 		cp.Mangled = true
 		first = &cp
 	}
-	f.transmit(first, v.ExtraDelay, !v.Corrupt)
+	f.transmit(first, v, !v.Corrupt)
 	if v.Duplicate {
-		f.transmit(msg, v.ExtraDelay, true)
+		f.transmit(msg, v, true)
 	}
+}
+
+// scaleWire applies a Verdict.WireTimeScale to a nominal serialization
+// time. Scales at or below 1 leave the time unchanged: a fault plane can
+// only slow a link down, never beat the hardware.
+func scaleWire(wt sim.Duration, scale float64) sim.Duration {
+	if scale > 1 {
+		wt = sim.Duration(float64(wt) * scale)
+	}
+	return wt
 }
 
 // transmit schedules one copy of msg through the switch. When deliver is
 // false the copy consumes bandwidth end to end but the receiving port
 // discards it (ICRC corruption).
-func (f *Fabric) transmit(msg *Message, extraDelay sim.Duration, deliver bool) {
+func (f *Fabric) transmit(msg *Message, v Verdict, deliver bool) {
 	src, dst := f.ports[msg.Src], f.ports[msg.Dst]
 	now := f.env.Now()
-	wt := f.wireTime(msg.Bytes)
+	extraDelay := v.ExtraDelay
+	wt := scaleWire(f.wireTime(msg.Bytes), v.WireTimeScale)
 
 	txStart := now
 	if src.txFree > txStart {
@@ -213,12 +250,16 @@ func (f *Fabric) transmit(msg *Message, extraDelay sim.Duration, deliver bool) {
 	txEnd := txStart + wt
 	src.txFree = txEnd
 
-	rxStart := txEnd + f.cfg.SwitchLatency + extraDelay
+	rxStart := txEnd + f.cfg.SwitchLatency
 	if dst.rxFree > rxStart {
 		rxStart = dst.rxFree
 	}
 	rxEnd := rxStart + wt
 	dst.rxFree = rxEnd
+	// The latency spike lands after downlink serialization: the delayed
+	// packet arrives late, but it never holds the port against traffic
+	// from other, healthy peers (see Verdict.ExtraDelay).
+	rxEnd += extraDelay
 
 	src.Stats.TxMessages++
 	src.Stats.TxBytes += uint64(msg.Bytes + f.cfg.WireOverheadBytes)

@@ -31,11 +31,21 @@ type PlaneStats struct {
 	// is delivered with flipped payload bits instead of being discarded.
 	PayloadCorrupts uint64
 
+	// Jitters counts messages that received a random link-jitter delay;
+	// Throttles counts messages whose serialization time was stretched by
+	// a WireTimeScale rule.
+	Jitters   uint64
+	Throttles uint64
+
 	LinkDownDrops uint64 // messages dropped because an endpoint was down
 	Flaps         uint64
 	Crashes       uint64
 	Restarts      uint64
 	Events        uint64
+	// Stragglers counts straggler episode starts; StragglerDelays counts
+	// messages delayed because an endpoint was straggling.
+	Stragglers      uint64
+	StragglerDelays uint64
 }
 
 // Plane executes one Scenario against one cluster.
@@ -46,13 +56,17 @@ type Plane struct {
 	Stats PlaneStats
 
 	// flapDepth counts overlapping down-windows per node; dead marks
-	// crashed (and not yet restarted) nodes.
-	flapDepth map[int]int
-	dead      map[int]bool
+	// crashed (and not yet restarted) nodes; straggling maps a node to its
+	// active straggler episode (overlapping episodes: last to start wins).
+	flapDepth  map[int]int
+	dead       map[int]bool
+	straggling map[int]Straggler
 
-	onCrash   []func(node int)
-	onRestart []func(node int)
-	onEvent   map[string][]func(Event)
+	onCrash        []func(node int)
+	onRestart      []func(node int)
+	onStraggler    []func(st Straggler)
+	onStragglerEnd []func(node int)
+	onEvent        map[string][]func(Event)
 }
 
 // New builds a plane and schedules the scenario's timed entries on env.
@@ -60,12 +74,13 @@ type Plane struct {
 // fire, since dispatch reads the hook lists at event time.
 func New(env *sim.Env, sc *Scenario, rng *stats.RNG) *Plane {
 	p := &Plane{
-		env:       env,
-		sc:        sc,
-		rng:       rng,
-		flapDepth: make(map[int]int),
-		dead:      make(map[int]bool),
-		onEvent:   make(map[string][]func(Event)),
+		env:        env,
+		sc:         sc,
+		rng:        rng,
+		flapDepth:  make(map[int]int),
+		dead:       make(map[int]bool),
+		straggling: make(map[int]Straggler),
+		onEvent:    make(map[string][]func(Event)),
 	}
 	p.schedule()
 	return p
@@ -99,6 +114,13 @@ func (p *Plane) schedule() {
 			p.at(cr.At+cr.RestartAfterNs, func() { p.restart(cr.Node) })
 		}
 	}
+	for _, st := range p.sc.Stragglers {
+		st := st
+		p.at(st.At, func() { p.stragglerStart(st) })
+		if st.DurNs > 0 {
+			p.at(st.At+st.DurNs, func() { p.stragglerEnd(st.Node) })
+		}
+	}
 	for _, ev := range p.sc.Events {
 		ev := ev
 		p.at(ev.At, func() {
@@ -107,6 +129,24 @@ func (p *Plane) schedule() {
 				fn(ev)
 			}
 		})
+	}
+}
+
+func (p *Plane) stragglerStart(st Straggler) {
+	p.Stats.Stragglers++
+	p.straggling[st.Node] = st
+	for _, fn := range p.onStraggler {
+		fn(st)
+	}
+}
+
+func (p *Plane) stragglerEnd(node int) {
+	if _, ok := p.straggling[node]; !ok {
+		return
+	}
+	delete(p.straggling, node)
+	for _, fn := range p.onStragglerEnd {
+		fn(node)
 	}
 }
 
@@ -152,6 +192,21 @@ func (p *Plane) OnCrash(fn func(node int)) { p.onCrash = append(p.onCrash, fn) }
 // OnRestart registers a hook fired when a crashed node comes back.
 func (p *Plane) OnRestart(fn func(node int)) { p.onRestart = append(p.onRestart, fn) }
 
+// OnStraggler registers a hook fired when a straggler episode starts
+// (consumers apply the CPU factor to the node's host).
+func (p *Plane) OnStraggler(fn func(st Straggler)) { p.onStraggler = append(p.onStraggler, fn) }
+
+// OnStragglerEnd registers a hook fired when a straggler episode ends.
+func (p *Plane) OnStragglerEnd(fn func(node int)) {
+	p.onStragglerEnd = append(p.onStragglerEnd, fn)
+}
+
+// NodeStraggling reports the node's active straggler episode, if any.
+func (p *Plane) NodeStraggling(node int) (Straggler, bool) {
+	st, ok := p.straggling[node]
+	return st, ok
+}
+
 // OnEvent binds behaviour to a named scenario event kind.
 func (p *Plane) OnEvent(kind string, fn func(Event)) {
 	p.onEvent[kind] = append(p.onEvent[kind], fn)
@@ -170,12 +225,12 @@ func (p *Plane) intercept(msg *fabric.Message) fabric.Verdict {
 		return fabric.Verdict{Drop: true}
 	}
 	now := int64(p.env.Now())
+	var v fabric.Verdict
 	for i := range p.sc.Links {
 		lf := &p.sc.Links[i]
-		if !lf.matches(msg.Src, msg.Dst, now) {
+		if !lf.matches(msg.Src, msg.Dst, now) || !lf.classMatches(msg.Class) {
 			continue
 		}
-		var v fabric.Verdict
 		if lf.DropRate > 0 && p.rng.Float64() < lf.DropRate {
 			p.Stats.Drops++
 			v.Drop = true
@@ -197,17 +252,72 @@ func (p *Plane) intercept(msg *fabric.Message) fabric.Verdict {
 			p.Stats.Delays++
 			v.ExtraDelay = sim.Duration(lf.DelayNs)
 		}
+		if lf.JitterNs > 0 {
+			p.Stats.Jitters++
+			v.ExtraDelay += sim.Duration(p.rng.Int63() % lf.JitterNs)
+		}
+		if lf.WireTimeScale > 1 {
+			p.Stats.Throttles++
+			v.WireTimeScale = lf.WireTimeScale
+		}
+		break
+	}
+	return p.stragglerVerdict(msg, v)
+}
+
+// stragglerVerdict layers straggler NIC slowdown on top of a link-rule
+// verdict: messages touching a straggling endpoint gain its fixed delay
+// plus seeded uniform jitter. Both endpoints straggling stacks both. The
+// RNG is only consulted for actual jitter, in fabric call order, so the
+// draw sequence stays deterministic.
+func (p *Plane) stragglerVerdict(msg *fabric.Message, v fabric.Verdict) fabric.Verdict {
+	if len(p.straggling) == 0 || v.Drop {
 		return v
 	}
-	return fabric.Verdict{}
+	apply := func(st Straggler) {
+		p.Stats.StragglerDelays++
+		v.ExtraDelay += sim.Duration(st.NICDelayNs)
+		if st.NICJitterNs > 0 {
+			v.ExtraDelay += sim.Duration(p.rng.Int63() % st.NICJitterNs)
+		}
+	}
+	if st, ok := p.straggling[msg.Src]; ok && (st.NICDelayNs > 0 || st.NICJitterNs > 0) {
+		apply(st)
+	}
+	if msg.Dst != msg.Src {
+		if st, ok := p.straggling[msg.Dst]; ok && (st.NICDelayNs > 0 || st.NICJitterNs > 0) {
+			apply(st)
+		}
+	}
+	return v
 }
 
 // TuneNIC applies the scenario's reliability overrides to a NIC config. The
 // lossless default disables the requester retransmit timer, which would turn
 // every injected drop of a window-final packet into a hang, so a plane
 // always enables it — 20µs unless the scenario says otherwise.
-func (p *Plane) TuneNIC(cfg *nic.Config) {
+func (p *Plane) TuneNIC(cfg *nic.Config) { p.TuneNICNode(-1, cfg) }
+
+// TuneNICNode is TuneNIC for a specific host: when the scenario scopes its
+// overrides (NICTuning.Nodes), hosts outside the scope get only the
+// retransmit floor. node -1 means "unscoped caller" and always applies.
+func (p *Plane) TuneNICNode(node int, cfg *nic.Config) {
 	t := p.sc.NIC
+	if len(t.Nodes) > 0 && node >= 0 {
+		scoped := false
+		for _, n := range t.Nodes {
+			if n == node {
+				scoped = true
+				break
+			}
+		}
+		if !scoped {
+			if cfg.RetransmitTimeout <= 0 {
+				cfg.RetransmitTimeout = 20 * sim.Microsecond
+			}
+			return
+		}
+	}
 	if t.RetransmitTimeoutNs > 0 {
 		cfg.RetransmitTimeout = sim.Duration(t.RetransmitTimeoutNs)
 	} else if cfg.RetransmitTimeout <= 0 {
@@ -232,9 +342,13 @@ func (p *Plane) Register(sc telemetry.Scope) {
 	sc.CounterVar("injected.payload_corrupts", &p.Stats.PayloadCorrupts)
 	sc.CounterVar("injected.dups", &p.Stats.Dups)
 	sc.CounterVar("injected.delays", &p.Stats.Delays)
+	sc.CounterVar("injected.jitters", &p.Stats.Jitters)
+	sc.CounterVar("injected.throttles", &p.Stats.Throttles)
 	sc.CounterVar("link.down_drops", &p.Stats.LinkDownDrops)
 	sc.CounterVar("flaps", &p.Stats.Flaps)
 	sc.CounterVar("crashes", &p.Stats.Crashes)
 	sc.CounterVar("restarts", &p.Stats.Restarts)
+	sc.CounterVar("stragglers", &p.Stats.Stragglers)
+	sc.CounterVar("straggler_delays", &p.Stats.StragglerDelays)
 	sc.CounterVar("events", &p.Stats.Events)
 }

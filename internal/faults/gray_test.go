@@ -1,0 +1,154 @@
+package faults_test
+
+import (
+	"reflect"
+	"testing"
+
+	"scalerpc/internal/fabric"
+	"scalerpc/internal/faults"
+	"scalerpc/internal/sim"
+	"scalerpc/internal/stats"
+)
+
+// grayDelivery is one observed arrival, keyed by the send schedule.
+type grayDelivery struct {
+	at    sim.Time
+	seq   int
+	class byte
+}
+
+// runGrayComposition drives one seeded run of an asymmetric gray schedule
+// on the 0↔1 link pair: a one-way partition 0→1, and on the reverse
+// direction a keepalive-only loss rule stacked on a degraded link
+// (delay + jitter + wire-time throttle), with a node flap afterwards.
+func runGrayComposition(t *testing.T, seed uint64) (faults.PlaneStats, []grayDelivery, []grayDelivery) {
+	t.Helper()
+	const (
+		grayFrom = 20_000
+		grayTo   = 60_000
+		flapAt   = 70_000
+		flapDur  = 10_000
+	)
+	sc := &faults.Scenario{
+		Name: "gray-composition",
+		Links: []faults.LinkFault{
+			// One-way partition: 0→1 silent, 1→0 untouched by this rule.
+			faults.OneWayPartition(0, 1, grayFrom, grayTo),
+			// Keepalive-class loss on 1→0; data falls through to the
+			// degraded-link rule below (class mismatch keeps matching).
+			{Src: 1, Dst: 0, From: grayFrom, Until: grayTo, DropRate: 1, Class: faults.ClassKeepalive},
+			faults.DegradedLink(1, 0, grayFrom, grayTo, 3000, 2000, 4),
+		},
+		Flaps: []faults.Flap{{Node: 1, At: flapAt, DownNs: flapDur}},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	env := sim.NewEnv()
+	fab := fabric.New(env, fabric.DefaultConfig(), 2)
+	p := faults.New(env, sc, stats.NewRNG(seed))
+	p.Install(fab)
+
+	var to1, to0 []grayDelivery
+	fab.Port(1).OnDeliver(func(m *fabric.Message) {
+		to1 = append(to1, grayDelivery{env.Now(), m.Payload.(int), m.Class})
+	})
+	fab.Port(0).OnDeliver(func(m *fabric.Message) {
+		to0 = append(to0, grayDelivery{env.Now(), m.Payload.(int), m.Class})
+	})
+	// One send per direction every 1 µs through all three phases; the
+	// reverse direction alternates data and keepalive frames.
+	for i := 0; i < 90; i++ {
+		i := i
+		env.At(sim.Duration(i)*1000, func() {
+			fab.Send(&fabric.Message{Src: 0, Dst: 1, Bytes: 64, Payload: i})
+			cl := fabric.ClassData
+			if i%2 == 1 {
+				cl = fabric.ClassKeepalive
+			}
+			fab.Send(&fabric.Message{Src: 1, Dst: 0, Bytes: 64, Payload: i, Class: cl})
+		})
+	}
+	env.Run()
+	return p.Stats, to1, to0
+}
+
+// TestGrayRuleComposition checks that stacked rules on one link pair each
+// apply to their own direction and message class.
+func TestGrayRuleComposition(t *testing.T) {
+	st, to1, to0 := runGrayComposition(t, 11)
+
+	sentAt := func(seq int) sim.Time { return sim.Time(seq) * 1000 }
+	inGray := func(seq int) bool { return sentAt(seq) >= 20_000 && sentAt(seq) < 60_000 }
+	inFlap := func(seq int) bool { return sentAt(seq) >= 70_000 && sentAt(seq) < 80_000 }
+
+	// Forward direction: the one-way partition silences 0→1 in the gray
+	// window and the flap silences it again; everything else arrives.
+	for _, d := range to1 {
+		if inGray(d.seq) {
+			t.Errorf("0→1 seq %d delivered inside the one-way partition", d.seq)
+		}
+		if inFlap(d.seq) {
+			t.Errorf("0→1 seq %d delivered inside the flap", d.seq)
+		}
+	}
+
+	// Reverse direction: keepalives are lost in the gray window, data
+	// still flows — but slower (delay + 4× wire time + jitter).
+	var grayData, healthyData []sim.Duration
+	grayKeepalives := 0
+	for _, d := range to0 {
+		lat := sim.Duration(d.at - sentAt(d.seq))
+		switch {
+		case inGray(d.seq) && d.class == fabric.ClassKeepalive:
+			grayKeepalives++
+		case inGray(d.seq):
+			grayData = append(grayData, lat)
+		case d.class == fabric.ClassData && !inFlap(d.seq):
+			healthyData = append(healthyData, lat)
+		}
+	}
+	if grayKeepalives != 0 {
+		t.Errorf("%d keepalives survived the keepalive-loss rule", grayKeepalives)
+	}
+	if len(grayData) == 0 {
+		t.Fatal("degraded link delivered no data at all — it must slow, not silence")
+	}
+	minGray, maxHealthy := grayData[0], sim.Duration(0)
+	for _, l := range grayData {
+		if l < minGray {
+			minGray = l
+		}
+	}
+	for _, l := range healthyData {
+		if l > maxHealthy {
+			maxHealthy = l
+		}
+	}
+	if minGray <= maxHealthy {
+		t.Errorf("degraded-link latency floor %d ≤ healthy ceiling %d", minGray, maxHealthy)
+	}
+
+	if st.Jitters == 0 || st.Throttles == 0 {
+		t.Errorf("degraded-link dice never fired: %+v", st)
+	}
+	if st.Drops == 0 || st.LinkDownDrops == 0 || st.Flaps != 1 {
+		t.Errorf("partition/flap accounting off: %+v", st)
+	}
+}
+
+// TestGrayCompositionDeterministic pins the seeded replay contract for the
+// new asymmetric primitives: identical seeds give identical fates and
+// delivery times; a different seed moves the jittered arrivals.
+func TestGrayCompositionDeterministic(t *testing.T) {
+	s1, a1, b1 := runGrayComposition(t, 33)
+	s2, a2, b2 := runGrayComposition(t, 33)
+	if s1 != s2 || !reflect.DeepEqual(a1, a2) || !reflect.DeepEqual(b1, b2) {
+		t.Fatal("same seed produced different gray-fault runs")
+	}
+	_, _, b3 := runGrayComposition(t, 34)
+	if reflect.DeepEqual(b1, b3) {
+		t.Fatal("different seeds produced identical jittered deliveries")
+	}
+}

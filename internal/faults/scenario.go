@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"scalerpc/internal/fabric"
 )
 
 // LinkFault injects probabilistic per-message faults on matching directed
@@ -34,6 +36,44 @@ type LinkFault struct {
 	// messages (DelayRate 0 with DelayNs > 0 means every message).
 	DelayRate float64 `json:"delay_rate,omitempty"`
 	DelayNs   int64   `json:"delay_ns,omitempty"`
+
+	// JitterNs adds a uniform random delay in [0, JitterNs) to every
+	// matched message — a degraded link's latency variance, as opposed to
+	// DelayNs's fixed spike. Drawn from the plane's seeded RNG.
+	JitterNs int64 `json:"jitter_ns,omitempty"`
+	// WireTimeScale > 1 stretches matched messages' serialization time by
+	// that factor (a link renegotiated below nominal rate). 0 or 1 is
+	// nominal bandwidth; values below 1 are rejected by Validate.
+	WireTimeScale float64 `json:"wire_time_scale,omitempty"`
+	// Class restricts the rule to one traffic class: "" matches any,
+	// otherwise one of "data", "control", "keepalive". A non-matching
+	// class falls through to later rules, so a keepalive-only loss rule
+	// composes with a catch-all behind it.
+	Class string `json:"class,omitempty"`
+}
+
+// Link-fault class selector values (LinkFault.Class).
+const (
+	ClassAny       = ""
+	ClassData      = "data"
+	ClassControl   = "control"
+	ClassKeepalive = "keepalive"
+)
+
+// classMatches reports whether the rule's class selector accepts a message
+// of the given fabric class.
+func (lf *LinkFault) classMatches(class byte) bool {
+	switch lf.Class {
+	case ClassAny:
+		return true
+	case ClassData:
+		return class == fabric.ClassData
+	case ClassControl:
+		return class == fabric.ClassControl
+	case ClassKeepalive:
+		return class == fabric.ClassKeepalive
+	}
+	return false
 }
 
 // matches reports whether the rule applies to a message on src→dst at time
@@ -73,6 +113,27 @@ type Crash struct {
 	RestartAfterNs int64 `json:"restart_after_ns,omitempty"`
 }
 
+// Straggler degrades a node without killing it — the canonical gray
+// failure. For the window [At, At+DurNs) the node's host CPU runs
+// CPUFactor times slower (applied through the plane's OnStraggler hooks)
+// and every message to or from its NIC gains NICDelayNs fixed delay plus a
+// uniform random delay in [0, NICJitterNs). The jitter matters: a purely
+// constant delay shifts all arrivals uniformly and never widens
+// inter-arrival gaps, so it is invisible to timeout-based detectors.
+type Straggler struct {
+	Node int   `json:"node"`
+	At   int64 `json:"at_ns"`
+	// DurNs is the episode length; 0 means the rest of the run.
+	DurNs int64 `json:"dur_ns,omitempty"`
+	// CPUFactor scales the node's CPU cost (2 = half speed); values <= 1
+	// leave the CPU alone.
+	CPUFactor float64 `json:"cpu_factor,omitempty"`
+	// NICDelayNs/NICJitterNs delay the node's wire traffic in both
+	// directions.
+	NICDelayNs  int64 `json:"nic_delay_ns,omitempty"`
+	NICJitterNs int64 `json:"nic_jitter_ns,omitempty"`
+}
+
 // Event is a named scheduled hook with no built-in semantics: consumers bind
 // behaviour with Plane.OnEvent. The stock kinds used by tests are
 // "mr-invalidate" (deregister a node's exposed memory region, so remote
@@ -93,6 +154,12 @@ type NICTuning struct {
 	RetryCount          int   `json:"retry_count,omitempty"`
 	RNRTimeoutNs        int64 `json:"rnr_timeout_ns,omitempty"`
 	RNRRetryCount       int   `json:"rnr_retry_count,omitempty"`
+	// Nodes, when non-empty, restricts the overrides to those hosts; the
+	// rest of the cluster keeps stock tuning (plus the plane's retransmit
+	// floor). An asymmetric-fault schedule tunes only the sick endpoint —
+	// relaxing (or tightening) every healthy host's retry budget alongside
+	// it would leak the failure into peers the schedule never touched.
+	Nodes []int `json:"nodes,omitempty"`
 }
 
 // Scenario is a complete, serializable fault schedule. Driven entirely by
@@ -102,12 +169,13 @@ type Scenario struct {
 	Name string `json:"name"`
 	// Seed, when non-zero, seeds the plane's RNG directly; 0 derives it
 	// from the cluster seed, so the whole run is still one seed.
-	Seed    uint64      `json:"seed,omitempty"`
-	Links   []LinkFault `json:"links,omitempty"`
-	Flaps   []Flap      `json:"flaps,omitempty"`
-	Crashes []Crash     `json:"crashes,omitempty"`
-	Events  []Event     `json:"events,omitempty"`
-	NIC     NICTuning   `json:"nic,omitempty"`
+	Seed       uint64      `json:"seed,omitempty"`
+	Links      []LinkFault `json:"links,omitempty"`
+	Flaps      []Flap      `json:"flaps,omitempty"`
+	Crashes    []Crash     `json:"crashes,omitempty"`
+	Stragglers []Straggler `json:"stragglers,omitempty"`
+	Events     []Event     `json:"events,omitempty"`
+	NIC        NICTuning   `json:"nic,omitempty"`
 }
 
 // DropAll returns a minimal scenario dropping every message with the given
@@ -116,6 +184,25 @@ func DropAll(name string, rate float64) *Scenario {
 	return &Scenario{
 		Name:  name,
 		Links: []LinkFault{{Src: -1, Dst: -1, DropRate: rate}},
+	}
+}
+
+// OneWayPartition returns a rule dropping everything src→dst for a window
+// while the reverse direction flows untouched — the asymmetric partition
+// that makes fixed symmetric timeouts lie (src looks dead to dst, dst
+// looks fine to src).
+func OneWayPartition(src, dst int, from, until int64) LinkFault {
+	return LinkFault{Src: src, Dst: dst, From: from, Until: until, DropRate: 1}
+}
+
+// DegradedLink returns a rule that keeps a directed link alive but sick
+// for a window: fixed extra latency, uniform jitter on top, and
+// serialization stretched by scale (<= 1 for nominal rate). No loss — the
+// gray mode where everything still arrives, just late.
+func DegradedLink(src, dst int, from, until, delayNs, jitterNs int64, scale float64) LinkFault {
+	return LinkFault{
+		Src: src, Dst: dst, From: from, Until: until,
+		DelayNs: delayNs, JitterNs: jitterNs, WireTimeScale: scale,
 	}
 }
 
@@ -162,8 +249,16 @@ func (s *Scenario) Validate() error {
 				return err
 			}
 		}
-		if lf.From < 0 || lf.Until < 0 || lf.DelayNs < 0 {
+		if lf.From < 0 || lf.Until < 0 || lf.DelayNs < 0 || lf.JitterNs < 0 {
 			return fmt.Errorf("faults: links[%d] has a negative time", i)
+		}
+		if lf.WireTimeScale != 0 && lf.WireTimeScale < 1 {
+			return fmt.Errorf("faults: links[%d].wire_time_scale %g below 1", i, lf.WireTimeScale)
+		}
+		switch lf.Class {
+		case ClassAny, ClassData, ClassControl, ClassKeepalive:
+		default:
+			return fmt.Errorf("faults: links[%d].class %q unknown", i, lf.Class)
 		}
 	}
 	for i, fl := range s.Flaps {
@@ -174,6 +269,17 @@ func (s *Scenario) Validate() error {
 	for i, cr := range s.Crashes {
 		if cr.At < 0 || cr.RestartAfterNs < 0 {
 			return fmt.Errorf("faults: crashes[%d] has a negative time", i)
+		}
+	}
+	for i, st := range s.Stragglers {
+		if st.At < 0 || st.DurNs < 0 || st.NICDelayNs < 0 || st.NICJitterNs < 0 {
+			return fmt.Errorf("faults: stragglers[%d] has a negative time", i)
+		}
+		if st.CPUFactor < 0 {
+			return fmt.Errorf("faults: stragglers[%d].cpu_factor negative", i)
+		}
+		if st.CPUFactor <= 1 && st.NICDelayNs == 0 && st.NICJitterNs == 0 {
+			return fmt.Errorf("faults: stragglers[%d] degrades nothing", i)
 		}
 	}
 	for i, ev := range s.Events {

@@ -72,6 +72,11 @@ type Host struct {
 	// CPU time accounting across all of the host's threads, in virtual ns.
 	CPUWorkNs  uint64 // time charged against the core pool
 	CPUSleepNs uint64 // time blocked waiting for completions
+
+	// cpuScale multiplies every Work charge when > 1 — a straggling host
+	// whose cores run below nominal speed (thermal throttling, a noisy
+	// neighbour VM). 0 or 1 is nominal. Set via SetCPUScale.
+	cpuScale float64
 }
 
 // New assembles a host attached to fabric port id. reg may be nil; the host
@@ -199,11 +204,24 @@ func (h *Host) Spawn(name string, fn func(*Thread)) *Thread {
 	return t
 }
 
+// SetCPUScale makes every subsequent Work charge cost f times its nominal
+// duration (f > 1 slows the host; f <= 1 restores nominal speed). Used by
+// the fault plane's straggler episodes.
+func (h *Host) SetCPUScale(f float64) {
+	if f <= 1 {
+		f = 0
+	}
+	h.cpuScale = f
+}
+
 // Work charges d of CPU time on the host's core pool. Inside a BeginWork
 // region the charge is deferred (see BeginWork).
 func (t *Thread) Work(d sim.Duration) {
 	if d <= 0 {
 		return
+	}
+	if s := t.Host.cpuScale; s > 1 {
+		d = sim.Duration(float64(d) * s)
 	}
 	t.Host.CPUWorkNs += uint64(d)
 	if t.batchDepth > 0 {

@@ -54,6 +54,10 @@ type packet struct {
 	wrID     uint64
 	signaled bool
 
+	// class is the fabric traffic class (fabric.ClassData et al.), copied
+	// from the originating SendWR so fault rules can target protocol roles.
+	class byte
+
 	atomicOp           Op
 	compare, swap, add uint64
 
@@ -212,6 +216,7 @@ func (n *NIC) processOut(job outJob) (occ sim.Duration, extraLat sim.Duration, a
 	pkt.swap = wr.Swap
 	pkt.add = wr.Add
 	pkt.atomicOp = wr.Op
+	pkt.class = wr.Class
 	wireBytes := len(data)
 	switch wr.Op {
 	case OpWrite:
@@ -254,6 +259,7 @@ func (n *NIC) processOut(job outJob) (occ sim.Duration, extraLat sim.Duration, a
 		}
 		m := n.getMsg()
 		m.Src, m.Dst, m.Bytes, m.Payload = n.id, dstNIC, wireBytes, pkt
+		m.Class = pkt.class
 		n.fab.Send(m)
 		// Unreliable transports complete at transmission.
 		if wr.Signaled && (qp.Type == UD || qp.Type == UC) {

@@ -148,6 +148,11 @@ type SendWR struct {
 
 	// Atomic operands (OpCompSwap: Compare/Swap; OpFetchAdd: Add).
 	Compare, Swap, Add uint64
+
+	// Class is the fabric traffic class (fabric.ClassData et al.),
+	// propagated onto every wire packet this WR produces so fault rules
+	// can target protocol roles (e.g. keepalive-only loss).
+	Class byte
 }
 
 // RecvWR is a receive work request.

@@ -23,6 +23,40 @@ type CallOpts struct {
 	// retry schedule, against the straggler tail. Server-side dedup makes
 	// the duplicate safe.
 	Hedge sim.Duration `json:"hedge_ns,omitempty"`
+	// MaxRetryInterval caps the doubling backoff; 0 leaves it unbounded
+	// (the pre-cap behavior).
+	MaxRetryInterval sim.Duration `json:"max_retry_interval_ns,omitempty"`
+	// RetryJitter spreads each backoff delay by up to this fraction of the
+	// interval (e.g. 0.5 draws from [interval, 1.5*interval)), breaking up
+	// the synchronized retry waves a recovered link otherwise sees from
+	// every client at once. The draw is a stateless hash of
+	// (JitterSalt, reqID, attempt), so runs stay deterministic and two
+	// callers with different salts never stampede in phase.
+	RetryJitter float64 `json:"retry_jitter,omitempty"`
+	// JitterSalt seeds the jitter hash; give each client a distinct salt.
+	JitterSalt uint64 `json:"jitter_salt,omitempty"`
+}
+
+// jitterHash mixes (salt, reqID, attempt) into a uniform [0,1) fraction —
+// splitmix64-style finalization, stateless so the retry schedule is a pure
+// function of the call identity.
+func jitterHash(salt, reqID uint64, attempt int) float64 {
+	z := salt ^ reqID*0x9e3779b97f4a7c15 ^ uint64(attempt)*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// nextInterval applies the cap and jitter to a call's current backoff.
+func (o CallOpts) nextInterval(interval sim.Duration, reqID uint64, attempt int) sim.Duration {
+	if o.MaxRetryInterval > 0 && interval > o.MaxRetryInterval {
+		interval = o.MaxRetryInterval
+	}
+	if o.RetryJitter > 0 {
+		interval += sim.Duration(float64(interval) * o.RetryJitter * jitterHash(o.JitterSalt, reqID, attempt))
+	}
+	return interval
 }
 
 // Resender is implemented by transports whose in-flight requests can be
@@ -31,6 +65,17 @@ type CallOpts struct {
 // on a transport without it the Caller can only enforce deadlines.
 type Resender interface {
 	Resend(t *host.Thread, reqID uint64) bool
+}
+
+// Canceler is implemented by transports that can withdraw an in-flight
+// request. The Caller invokes it when a call's deadline expires: the
+// application has been told TimedOut and moved on, so the request must
+// not linger in the transport's retry surface — a frame that keeps being
+// re-offered (e.g. restaged across context switches) can outlive the
+// server's bounded dedup window and re-execute long after the app gave
+// up, breaking at-most-once.
+type Canceler interface {
+	Cancel(t *host.Thread, reqID uint64) bool
 }
 
 // pendingCall tracks one outstanding request's timers.
@@ -84,7 +129,7 @@ func (c *Caller) TrySend(t *host.Thread, handler uint8, payload []byte, reqID ui
 		pc.hedgeAt = now + c.Opts.Hedge
 	}
 	if c.Opts.RetryInterval > 0 {
-		pc.nextRetry = now + c.Opts.RetryInterval
+		pc.nextRetry = now + c.Opts.nextInterval(c.Opts.RetryInterval, reqID, 0)
 	}
 	if old, ok := c.pending[reqID]; ok {
 		old.done = true // the application reused a reqID; supersede
@@ -129,6 +174,9 @@ func (c *Caller) Poll(t *host.Thread, fn func(Response)) int {
 		}
 		if c.Opts.Timeout > 0 && now >= pc.deadline {
 			c.complete(pc)
+			if cn, ok := c.Conn.(Canceler); ok {
+				cn.Cancel(t, pc.reqID)
+			}
 			c.Rel.DeadlineExceeded++
 			delivered++
 			fn(Response{ReqID: pc.reqID, Err: true, TimedOut: true})
@@ -146,7 +194,7 @@ func (c *Caller) Poll(t *host.Thread, fn func(Response)) int {
 				c.Rel.Retries++
 			}
 			pc.interval *= 2
-			pc.nextRetry = now + pc.interval
+			pc.nextRetry = now + c.Opts.nextInterval(pc.interval, pc.reqID, pc.retries)
 		}
 	}
 	return delivered

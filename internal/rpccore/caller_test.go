@@ -1,0 +1,184 @@
+package rpccore
+
+import (
+	"testing"
+
+	"scalerpc/internal/cluster"
+	"scalerpc/internal/host"
+	"scalerpc/internal/sim"
+)
+
+func TestJitterHashDeterministicAndBounded(t *testing.T) {
+	for salt := uint64(0); salt < 4; salt++ {
+		for req := uint64(1); req < 64; req++ {
+			for attempt := 1; attempt < 8; attempt++ {
+				f := jitterHash(salt, req, attempt)
+				if f < 0 || f >= 1 {
+					t.Fatalf("jitterHash(%d,%d,%d) = %v out of [0,1)", salt, req, attempt, f)
+				}
+				if f != jitterHash(salt, req, attempt) {
+					t.Fatalf("jitterHash not deterministic at (%d,%d,%d)", salt, req, attempt)
+				}
+			}
+		}
+	}
+	// Distinct salts must decorrelate the schedule for the same call.
+	same := 0
+	for req := uint64(1); req <= 100; req++ {
+		a := jitterHash(1, req, 1)
+		b := jitterHash(2, req, 1)
+		if a == b {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 draws collided across salts", same)
+	}
+}
+
+func TestNextIntervalCapAndJitter(t *testing.T) {
+	o := CallOpts{MaxRetryInterval: 100, RetryJitter: 0.5, JitterSalt: 7}
+	for _, in := range []sim.Duration{10, 100, 1000, 1 << 40} {
+		got := o.nextInterval(in, 42, 3)
+		base := in
+		if base > 100 {
+			base = 100
+		}
+		if got < base || got > base+base/2 {
+			t.Fatalf("nextInterval(%d) = %d, want in [%d, %d]", in, got, base, base+base/2)
+		}
+	}
+	// Zero-value opts: pure doubling, untouched.
+	if got := (CallOpts{}).nextInterval(1<<40, 42, 3); got != 1<<40 {
+		t.Fatalf("zero opts changed the interval: %d", got)
+	}
+}
+
+// deadConn swallows every send and resend until recoverAt, recording the
+// virtual time of each resend attempt; the first resend after recovery is
+// answered. It models one client's requests through a link that comes back
+// while the whole fleet is in backoff.
+type deadConn struct {
+	env       *sim.Env
+	sig       *sim.Signal
+	recoverAt sim.Time
+	resendLog *[]sim.Time
+	answered  bool
+	ready     []Response
+}
+
+func (d *deadConn) TrySend(t *host.Thread, h uint8, payload []byte, reqID uint64) bool {
+	return true
+}
+
+func (d *deadConn) Resend(t *host.Thread, reqID uint64) bool {
+	*d.resendLog = append(*d.resendLog, d.env.Now())
+	if d.env.Now() >= d.recoverAt && !d.answered {
+		d.answered = true
+		d.ready = append(d.ready, Response{ReqID: reqID})
+		d.sig.Broadcast()
+	}
+	return true
+}
+
+func (d *deadConn) Poll(t *host.Thread, fn func(Response)) int {
+	n := len(d.ready)
+	for _, r := range d.ready {
+		fn(r)
+	}
+	d.ready = d.ready[:0]
+	return n
+}
+
+func (d *deadConn) Outstanding() int { return 0 }
+func (d *deadConn) SlotCount() int   { return 1 }
+
+// runRetryWave drives 64 clients, all posting at t=0 through a link that
+// recovers at 2 ms, and returns the largest number of resend attempts
+// sharing one virtual instant plus the largest gap between consecutive
+// retries of any single client.
+func runRetryWave(t *testing.T, opts func(client int) CallOpts) (maxBurst int, maxGap sim.Duration) {
+	t.Helper()
+	c := cluster.New(cluster.Default(1))
+	defer c.Close()
+	sig := sim.NewSignal(c.Env)
+	const clients = 64
+	recoverAt := sim.Time(2 * sim.Millisecond)
+
+	logs := make([][]sim.Time, clients)
+	done := 0
+	for i := 0; i < clients; i++ {
+		i := i
+		conn := &deadConn{env: c.Env, sig: sig, recoverAt: recoverAt, resendLog: &logs[i]}
+		caller := NewCaller(conn, opts(i), nil)
+		c.Hosts[0].Spawn("client", func(th *host.Thread) {
+			if !caller.TrySend(th, 1, nil, uint64(i)+1) {
+				t.Error("send refused")
+			}
+			got := false
+			for !got && th.P.Now() < 20*sim.Millisecond {
+				caller.Poll(th, func(Response) { got = true })
+				if !got {
+					th.WaitSignal(sig, 5*sim.Microsecond)
+				}
+			}
+			if got {
+				done++
+			}
+		})
+	}
+	c.Env.RunUntil(25 * sim.Millisecond)
+	if done != clients {
+		t.Fatalf("only %d/%d clients completed through the recovered link", done, clients)
+	}
+
+	byInstant := map[sim.Time]int{}
+	for i, log := range logs {
+		for j, at := range log {
+			byInstant[at]++
+			if j > 0 {
+				if gap := sim.Duration(at - log[j-1]); gap > maxGap {
+					maxGap = gap
+				}
+			}
+		}
+		if len(log) == 0 {
+			t.Fatalf("client %d never retried", i)
+		}
+	}
+	for _, n := range byInstant {
+		if n > maxBurst {
+			maxBurst = n
+		}
+	}
+	return maxBurst, maxGap
+}
+
+// TestRetryJitterBreaksStampede runs the 64-client recovered-link wave
+// twice: the unjittered schedule must produce fully synchronized retry
+// bursts (the regression this guards), and salted jitter plus the interval
+// cap must both spread the bursts and bound any client's backoff gap.
+func TestRetryJitterBreaksStampede(t *testing.T) {
+	plain := CallOpts{Timeout: 50 * sim.Millisecond, RetryInterval: 40 * sim.Microsecond, MaxRetries: 12}
+	burst, _ := runRetryWave(t, func(int) CallOpts { return plain })
+	if burst != 64 {
+		t.Fatalf("unjittered wave: max burst %d, want the full 64 (schedule should be synchronized)", burst)
+	}
+
+	jittered := plain
+	jittered.MaxRetryInterval = 160 * sim.Microsecond
+	jittered.RetryJitter = 1.0
+	burst, gap := runRetryWave(t, func(i int) CallOpts {
+		o := jittered
+		o.JitterSalt = uint64(i) + 1
+		return o
+	})
+	if burst > 24 {
+		t.Fatalf("jittered wave: max burst %d, want the stampede broken up (≤ 24)", burst)
+	}
+	// Cap: interval can reach at most MaxRetryInterval*(1+jitter), plus the
+	// 5 µs poll grid.
+	if limit := sim.Duration(2*160+10) * sim.Microsecond; gap > limit {
+		t.Fatalf("max backoff gap %d ns exceeds capped schedule %d ns", gap, limit)
+	}
+}

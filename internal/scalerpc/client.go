@@ -335,6 +335,14 @@ func (c *Conn) Poll(t *host.Thread, fn func(rpccore.Response)) int {
 		}
 		rpcwire.Clear(block)
 		t.WriteMem(c.resp.ValidAddr(0, b), 1)
+		// Invalidate the staged copy as well. Round bumps (retry resends,
+		// switch restages) make the server re-fetch every staging block up
+		// to the advertised count, holes included; a completed frame left
+		// valid in its hole would be re-offered and — once the server's
+		// bounded dedup window rotates past it — re-executed.
+		stageOff := b * c.s.Cfg.BlockSize
+		rpcwire.Clear(c.stage.Bytes()[stageOff : stageOff+c.s.Cfg.BlockSize])
+		t.WriteMem(c.stage.Base+uint64(stageOff+rpcwire.ValidOffset(c.s.Cfg.BlockSize)), 1)
 		c.slots[b] = connSlot{}
 		c.outstanding--
 		got++
@@ -387,6 +395,11 @@ func (c *Conn) onContextSwitch(t *host.Thread) {
 			t.WriteMem(c.stage.Base+uint64(m*c.s.Cfg.BlockSize+off), span)
 			c.slots[m] = c.slots[b]
 			c.slots[b] = connSlot{}
+			// The move leaves a byte-identical residue at the source block;
+			// invalidate it so a later round whose count spans this far
+			// cannot re-offer the frame a second time.
+			rpcwire.Clear(src)
+			t.WriteMem(c.stage.Base+uint64(b*c.s.Cfg.BlockSize+rpcwire.ValidOffset(c.s.Cfg.BlockSize)), 1)
 		}
 		c.Retries++
 		m++
@@ -415,7 +428,7 @@ func (c *Conn) onContextSwitch(t *host.Thread) {
 // If the link is still down the new QP errors too and the next Poll retries,
 // so the backoff paces reconnect attempts through an outage.
 func (c *Conn) reconnect(t *host.Thread) {
-	if d := c.s.Cfg.ReconnectBackoff; d > 0 {
+	if d := c.s.Cfg.Failure.ReconnectBackoff; d > 0 {
 		t.P.Sleep(d)
 	}
 	if c.mgr != nil {
@@ -503,6 +516,35 @@ func (c *Conn) Resend(t *host.Thread, reqID uint64) bool {
 		wr.Inline = true
 	}
 	return t.PostSend(c.qp, wr) == nil
+}
+
+// Cancel withdraws the in-flight request identified by reqID (the
+// rpccore.Canceler hook behind Caller deadlines). The slot is freed and
+// its staged frame invalidated in place, so later warmup restages stop
+// re-offering a request the application has already written off — an
+// abandoned frame that keeps circulating can outlive the server's dedup
+// window and re-execute. A copy already fetched into the processing pool
+// may still run once; cancellation only guarantees the request stops
+// being offered from here on.
+func (c *Conn) Cancel(t *host.Thread, reqID uint64) bool {
+	b := -1
+	for i := range c.slots {
+		if c.slots[i].busy && c.slots[i].reqID == reqID {
+			b = i
+			break
+		}
+	}
+	if b < 0 {
+		return false
+	}
+	blockOff := b * c.s.Cfg.BlockSize
+	block := c.stage.Bytes()[blockOff : blockOff+c.s.Cfg.BlockSize]
+	rpcwire.Clear(block)
+	t.WriteMem(c.stage.Base+uint64(blockOff+rpcwire.ValidOffset(c.s.Cfg.BlockSize)), 1)
+	c.slots[b] = connSlot{}
+	c.outstanding--
+	c.entryDirty = true
+	return true
 }
 
 // slotSpanEnd returns one past the highest busy staged slot — the staged

@@ -63,6 +63,13 @@ type ServerConfig struct {
 	// direction): pinned clients are never context-switched out, trading
 	// a little NIC-cache headroom for RC-level tail latency.
 	ReservedZones int
+	// Failure groups the failure-detection knobs so experiments can sweep
+	// them independently of the scheduling parameters.
+	Failure FailureConfig
+}
+
+// FailureConfig holds ScaleRPC's failure-detection and recovery tunables.
+type FailureConfig struct {
 	// ProbeSlices is how many consecutive slices a client may go without a
 	// single served request before the scheduler posts a liveness probe (a
 	// 0-byte RC write) on its QP. A dead client's probe exhausts the RC
@@ -74,6 +81,14 @@ type ServerConfig struct {
 	// ReconnectBackoff is how long a client waits after finding its QP in
 	// the error state before rebuilding the connection.
 	ReconnectBackoff sim.Duration
+}
+
+// DefaultFailureConfig returns the standard failure-detection parameters.
+func DefaultFailureConfig() FailureConfig {
+	return FailureConfig{
+		ProbeSlices:      1,
+		ReconnectBackoff: 20 * sim.Microsecond,
+	}
 }
 
 // DefaultServerConfig returns the paper's evaluation configuration.
@@ -93,8 +108,7 @@ func DefaultServerConfig() ServerConfig {
 		LegacyThreshold:    20 * sim.Microsecond,
 		SyncPeriod:         100 * sim.Millisecond,
 		ReservedZones:      4,
-		ProbeSlices:        1,
-		ReconnectBackoff:   20 * sim.Microsecond,
+		Failure:            DefaultFailureConfig(),
 	}
 }
 
@@ -123,6 +137,8 @@ type Stats struct {
 	PinnedServed uint64 // requests answered on reserved (latency-sensitive) zones
 	LateServed   uint64 // switch-racing requests answered by the late sweep
 	Probes       uint64 // liveness probes posted to silent clients
+	Demotes      uint64 // clients isolated into suspect groups (gray peer demoted)
+	Restores     uint64 // demoted clients re-placed after their peer recovered
 	Evictions    uint64 // clients evicted after their QP errored
 	Readmits     uint64 // failed clients re-admitted via Reconnect
 	Joins        uint64 // control-plane admissions (cold joins and resumes)

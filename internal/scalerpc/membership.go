@@ -40,17 +40,32 @@ const joinRespSize = 2 + 1 + 2
 var ErrNotManaged = errors.New("scalerpc: connection not admitted through the control plane")
 
 // BindControlPlane registers this server with its host's control-plane
-// manager so clients can Join in-band.
+// manager so clients can Join in-band, and subscribes to the manager's
+// failure-detector ladder: a demoted peer's clients are isolated into
+// suspect groups (probes suppressed, service continues) and restored when
+// the peer clears. Eviction needs no hook — the manager's expiry sweep
+// tears the connection down through the normal Closed path.
 func (s *Server) BindControlPlane(m *ctrlplane.Manager) {
 	if m.Host() != s.Host {
 		panic("scalerpc: control-plane manager runs on a different host")
 	}
-	m.RegisterService(ServiceName, &ctrlAdapter{s: s})
+	m.RegisterService(ServiceName, &ctrlAdapter{s: s, m: m})
+	m.OnPeerState(func(peer int, old, new ctrlplane.PeerState) {
+		switch new {
+		case ctrlplane.PeerDemoted:
+			s.DemotePeer(peer)
+		case ctrlplane.PeerHealthy:
+			s.RestorePeer(peer)
+		}
+	})
 }
 
 // ctrlAdapter implements ctrlplane.Service (and ctrlplane.Gatekeeper) for
 // a ScaleRPC server.
-type ctrlAdapter struct{ s *Server }
+type ctrlAdapter struct {
+	s *Server
+	m *ctrlplane.Manager
+}
 
 // PreAdmit screens a dial before the control plane builds any QP state:
 // with a tenant authority installed, an over-quota tenant's dial is queued
@@ -87,9 +102,11 @@ func (a *ctrlAdapter) Accept(t *host.Thread, peer int, qp *nic.QP, payload []byt
 		pinReq = granted
 	}
 	if cs := s.findParked(payload); cs != nil {
-		// The tenant must be set before rebind places the client: class-
-		// pure grouping reads the joining client's class at placement.
+		// The tenant and peer identity must be set before rebind places the
+		// client: class-pure grouping and suspect isolation both read the
+		// joining client's state at placement.
 		cs.tenant = tenant
+		a.stamp(cs, peer)
 		a.rebind(t, cs, qp, pinReq)
 		s.tenantOpen(cs)
 		return joinResp(cs), uint64(cs.id) + 1, nil
@@ -109,6 +126,7 @@ func (a *ctrlAdapter) Accept(t *host.Thread, peer int, qp *nic.QP, payload []byt
 		warmZone:  -1,
 		tenant:    tenant,
 	}
+	a.stamp(cs, peer)
 	if int(id) == len(s.clients) {
 		s.clients = append(s.clients, cs)
 	} else {
@@ -143,15 +161,32 @@ func (a *ctrlAdapter) Resume(t *host.Thread, peer int, qp *nic.QP, payload []byt
 		}
 		pinReq = granted
 	}
+	a.stamp(cs, peer)
 	a.rebind(t, cs, qp, pinReq)
 	s.tenantOpen(cs)
 	return joinResp(cs), uint64(cs.id) + 1, nil
+}
+
+// stamp records the dialing peer on a (re)admitted client and inherits the
+// peer's current detector state, so a client joining from an
+// already-demoted peer lands in a suspect group rather than a healthy one.
+func (a *ctrlAdapter) stamp(cs *clientState, peer int) {
+	cs.peerHost = peer
+	cs.demoted = a.m.PeerStateOf(peer) == ctrlplane.PeerDemoted
 }
 
 // rebind reactivates a parked client on the given (possibly different)
 // QP and places it back into the scheduler.
 func (a *ctrlAdapter) rebind(t *host.Thread, cs *clientState, qp *nic.QP, pinned bool) {
 	s := a.s
+	if !cs.parked && !cs.limbo {
+		// The client dialed back in before the server noticed its dead
+		// pair: retire the stale activation in place so the rebind below
+		// is not a double placement. The errored pair's eventual Closed
+		// sweep finds an already-rebound client and stands down.
+		s.tenantClose(cs)
+		s.unplace(cs)
+	}
 	cs.parked = false
 	if cs.limbo {
 		cs.limbo = false
@@ -176,6 +211,10 @@ func (a *ctrlAdapter) rebind(t *host.Thread, cs *clientState, qp *nic.QP, pinned
 // regions match the join payload, scanning in id order for determinism.
 // The regions are the durable identity: a crash-recovered client dialing
 // cold presents the same regions and reclaims its id (and dedup window).
+// An *active* client whose QP has errored matches too: a client that
+// re-dials before the server's sweep notices the dead pair is the same
+// client, and handing it a fresh id would silently drop its dedup window
+// — the retried in-flight request would re-execute.
 func (s *Server) findParked(payload []byte) *clientState {
 	if len(payload) != joinReqSize {
 		return nil
@@ -185,8 +224,11 @@ func (s *Server) findParked(payload []byte) *clientState {
 	stageAddr := binary.LittleEndian.Uint64(payload[12:])
 	stageRKey := binary.LittleEndian.Uint32(payload[20:])
 	for _, cs := range s.clients {
-		if cs != nil && (cs.parked || cs.limbo) && cs.respAddr == respAddr && cs.respRKey == respRKey &&
-			cs.stageAddr == stageAddr && cs.stageRKey == stageRKey {
+		if cs == nil || cs.respAddr != respAddr || cs.respRKey != respRKey ||
+			cs.stageAddr != stageAddr || cs.stageRKey != stageRKey {
+			continue
+		}
+		if cs.parked || cs.limbo || (cs.qp != nil && cs.qp.Err() != nil) {
 			return cs
 		}
 	}

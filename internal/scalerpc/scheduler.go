@@ -23,7 +23,7 @@ func (s *Server) runScheduler(t *host.Thread) {
 		s.phaseAdjust = 0
 		s.nextSwitch = t.P.Now() + sliceLen
 		for t.P.Now() < s.nextSwitch {
-			s.assignWarm()
+			s.assignWarm(t)
 			s.fetchWarmups(t)
 			remain := s.nextSwitch - t.P.Now()
 			d := s.Cfg.WarmupPollInterval
@@ -78,7 +78,7 @@ func (s *Server) sliceFor(g int) sim.Duration {
 			n++
 		}
 		for _, cs := range s.clients {
-			if cs != nil && !cs.parked {
+			if cs != nil && !cs.parked && !cs.limbo {
 				all += cs.priority
 				m++
 			}
@@ -149,12 +149,18 @@ func (s *Server) warmTarget() (*rpcwire.Pool, int) {
 }
 
 // assignWarm gives each member of the warming group its zone in the warmup
-// pool (the virtualized mapping's context metadata, §3.3).
-func (s *Server) assignWarm() {
+// pool (the virtualized mapping's context metadata, §3.3). A zone is wiped
+// when it is (re)bound: the fetches for the new binding only start after
+// this, so anything still valid in the zone was fetched for an earlier
+// occupant or an earlier round — and a frame that lingers past the reply
+// cache's dedup horizon (a pool dropping out of rotation when groups
+// collapse, a zone unbound by a mid-slice demotion) re-executes when the
+// zone rotates back in, breaking at-most-once.
+func (s *Server) assignWarm(t *host.Thread) {
 	if len(s.groups) == 0 {
 		return
 	}
-	_, g := s.warmTarget()
+	pool, g := s.warmTarget()
 	if len(s.groups) < 2 {
 		// Single group: zones in the processing pool, assigned directly.
 		for i, cid := range s.groups[g] {
@@ -162,6 +168,7 @@ func (s *Server) assignWarm() {
 			if cs.zone != i {
 				cs.zone = i
 				s.zoneOwner[i] = int(cid)
+				s.wipeZone(t, pool, i)
 			}
 		}
 		return
@@ -171,6 +178,22 @@ func (s *Server) assignWarm() {
 		if cs.warmZone != i {
 			cs.warmZone = i
 			s.warmOwner[i] = int(cid)
+			s.wipeZone(t, pool, i)
+		}
+		// Re-stamped every pass, not just on rebind: promotion trusts the
+		// zone only if this slice's scheduler loop asserted the binding.
+		s.warmEpoch[i] = s.epoch
+	}
+}
+
+// wipeZone invalidates every block of one pool zone (stale frames from a
+// previous binding; see assignWarm).
+func (s *Server) wipeZone(t *host.Thread, pool *rpcwire.Pool, z int) {
+	for b := 0; b < s.Cfg.BlocksPerClient; b++ {
+		block := pool.Block(z, b)
+		if rpcwire.Valid(block) {
+			rpcwire.Clear(block)
+			t.WriteMem(pool.ValidAddr(z, b), 1)
 		}
 	}
 }
@@ -322,6 +345,16 @@ func (s *Server) contextSwitch(t *host.Thread) {
 		cs.zone = i
 		cs.warmZone = -1
 		s.zoneOwner[i] = int(cid)
+		// Trust the warmed frames only if the binding was asserted during
+		// the slice that just ended (epoch was incremented above). A pool
+		// that sat out of rotation — the cluster fell back to a single
+		// group, or this zone was simply never warmed — holds frames from
+		// retired rounds; serving those would duplicate executions the
+		// reply cache rotated out long ago.
+		if s.warmEpoch[i]+1 != s.epoch {
+			s.wipeZone(t, s.processingPool(), i)
+		}
+		s.warmEpoch[i] = 0
 	}
 	s.Stats.Switches++
 	if s.trace.Enabled {
@@ -344,7 +377,7 @@ func (s *Server) contextSwitch(t *host.Thread) {
 	// Rebuild groups once per full rotation (so every group is served each
 	// rotation regardless of priority), immediately when the lazy size
 	// bounds are violated by joins/leaves, or after an eviction.
-	if s.cur == 0 || len(evict) > 0 || s.sizeBoundsViolated() {
+	if s.cur == 0 || len(evict) > 0 || s.regroupDue || s.sizeBoundsViolated() {
 		s.regroup()
 	}
 
@@ -449,7 +482,7 @@ func (s *Server) notifyControl(t *host.Thread, cs *clientState) {
 // scanFailures inspects the outgoing group for dead clients: members whose
 // QP already sits in the error state (their NIC stopped acknowledging —
 // crashed node, downed link, invalidated response region) are returned for
-// eviction, and members who went Cfg.ProbeSlices consecutive slices without
+// eviction, and members who went Cfg.Failure.ProbeSlices consecutive slices without
 // a single served request get a liveness probe — a 0-byte unsignaled RC
 // write to the response region that either lands invisibly (the client is
 // merely idle) or exhausts the RC retry budget and errors the QP before the
@@ -470,7 +503,7 @@ func (s *Server) scanFailures(t *host.Thread, out []uint16) []uint16 {
 			continue
 		}
 		cs.missedSlices++
-		if s.Cfg.ProbeSlices > 0 && cs.missedSlices >= s.Cfg.ProbeSlices {
+		if !cs.demoted && s.Cfg.Failure.ProbeSlices > 0 && cs.missedSlices >= s.Cfg.Failure.ProbeSlices {
 			s.Stats.Probes++
 			t.PostSend(cs.qp, nic.SendWR{Op: nic.OpWrite, RKey: cs.respRKey, RAddr: cs.respAddr})
 		}
@@ -520,7 +553,10 @@ func (s *Server) regroup() {
 	}
 	var rest []uint16
 	for _, cs := range s.clients {
-		if cs != nil && !cs.pinned && !cs.parked && !inCur[cs.id] {
+		// Quarantined (limbo) identities are departed, not schedulable:
+		// sweeping one back into a group would hand a dead QP to the
+		// failure scanner and a zone to a client that cannot stage.
+		if cs != nil && !cs.pinned && !cs.parked && !cs.limbo && !inCur[cs.id] {
 			rest = append(rest, cs.id)
 		}
 	}
@@ -532,36 +568,43 @@ func (s *Server) regroup() {
 			return s.clients[rest[i]].priority > s.clients[rest[j]].priority
 		})
 	}
-	if s.tenantAuth != nil {
-		// Class partitioning: a stable sort by class keeps the priority
-		// order within each class and the chunking below never lets a
-		// chunk span a class boundary, so a bulk tenant can never ride in
-		// (and inflate) a latency-class group.
-		sort.SliceStable(rest, func(i, j int) bool {
-			return s.tenantClassOf(rest[i]) < s.tenantClassOf(rest[j])
-		})
-	}
+	// Partition sort: a stable sort by the partition key keeps the priority
+	// order within each partition, and the chunking below never lets a
+	// chunk span a partition boundary — so a bulk tenant can never ride in
+	// (and inflate) a latency-class group, and a demoted (suspect) client
+	// never shares a slice with healthy ones. With no tenant authority and
+	// no demotions every key is zero and the sort is a no-op.
+	sort.SliceStable(rest, func(i, j int) bool {
+		return s.partKey(rest[i]) < s.partKey(rest[j])
+	})
 	g := s.Cfg.GroupSize
-	newGroups := [][]uint16{cur}
+	// The current group is frozen so a mid-rotation rebuild never disturbs
+	// the slice being served — but an emptied group (every member evicted
+	// or departed) earns no such protection. Keeping it would leave a
+	// zero-member group in rotation that regroup itself re-freezes each
+	// pass: the scheduler then burns entire slices serving nobody while
+	// the populated groups starve.
+	newGroups := [][]uint16{}
+	if len(cur) > 0 {
+		newGroups = append(newGroups, cur)
+	}
 	for len(rest) > 0 {
 		n := g
 		if n > len(rest) {
 			n = len(rest)
 		}
-		if s.tenantAuth != nil {
-			// Cut the chunk at the first class change.
-			for i := 1; i < n; i++ {
-				if s.tenantClassOf(rest[i]) != s.tenantClassOf(rest[0]) {
-					n = i
-					break
-				}
+		// Cut the chunk at the first partition change.
+		for i := 1; i < n; i++ {
+			if s.partKey(rest[i]) != s.partKey(rest[0]) {
+				n = i
+				break
 			}
 		}
 		// Absorb a would-be trailing runt into this group (lazy merge) —
-		// only within one class when partitioned (rest is class-sorted, so
-		// the last element matching the first means the whole tail does).
+		// only within one partition (rest is key-sorted, so the last
+		// element matching the first means the whole tail does).
 		if len(rest)-n < g/2 && len(rest)-n > 0 && len(rest) <= g*3/2 &&
-			(s.tenantAuth == nil || s.tenantClassOf(rest[len(rest)-1]) == s.tenantClassOf(rest[0])) {
+			s.partKey(rest[len(rest)-1]) == s.partKey(rest[0]) {
 			n = len(rest)
 		}
 		newGroups = append(newGroups, append([]uint16(nil), rest[:n]...))
@@ -576,8 +619,7 @@ func (s *Server) regroup() {
 		if len(last) >= g/2 || len(prev)+len(last) > g*3/2 {
 			break
 		}
-		if s.tenantAuth != nil && len(prev) > 0 &&
-			s.tenantClassOf(prev[0]) != s.tenantClassOf(last[0]) {
+		if len(prev) > 0 && s.partKey(prev[0]) != s.partKey(last[0]) {
 			break
 		}
 		newGroups[len(newGroups)-2] = append(prev, last...)
@@ -599,6 +641,7 @@ func (s *Server) regroup() {
 	}
 	s.groups = newGroups
 	s.cur = 0
+	s.regroupDue = false
 	if changed || s.Cfg.Dynamic {
 		s.Stats.Regroups++
 	}
@@ -616,7 +659,7 @@ func (s *Server) sizeBoundsViolated() bool {
 		if len(grp) > g*3/2 {
 			return true
 		}
-		if len(grp) < g/2 && i != len(s.groups)-1 && s.tenantAuth == nil {
+		if len(grp) < g/2 && i != len(s.groups)-1 && s.tenantAuth == nil && !s.groupDemoted(grp) {
 			return true
 		}
 	}
@@ -670,6 +713,7 @@ func (s *Server) connect(ch *host.Host, sig *sim.Signal, pinned bool, tenant uin
 		warmZone:  -1,
 		pinned:    pinned,
 		tenant:    tenant,
+		peerHost:  -1,
 	}
 	s.clients = append(s.clients, cs)
 	if pinned {
@@ -738,7 +782,7 @@ func (s *Server) place(cs *clientState) {
 	if s.tenantAuth == nil {
 		if len(s.groups) > 0 {
 			last := len(s.groups) - 1
-			if len(s.groups[last]) < s.Cfg.GroupSize {
+			if len(s.groups[last]) < s.Cfg.GroupSize && s.groupDemoted(s.groups[last]) == cs.demoted {
 				s.groups[last] = append(s.groups[last], cs.id)
 				cs.group = last
 				return
@@ -748,7 +792,8 @@ func (s *Server) place(cs *clientState) {
 		class := s.tenantAuth.GroupClass(cs.tenant)
 		for i := len(s.groups) - 1; i >= 0; i-- {
 			grp := s.groups[i]
-			if len(grp) == 0 || len(grp) >= s.Cfg.GroupSize || s.tenantClassOf(grp[0]) != class {
+			if len(grp) == 0 || len(grp) >= s.Cfg.GroupSize || s.tenantClassOf(grp[0]) != class ||
+				s.groupDemoted(grp) != cs.demoted {
 				continue
 			}
 			s.groups[i] = append(grp, cs.id)
@@ -835,6 +880,7 @@ func (s *Server) Reconnect(c *Conn) {
 			warmZone:  -1,
 			pinned:    c.pinned,
 			tenant:    c.joinTenant,
+			peerHost:  -1,
 		}
 		s.clients[c.id] = cs
 		if c.pinned {

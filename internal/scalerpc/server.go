@@ -68,9 +68,21 @@ type clientState struct {
 	notifiedEpoch uint64
 
 	// missedSlices counts consecutive slices in which this client had zero
-	// requests served; at Cfg.ProbeSlices the scheduler posts a liveness
+	// requests served; at Cfg.Failure.ProbeSlices the scheduler posts a liveness
 	// probe (see detectFailures).
 	missedSlices int
+
+	// peerHost is the client's host id as seen by the control plane, -1 for
+	// clients admitted through the legacy Connect backdoor. DemotePeer and
+	// RestorePeer act on every client of the named peer.
+	peerHost int
+
+	// demoted marks a client whose peer the failure detector has demoted:
+	// it keeps full service, but liveness probes are suppressed (a probe on
+	// a lossy link exhausts the RC retry budget and falsely evicts) and the
+	// scheduler isolates it into suspect-only groups so healthy clients
+	// never share a slice with it.
+	demoted bool
 
 	// pinned marks a latency-sensitive client on a reserved zone: it is
 	// never grouped, never switched, and always served from pool 0.
@@ -146,8 +158,22 @@ type Server struct {
 	// metadata of §3.3); warmOwner is the same for the warmup pool.
 	zoneOwner []int // -1 = unowned
 	warmOwner []int
+	// warmEpoch stamps each warmup-pool zone with the switch epoch during
+	// which assignWarm last (re)asserted its binding. Promotion trusts a
+	// zone's resident frames only if it was warmed during the slice that
+	// just ended; anything older — a pool frozen out of rotation while the
+	// cluster ran single-group, a binding left over from before a regroup —
+	// is wiped before the zone is served, because its frames were fetched
+	// for a round the clients have long since retired.
+	warmEpoch []uint64
 
 	workers []*worker
+
+	// regroupDue forces a regroup at the next context switch — set when a
+	// demotion or restore changes the partition key of grouped clients, so
+	// the re-partition happens on the switch path (where departing groups
+	// are notified) instead of yanking zones mid-slice.
+	regroupDue bool
 
 	// Switch coordination.
 	epoch      uint64
@@ -198,6 +224,7 @@ func NewServer(h *host.Host, cfg ServerConfig) *Server {
 		legacyQ:   sim.NewQueue[legacyJob](h.Env),
 		zoneOwner: make([]int, zones),
 		warmOwner: make([]int, zones),
+		warmEpoch: make([]uint64, zones),
 		schedSig:  sim.NewSignal(h.Env),
 		resumeSig: sim.NewSignal(h.Env),
 		replies:   rpccore.NewReplyCache(cfg.BlocksPerClient),
@@ -220,6 +247,8 @@ func NewServer(h *host.Host, cfg ServerConfig) *Server {
 	srv.CounterVar("pinned_served", &s.Stats.PinnedServed)
 	srv.CounterVar("late_served", &s.Stats.LateServed)
 	srv.CounterVar("probes", &s.Stats.Probes)
+	srv.CounterVar("demotes", &s.Stats.Demotes)
+	srv.CounterVar("restores", &s.Stats.Restores)
 	srv.CounterVar("evictions", &s.Stats.Evictions)
 	srv.CounterVar("readmits", &s.Stats.Readmits)
 	srv.CounterVar("joins", &s.Stats.Joins)

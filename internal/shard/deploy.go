@@ -25,6 +25,9 @@ type DeployConfig struct {
 	// separate raw-write server so client-facing handlers that block on a
 	// synchronous forward can never starve the plane that acks it.
 	Repl rawrpc.ServerConfig
+	// Director holds the liveness tunables; the zero value means the
+	// defaults (ctrlplane LeaseTTL, 100 µs sweep).
+	Director DirectorConfig
 }
 
 // DefaultDeployConfig mirrors the multi-server ScaleRPC setup the txn
@@ -104,7 +107,7 @@ func Deploy(cl *cluster.Cluster, cfg DeployConfig) *Deployment {
 			d.Nodes[a].AddReplLink(b, conn)
 		}
 	}
-	d.Director = NewDirector(ctrl.Manager(cfg.DirectorHost), m)
+	d.Director = NewDirectorWith(ctrl.Manager(cfg.DirectorHost), m, cfg.Director)
 	d.Director.Start()
 	return d
 }

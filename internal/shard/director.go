@@ -20,10 +20,30 @@ const (
 // Event is one entry in the director's deterministic decision log.
 type Event struct {
 	At        sim.Time
-	Kind      string // failover, promote, push, publish
+	Kind      string // failover, promote, degrade, restore, push, publish
 	Host      int
 	Partition int
 	Epoch     uint32
+}
+
+// DirectorConfig holds the director's liveness tunables, extracted so
+// experiments can sweep them independently of the control-plane defaults.
+type DirectorConfig struct {
+	// FailTTL is the lease silence after which a node is declared dead in
+	// fixed-TTL mode; 0 means the manager default (ctrlplane LeaseTTL).
+	// Ignored when the manager runs the adaptive detector — eviction then
+	// comes from the ladder, not a fixed clock.
+	FailTTL sim.Duration
+	// Interval is the liveness sweep period; 0 means 100 µs.
+	Interval sim.Duration
+}
+
+// DefaultDirectorConfig mirrors the pre-extraction hardcoded values.
+func DefaultDirectorConfig() DirectorConfig {
+	return DirectorConfig{
+		FailTTL:  ctrlplane.DefaultConfig().LeaseTTL,
+		Interval: 100 * sim.Microsecond,
+	}
 }
 
 // Director owns the authoritative shard map: it serves fetches, watches
@@ -46,6 +66,12 @@ type Director struct {
 	// Interval is the liveness sweep period.
 	Interval sim.Duration
 
+	// Ladder transitions queued by the manager's OnPeerState hook (which
+	// must not block) and drained by the sweep thread, which can dial.
+	pendFail    []int
+	pendDegrade []int
+	pendRestore []int
+
 	stats     *Stats
 	started   bool
 	svcHandle uint64
@@ -54,18 +80,58 @@ type Director struct {
 // NewDirector builds a director for m on the given control-plane manager
 // and registers its fetch and lease services.
 func NewDirector(mgr *ctrlplane.Manager, m *Map) *Director {
+	return NewDirectorWith(mgr, m, DefaultDirectorConfig())
+}
+
+// NewDirectorWith is NewDirector with explicit liveness tunables. When the
+// manager runs the adaptive failure detector, the director also subscribes
+// to its ladder: a demoted node host is marked degraded in an epoch-bumped
+// map (routers then steer its reads to backups), a restored one is
+// cleared, and eviction triggers the same failover the fixed TTL would.
+func NewDirectorWith(mgr *ctrlplane.Manager, m *Map, cfg DirectorConfig) *Director {
+	def := DefaultDirectorConfig()
+	if cfg.FailTTL <= 0 {
+		cfg.FailTTL = def.FailTTL
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = def.Interval
+	}
 	d := &Director{
 		mgr:       mgr,
 		cur:       m.Clone(),
 		nodeHosts: append([]int(nil), m.Hosts...),
 		down:      make(map[int]bool),
-		FailTTL:   ctrlplane.DefaultConfig().LeaseTTL,
-		Interval:  100 * sim.Microsecond,
+		FailTTL:   cfg.FailTTL,
+		Interval:  cfg.Interval,
 		stats:     SharedStats(mgr.Host().Tel.Registry()),
 	}
 	mgr.RegisterService(SvcMap, mapSvc{d})
 	mgr.RegisterService(SvcLease, leaseSvc{d})
+	if mgr.DetectorEnabled() {
+		mgr.OnPeerState(func(peer int, old, new ctrlplane.PeerState) {
+			if !d.isNodeHost(peer) {
+				return
+			}
+			switch new {
+			case ctrlplane.PeerDemoted:
+				d.pendDegrade = append(d.pendDegrade, peer)
+			case ctrlplane.PeerHealthy:
+				d.pendRestore = append(d.pendRestore, peer)
+			case ctrlplane.PeerEvicted:
+				d.pendFail = append(d.pendFail, peer)
+			}
+		})
+	}
 	return d
+}
+
+func (d *Director) isNodeHost(h int) bool {
+	for _, n := range d.nodeHosts {
+		if n == h {
+			return true
+		}
+	}
+	return false
 }
 
 // Map returns the published map.
@@ -84,6 +150,23 @@ func (d *Director) run(t *host.Thread) {
 	for {
 		t.P.Sleep(d.Interval)
 		now := t.P.Now()
+		// Drain ladder transitions queued since the last sweep (adaptive
+		// mode): failovers first so a host that raced through
+		// demote→evict is not pointlessly degraded after its death.
+		for _, h := range takeInts(&d.pendFail) {
+			if !d.down[h] {
+				d.failover(t, h)
+			}
+		}
+		for _, h := range takeInts(&d.pendDegrade) {
+			d.setDegraded(t, h, true)
+		}
+		for _, h := range takeInts(&d.pendRestore) {
+			d.setDegraded(t, h, false)
+		}
+		if d.mgr.DetectorEnabled() {
+			continue // eviction comes from the ladder, not the fixed TTL
+		}
 		for _, h := range d.nodeHosts {
 			if d.down[h] {
 				continue
@@ -96,6 +179,38 @@ func (d *Director) run(t *host.Thread) {
 	}
 }
 
+func takeInts(p *[]int) []int {
+	out := *p
+	*p = nil
+	return out
+}
+
+// setDegraded flips a host's degraded mark and distributes the new map
+// version (push-before-publish, same as failover). No-op when the mark
+// already matches or the host is down.
+func (d *Director) setDegraded(t *host.Thread, h int, degraded bool) {
+	if d.down[h] {
+		return
+	}
+	next := d.cur.Clone()
+	if !next.SetDegraded(h, degraded) {
+		return
+	}
+	kind := "degrade"
+	if !degraded {
+		kind = "restore"
+	}
+	d.event(kind, h, -1, next.Epoch)
+	d.distribute(t, next)
+	d.cur = next
+	if degraded {
+		d.stats.Degrades++
+	} else {
+		d.stats.Restores++
+	}
+	d.event("publish", h, -1, next.Epoch)
+}
+
 // failover promotes around a dead host and distributes the new map.
 func (d *Director) failover(t *host.Thread, dead int) {
 	d.down[dead] = true
@@ -105,7 +220,18 @@ func (d *Director) failover(t *host.Thread, dead int) {
 	for _, p := range promoted {
 		d.event("promote", next.Primary[p], p, next.Epoch)
 	}
-	// Push to every live node first (sorted order: deterministic log)…
+	// Push to every live node first, then publish to routers.
+	d.distribute(t, next)
+	d.cur = next
+	d.stats.Failovers++
+	d.event("publish", dead, -1, next.Epoch)
+}
+
+// distribute pushes a new map version to every live node (sorted order:
+// deterministic log) — publication to routers is the caller's d.cur swap,
+// after every push, closing the window where a client knows a map the
+// serving node has not installed yet.
+func (d *Director) distribute(t *host.Thread, next *Map) {
 	for _, h := range d.nodeHosts {
 		if d.down[h] {
 			continue
@@ -115,10 +241,6 @@ func (d *Director) failover(t *host.Thread, dead int) {
 			d.event("push", h, -1, next.Epoch)
 		}
 	}
-	// …then publish to routers.
-	d.cur = next
-	d.stats.Failovers++
-	d.event("publish", dead, -1, next.Epoch)
 }
 
 func (d *Director) event(kind string, hostID, part int, epoch uint32) {

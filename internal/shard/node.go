@@ -207,10 +207,17 @@ func (n *Node) handleShard(t *host.Thread, clientID uint16, req, out []byte) int
 		return 5
 	}
 	if n.cur.Primary[part] != n.HostID {
-		out[0] = RWrongShard
-		binary.LittleEndian.PutUint32(out[1:], n.cur.Epoch)
-		binary.LittleEndian.PutUint16(out[5:], uint16(n.cur.Primary[part]))
-		return 7
+		// A backup answers reads for a partition whose primary the map
+		// marks degraded (the router's steering target); everything else
+		// bounces to the owner.
+		steered := inner == HKVGet && n.cur.Backup[part] == n.HostID &&
+			n.cur.IsDegraded(n.cur.Primary[part])
+		if !steered {
+			out[0] = RWrongShard
+			binary.LittleEndian.PutUint32(out[1:], n.cur.Epoch)
+			binary.LittleEndian.PutUint16(out[5:], uint16(n.cur.Primary[part]))
+			return 7
+		}
 	}
 
 	switch inner {
